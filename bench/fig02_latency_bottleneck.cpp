@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig 2: runtime normalised to Ideal, split into stall cycles from
+ * indirect accesses vs everything else, plus the PerfPref bound.
+ */
+#include "harness.hpp"
+
+using namespace impsim;
+using namespace impsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    for (AppId app : paperApps()) {
+        for (ConfigPreset p : {ConfigPreset::Ideal,
+                               ConfigPreset::Baseline,
+                               ConfigPreset::PerfectPref}) {
+            registerRun(std::string("fig2/") + appName(app) + "/" +
+                            presetName(p),
+                        [app, p]() -> const SimStats & {
+                            return run(app, p, 64);
+                        });
+        }
+    }
+    runBenchmarks(argc, argv);
+
+    banner("Figure 2: runtime normalised to Ideal (64 cores)",
+           "indirect stalls dominate; PerfPref ~1.8x Ideal on average "
+           "(bandwidth bound)");
+    header({"norm.rt", "indirect", "other", "PerfPref"});
+    std::vector<double> pp_all;
+    for (AppId app : paperApps()) {
+        double ideal = static_cast<double>(
+            run(app, ConfigPreset::Ideal, 64).cycles);
+        const SimStats &base = run(app, ConfigPreset::Baseline, 64);
+        double norm = static_cast<double>(base.cycles) / ideal;
+        // Split the excess over Ideal by stall attribution.
+        double ind_stall = static_cast<double>(
+            base.core.stallCycles[static_cast<int>(
+                AccessType::Indirect)]);
+        double tot_stall = ind_stall;
+        for (int t = 0; t < kNumAccessTypes; ++t)
+            if (t != static_cast<int>(AccessType::Indirect))
+                tot_stall +=
+                    static_cast<double>(base.core.stallCycles[t]);
+        double excess = norm - 1.0;
+        double ind_part =
+            tot_stall > 0 ? excess * ind_stall / tot_stall : 0.0;
+        double pp = static_cast<double>(
+                        run(app, ConfigPreset::PerfectPref, 64).cycles) /
+                    ideal;
+        pp_all.push_back(pp);
+        row(appName(app), {norm, 1.0 + ind_part, norm - 1.0 - ind_part,
+                           pp});
+    }
+    row("avg(PerfPref)", {geomean(pp_all)});
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig 9 (a/b/c): performance of Base / IMP / SWPref normalised to
+ * Perfect Prefetching at 16, 64 and 256 cores.
+ */
+#include "harness.hpp"
+
+using namespace impsim;
+using namespace impsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint32_t kCores[] = {16, 64, 256};
+    const ConfigPreset kCfgs[] = {
+        ConfigPreset::PerfectPref, ConfigPreset::Baseline,
+        ConfigPreset::Imp, ConfigPreset::SwPref};
+
+    for (std::uint32_t cores : kCores) {
+        for (AppId app : paperApps()) {
+            for (ConfigPreset p : kCfgs) {
+                registerRun(std::string("fig9/") +
+                                std::to_string(cores) + "c/" +
+                                appName(app) + "/" + presetName(p),
+                            [app, p, cores]() -> const SimStats & {
+                                return run(app, p, cores);
+                            });
+            }
+        }
+    }
+    runBenchmarks(argc, argv);
+
+    for (std::uint32_t cores : kCores) {
+        banner("Figure 9: normalised throughput vs PerfPref (" +
+                   std::to_string(cores) + " cores)",
+               "IMP: 74%/56%/33% average speedup over Base at "
+               "16/64/256 cores");
+        header({"PerfPref", "Base", "IMP", "SWPref"});
+        std::vector<double> speedups;
+        for (AppId app : paperApps()) {
+            double base = normThroughput(app, ConfigPreset::Baseline,
+                                         cores);
+            double imp = normThroughput(app, ConfigPreset::Imp, cores);
+            double sw = normThroughput(app, ConfigPreset::SwPref,
+                                       cores);
+            speedups.push_back(imp / base);
+            row(appName(app), {1.0, base, imp, sw});
+        }
+        double g = geomean(speedups);
+        std::printf("IMP speedup over Base: geomean %.2fx "
+                    "(+%.0f%%)\n",
+                    g, (g - 1.0) * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig 10: instruction overhead of software prefetching at 64 cores,
+ * normalised to Baseline.
+ */
+#include "harness.hpp"
+
+using namespace impsim;
+using namespace impsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    for (AppId app : paperApps()) {
+        for (ConfigPreset p : {ConfigPreset::Baseline, ConfigPreset::Imp,
+                               ConfigPreset::SwPref}) {
+            registerRun(std::string("fig10/") + appName(app) + "/" +
+                            presetName(p),
+                        [app, p]() -> const SimStats & {
+                            return run(app, p, 64);
+                        });
+        }
+    }
+    runBenchmarks(argc, argv);
+
+    banner("Figure 10: instruction count normalised to Base (64 cores)",
+           "SW prefetching costs ~29% more instructions than IMP on "
+           "average (up to 2x)");
+    header({"Base", "IMP", "SWPref"});
+    std::vector<double> over;
+    for (AppId app : paperApps()) {
+        double base = static_cast<double>(
+            run(app, ConfigPreset::Baseline, 64).core.instructions);
+        double imp = static_cast<double>(
+            run(app, ConfigPreset::Imp, 64).core.instructions);
+        double sw = static_cast<double>(
+            run(app, ConfigPreset::SwPref, 64).core.instructions);
+        over.push_back(sw / imp);
+        row(appName(app), {1.0, imp / base, sw / base});
+    }
+    std::printf("SWPref instructions vs IMP: geomean %.2fx\n",
+                geomean(over));
+    return 0;
+}

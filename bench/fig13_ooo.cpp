@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig 13: IMP and partial accessing on in-order vs out-of-order
+ * cores (pagerank and sgd, 64 cores), normalised to the out-of-order
+ * baseline.
+ */
+#include "harness.hpp"
+
+using namespace impsim;
+using namespace impsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    const AppId kApps[] = {AppId::Pagerank, AppId::Sgd};
+    const ConfigPreset kCfgs[] = {ConfigPreset::Baseline,
+                                  ConfigPreset::Imp,
+                                  ConfigPreset::ImpPartialNocDram};
+
+    for (AppId app : kApps) {
+        for (ConfigPreset p : kCfgs) {
+            for (CoreModel m :
+                 {CoreModel::InOrder, CoreModel::OutOfOrder}) {
+                registerRun(
+                    std::string("fig13/") + appName(app) + "/" +
+                        presetName(p) +
+                        (m == CoreModel::OutOfOrder ? "/ooo" : "/io"),
+                    [app, p, m]() -> const SimStats & {
+                        return run(app, p, 64, m);
+                    });
+            }
+        }
+    }
+    runBenchmarks(argc, argv);
+
+    banner("Figure 13: in-order vs out-of-order cores (64 cores, "
+           "normalised to Base_ooo)",
+           "OoO helps but IMP still provides large gains on top "
+           "(20%/37% avg for IMP/partial on OoO)");
+    header({"Base_io", "Base_ooo", "IMP_io", "IMP_ooo", "Part_io",
+            "Part_ooo"});
+    for (AppId app : kApps) {
+        double ref = static_cast<double>(
+            run(app, ConfigPreset::Baseline, 64,
+                CoreModel::OutOfOrder)
+                .cycles);
+        auto thr = [&](ConfigPreset p, CoreModel m) {
+            return ref / static_cast<double>(run(app, p, 64, m).cycles);
+        };
+        row(appName(app),
+            {thr(ConfigPreset::Baseline, CoreModel::InOrder),
+             thr(ConfigPreset::Baseline, CoreModel::OutOfOrder),
+             thr(ConfigPreset::Imp, CoreModel::InOrder),
+             thr(ConfigPreset::Imp, CoreModel::OutOfOrder),
+             thr(ConfigPreset::ImpPartialNocDram, CoreModel::InOrder),
+             thr(ConfigPreset::ImpPartialNocDram,
+                 CoreModel::OutOfOrder)});
+    }
+    return 0;
+}

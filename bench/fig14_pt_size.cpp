@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig 14: sensitivity to Prefetch Table size (8/16/32 entries) at 64
+ * cores, normalised to the default of 16.
+ */
+#include "harness.hpp"
+
+using namespace impsim;
+using namespace impsim::bench;
+
+namespace {
+
+const SimStats &
+runPt(AppId app, std::uint32_t pt)
+{
+    SystemConfig cfg = makePreset(ConfigPreset::Imp, 64);
+    cfg.imp.ptEntries = pt;
+    return runCustom("pt" + std::to_string(pt), app, cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint32_t kSizes[] = {8, 16, 32};
+    for (AppId app : paperApps()) {
+        for (std::uint32_t pt : kSizes) {
+            registerRun(std::string("fig14/") + appName(app) + "/pt" +
+                            std::to_string(pt),
+                        [app, pt]() -> const SimStats & {
+                            return runPt(app, pt);
+                        });
+        }
+    }
+    runBenchmarks(argc, argv);
+
+    banner("Figure 14: PT size sensitivity (64 cores, vs PT=16)",
+           "mostly flat; tri_count and lsh benefit from 16 over 8");
+    header({"PT=8", "PT=16", "PT=32"});
+    for (AppId app : paperApps()) {
+        double ref = static_cast<double>(runPt(app, 16).cycles);
+        row(appName(app),
+            {ref / static_cast<double>(runPt(app, 8).cycles), 1.0,
+             ref / static_cast<double>(runPt(app, 32).cycles)});
+    }
+    return 0;
+}

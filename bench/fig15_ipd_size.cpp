@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig 15: sensitivity to IPD size (2/4/8 entries) at 64 cores,
+ * normalised to the default of 4.
+ */
+#include "harness.hpp"
+
+using namespace impsim;
+using namespace impsim::bench;
+
+namespace {
+
+const SimStats &
+runIpd(AppId app, std::uint32_t n)
+{
+    SystemConfig cfg = makePreset(ConfigPreset::Imp, 64);
+    cfg.imp.ipdEntries = n;
+    return runCustom("ipd" + std::to_string(n), app, cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint32_t kSizes[] = {2, 4, 8};
+    for (AppId app : paperApps()) {
+        for (std::uint32_t n : kSizes) {
+            registerRun(std::string("fig15/") + appName(app) + "/ipd" +
+                            std::to_string(n),
+                        [app, n]() -> const SimStats & {
+                            return runIpd(app, n);
+                        });
+        }
+    }
+    runBenchmarks(argc, argv);
+
+    banner("Figure 15: IPD size sensitivity (64 cores, vs IPD=4)",
+           "flat except symgs (frequent redetections): 4 beats 2 by "
+           "~3.5%");
+    header({"IPD=2", "IPD=4", "IPD=8"});
+    for (AppId app : paperApps()) {
+        double ref = static_cast<double>(runIpd(app, 4).cycles);
+        row(appName(app),
+            {ref / static_cast<double>(runIpd(app, 2).cycles), 1.0,
+             ref / static_cast<double>(runIpd(app, 8).cycles)});
+    }
+    return 0;
+}

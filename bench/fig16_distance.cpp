@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig 16: sensitivity to the maximum indirect prefetch distance
+ * (4/8/16/32) at 64 cores, normalised to the default of 16.
+ */
+#include "harness.hpp"
+
+using namespace impsim;
+using namespace impsim::bench;
+
+namespace {
+
+const SimStats &
+runDist(AppId app, std::uint32_t d)
+{
+    SystemConfig cfg = makePreset(ConfigPreset::Imp, 64);
+    cfg.imp.maxPrefetchDistance = d;
+    return runCustom("dist" + std::to_string(d), app, cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint32_t kDists[] = {4, 8, 16, 32};
+    for (AppId app : paperApps()) {
+        for (std::uint32_t d : kDists) {
+            registerRun(std::string("fig16/") + appName(app) + "/d" +
+                            std::to_string(d),
+                        [app, d]() -> const SimStats & {
+                            return runDist(app, d);
+                        });
+        }
+    }
+    runBenchmarks(argc, argv);
+
+    banner("Figure 16: max prefetch distance sensitivity (64 cores, "
+           "vs dist=16)",
+           "long-stream apps (pagerank/graph500/spmv) like larger "
+           "distances; short-loop apps (tri_count) can lose");
+    header({"d=4", "d=8", "d=16", "d=32"});
+    for (AppId app : paperApps()) {
+        double ref = static_cast<double>(runDist(app, 16).cycles);
+        row(appName(app),
+            {ref / static_cast<double>(runDist(app, 4).cycles),
+             ref / static_cast<double>(runDist(app, 8).cycles), 1.0,
+             ref / static_cast<double>(runDist(app, 32).cycles)});
+    }
+    return 0;
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Bench harness implementation.
+ */
+#include "harness.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "sim/system.hpp"
+
+namespace impsim::bench {
+
+const std::vector<AppId> &
+paperApps()
+{
+    static const std::vector<AppId> apps(kPaperApps.begin(),
+                                         kPaperApps.end());
+    return apps;
+}
+
+double
+benchScale()
+{
+    // IMPSIM_BENCH_SCALE trims inputs for smoke runs of the harness.
+    if (const char *env = std::getenv("IMPSIM_BENCH_SCALE"))
+        return std::atof(env);
+    return 1.0;
+}
+
+namespace {
+
+struct WorkloadKey
+{
+    AppId app;
+    std::uint32_t cores;
+    bool swpf;
+
+    bool
+    operator<(const WorkloadKey &o) const
+    {
+        return std::tie(app, cores, swpf) <
+               std::tie(o.app, o.cores, o.swpf);
+    }
+};
+
+const Workload &
+cachedWorkload(AppId app, std::uint32_t cores, bool swpf)
+{
+    static std::map<WorkloadKey, std::unique_ptr<Workload>> cache;
+    auto &slot = cache[WorkloadKey{app, cores, swpf}];
+    if (!slot) {
+        WorkloadParams p;
+        p.numCores = cores;
+        p.swPrefetch = swpf;
+        p.scale = benchScale();
+        slot = std::make_unique<Workload>(makeWorkload(app, p));
+    }
+    return *slot;
+}
+
+const SimStats &
+cachedSim(const std::string &key, AppId app, const SystemConfig &cfg,
+          bool swpf)
+{
+    static std::map<std::string, std::unique_ptr<SimStats>> cache;
+    auto &slot = cache[key];
+    if (!slot) {
+        const Workload &w = cachedWorkload(app, cfg.numCores, swpf);
+        System sys(cfg, w.traces, *w.mem);
+        slot = std::make_unique<SimStats>(sys.run());
+    }
+    return *slot;
+}
+
+} // namespace
+
+const SimStats &
+run(AppId app, ConfigPreset preset, std::uint32_t cores, CoreModel model)
+{
+    std::string key = std::string(appName(app)) + "/" +
+                      presetName(preset) + "/" +
+                      std::to_string(cores) +
+                      (model == CoreModel::OutOfOrder ? "/ooo" : "");
+    SystemConfig cfg = makePreset(preset, cores, model);
+    return cachedSim(key, app, cfg, presetWantsSwPrefetch(preset));
+}
+
+const SimStats &
+runCustom(const std::string &tag, AppId app, const SystemConfig &cfg,
+          bool swpf)
+{
+    std::string key = std::string(appName(app)) + "/custom/" + tag;
+    return cachedSim(key, app, cfg, swpf);
+}
+
+double
+normThroughput(AppId app, ConfigPreset preset, std::uint32_t cores,
+               CoreModel model)
+{
+    const SimStats &ref =
+        run(app, ConfigPreset::PerfectPref, cores, model);
+    const SimStats &s = run(app, preset, cores, model);
+    return static_cast<double>(ref.cycles) /
+           static_cast<double>(s.cycles);
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+void
+banner(const std::string &title, const std::string &paper_note)
+{
+    std::printf("\n=============================================="
+                "==============================\n");
+    std::printf("%s\n", title.c_str());
+    if (!paper_note.empty())
+        std::printf("paper: %s\n", paper_note.c_str());
+    std::printf("================================================"
+                "============================\n");
+}
+
+void
+header(const std::vector<std::string> &cols)
+{
+    std::printf("%-12s", "app");
+    for (const auto &c : cols)
+        std::printf(" %10s", c.c_str());
+    std::printf("\n");
+}
+
+void
+row(const std::string &label, const std::vector<double> &cells, int prec)
+{
+    std::printf("%-12s", label.c_str());
+    for (double v : cells)
+        std::printf(" %10.*f", prec, v);
+    std::printf("\n");
+}
+
+void
+registerRun(const std::string &name,
+            std::function<const SimStats &()> fn)
+{
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [fn](benchmark::State &state) {
+            for (auto _ : state) {
+                const SimStats &s = fn();
+                state.counters["sim_cycles"] =
+                    static_cast<double>(s.cycles);
+                state.counters["ipc"] = s.ipc();
+            }
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+void
+runBenchmarks(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+}
+
+} // namespace impsim::bench

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared benchmark harness: memoised simulation runs, normalisation
+ * helpers and paper-style table printing. Every bench binary
+ * regenerates one table or figure of the paper (see DESIGN.md §3).
+ */
+#ifndef IMPSIM_BENCH_HARNESS_HPP
+#define IMPSIM_BENCH_HARNESS_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/presets.hpp"
+#include "workloads/workload.hpp"
+
+namespace impsim::bench {
+
+/** The seven evaluated applications, in figure order. */
+const std::vector<AppId> &paperApps();
+
+/** Input scale used by all benches (1.0 = evaluation size). */
+double benchScale();
+
+/**
+ * Runs (or returns the memoised result of) one simulation.
+ * @param model core model (Fig 13 uses OutOfOrder)
+ */
+const SimStats &run(AppId app, ConfigPreset preset, std::uint32_t cores,
+                    CoreModel model = CoreModel::InOrder);
+
+/**
+ * Runs a custom configuration; @p tag must uniquely identify it.
+ * @param swpf generate the software-prefetch trace variant
+ */
+const SimStats &runCustom(const std::string &tag, AppId app,
+                          const SystemConfig &cfg, bool swpf = false);
+
+/** cycles(PerfPref) / cycles(preset): Fig 9/11's normalisation. */
+double normThroughput(AppId app, ConfigPreset preset,
+                      std::uint32_t cores,
+                      CoreModel model = CoreModel::InOrder);
+
+/** Geometric mean. */
+double geomean(const std::vector<double> &v);
+
+// ---- Table formatting -------------------------------------------------
+
+/** Prints the figure/table banner. */
+void banner(const std::string &title, const std::string &paper_note);
+
+/** Prints a header row: "app" followed by column names. */
+void header(const std::vector<std::string> &cols);
+
+/** Prints one row: label + numeric cells. */
+void row(const std::string &label, const std::vector<double> &cells,
+         int prec = 2);
+
+/**
+ * Registers a Google-Benchmark entry that executes @p fn once and
+ * reports its simulated cycles; call before runBenchmarks().
+ */
+void registerRun(const std::string &name,
+                 std::function<const SimStats &()> fn);
+
+/** Initialises and runs Google Benchmark, then returns. */
+void runBenchmarks(int argc, char **argv);
+
+} // namespace impsim::bench
+
+#endif // IMPSIM_BENCH_HARNESS_HPP

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Command-line runner: one simulation, full report or CSV row.
+ *
+ * Usage:
+ *   impsim_cli [--app NAME] [--preset NAME] [--cores N] [--scale F]
+ *              [--ooo] [--csv] [--pt N] [--ipd N] [--distance N]
+ *              [--seed N]
+ *
+ * Examples:
+ *   impsim_cli --app spmv --preset IMP --cores 64
+ *   impsim_cli --app pagerank --preset Base --cores 16 --csv
+ *   impsim_cli --app lsh --preset IMP --distance 32
+ */
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/presets.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+#include "workloads/workload.hpp"
+
+using namespace impsim;
+
+namespace {
+
+AppId
+parseApp(const std::string &name)
+{
+    for (AppId a : {AppId::Pagerank, AppId::TriCount, AppId::Graph500,
+                    AppId::Sgd, AppId::Lsh, AppId::Spmv, AppId::Symgs,
+                    AppId::Streaming}) {
+        if (name == appName(a))
+            return a;
+    }
+    std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
+    std::exit(1);
+}
+
+ConfigPreset
+parsePreset(const std::string &name)
+{
+    for (ConfigPreset p :
+         {ConfigPreset::Ideal, ConfigPreset::PerfectPref,
+          ConfigPreset::Baseline, ConfigPreset::SwPref, ConfigPreset::Imp,
+          ConfigPreset::ImpPartialNoc, ConfigPreset::ImpPartialNocDram,
+          ConfigPreset::Ghb, ConfigPreset::NoPrefetch}) {
+        if (name == presetName(p))
+            return p;
+    }
+    std::fprintf(stderr,
+                 "unknown preset '%s' (try Ideal, PerfPref, Base, "
+                 "SWPref, IMP, Partial-NoC, Partial-NoC+DRAM, GHB, "
+                 "NoPref)\n",
+                 name.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    AppId app = AppId::Spmv;
+    ConfigPreset preset = ConfigPreset::Imp;
+    std::uint32_t cores = 64;
+    double scale = 1.0;
+    bool ooo = false;
+    bool csv = false;
+    std::uint32_t pt = 0, ipd = 0, distance = 0;
+    std::uint64_t seed = 42;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--app")
+            app = parseApp(next());
+        else if (a == "--preset")
+            preset = parsePreset(next());
+        else if (a == "--cores")
+            cores = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (a == "--scale")
+            scale = std::atof(next());
+        else if (a == "--ooo")
+            ooo = true;
+        else if (a == "--csv")
+            csv = true;
+        else if (a == "--pt")
+            pt = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (a == "--ipd")
+            ipd = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (a == "--distance")
+            distance = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (a == "--seed")
+            seed = static_cast<std::uint64_t>(std::atoll(next()));
+        else {
+            std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+            return 1;
+        }
+    }
+
+    WorkloadParams wp;
+    wp.numCores = cores;
+    wp.scale = scale;
+    wp.seed = seed;
+    wp.swPrefetch = presetWantsSwPrefetch(preset);
+    Workload w = makeWorkload(app, wp);
+
+    SystemConfig cfg = makePreset(
+        preset, cores, ooo ? CoreModel::OutOfOrder : CoreModel::InOrder);
+    if (pt)
+        cfg.imp.ptEntries = pt;
+    if (ipd)
+        cfg.imp.ipdEntries = ipd;
+    if (distance)
+        cfg.imp.maxPrefetchDistance = distance;
+
+    System sys(cfg, w.traces, *w.mem);
+    SimStats s = sys.run();
+
+    std::string label = std::string(appName(app)) + "/" +
+                        presetName(preset) + "/" +
+                        std::to_string(cores) + "c" + (ooo ? "/ooo" : "");
+    if (csv) {
+        writeCsvHeader(std::cout);
+        writeCsvRow(std::cout, label, s);
+    } else {
+        writeReport(std::cout, label, s);
+    }
+    return 0;
+}

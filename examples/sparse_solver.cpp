@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Sparse linear-algebra scenario: an HPCG-flavoured multigrid-style
+ * cycle alternating SpMV and SymGS sweeps, showing how partial
+ * cacheline accessing trades NoC/DRAM traffic for performance
+ * (paper §4, Figs 11 and 12).
+ *
+ * Usage: sparse_solver [cores=16] [scale=0.5]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/presets.hpp"
+#include "sim/system.hpp"
+#include "workloads/workload.hpp"
+
+using namespace impsim;
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t cores = argc > 1 ? std::atoi(argv[1]) : 16;
+    double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+    std::printf("HPCG-flavoured sparse kernels under IMP with partial "
+                "cacheline accessing.\n");
+
+    for (AppId app : {AppId::Spmv, AppId::Symgs}) {
+        std::printf("\n--- %s (%u cores) ---\n", appName(app), cores);
+        std::printf("%-18s %12s %8s %10s %10s\n", "config", "cycles",
+                    "speedup", "NoC(MB)", "DRAM(MB)");
+
+        double imp_cycles = 0.0;
+        for (ConfigPreset p :
+             {ConfigPreset::Imp, ConfigPreset::ImpPartialNoc,
+              ConfigPreset::ImpPartialNocDram}) {
+            WorkloadParams wp;
+            wp.numCores = cores;
+            wp.scale = scale;
+            Workload w = makeWorkload(app, wp);
+            System sys(makePreset(p, cores), w.traces, *w.mem);
+            SimStats s = sys.run();
+            if (p == ConfigPreset::Imp)
+                imp_cycles = static_cast<double>(s.cycles);
+            std::printf("%-18s %12llu %7.2fx %10.1f %10.1f\n",
+                        presetName(p),
+                        static_cast<unsigned long long>(s.cycles),
+                        imp_cycles / static_cast<double>(s.cycles),
+                        s.noc.bytes / 1e6, s.dram.bytes() / 1e6);
+        }
+    }
+
+    std::printf("\nNote the paper's §6.2 asymmetry: partial DRAM "
+                "accessing helps SpMV\nbut can hurt SymGS, whose lines "
+                "show better spatial locality in L2.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Sectored cache implementation.
+ */
+#include "cache/sector_cache.hpp"
+
+#include "common/logging.hpp"
+
+namespace impsim {
+
+std::uint32_t
+sectorMask(Addr addr, std::uint32_t size, std::uint32_t sector_bytes)
+{
+    IMPSIM_CHECK(size > 0 && size <= kLineSize, "bad access size");
+    std::uint32_t off = lineOffset(addr);
+    std::uint32_t first = off / sector_bytes;
+    std::uint32_t last = (off + size - 1) / sector_bytes;
+    IMPSIM_CHECK(last < 32, "sector index overflow");
+    std::uint32_t mask = 0;
+    for (std::uint32_t s = first; s <= last; ++s)
+        mask |= 1u << s;
+    return mask;
+}
+
+SectorCache::SectorCache(std::uint32_t size_bytes, std::uint32_t ways,
+                         std::uint32_t sector_bytes)
+    : ways_(ways), sectorBytes_(sector_bytes),
+      sectorsPerLine_(kLineSize / sector_bytes)
+{
+    IMPSIM_CHECK(ways > 0, "cache needs at least one way");
+    IMPSIM_CHECK(size_bytes % (kLineSize * ways) == 0,
+                 "capacity must be a multiple of ways*line");
+    numSets_ = size_bytes / (kLineSize * ways);
+    IMPSIM_CHECK(isPow2(numSets_), "set count must be a power of two");
+    IMPSIM_CHECK(kLineSize % sector_bytes == 0,
+                 "sector size must divide line size");
+    frames_.resize(std::size_t{numSets_} * ways_);
+}
+
+std::uint32_t
+SectorCache::setOf(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>(lineOf(line_addr)) & (numSets_ - 1);
+}
+
+CacheLine *
+SectorCache::find(Addr line_addr)
+{
+    line_addr = lineAlign(line_addr);
+    CacheLine *base = &frames_[std::size_t{setOf(line_addr)} * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].valid() && base[w].lineAddr == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+SectorCache::find(Addr line_addr) const
+{
+    return const_cast<SectorCache *>(this)->find(line_addr);
+}
+
+CacheLine *
+SectorCache::victim(Addr line_addr)
+{
+    CacheLine *base = &frames_[std::size_t{setOf(line_addr)} * ways_];
+    CacheLine *lru = &base[0];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid())
+            return &base[w];
+        if (base[w].lastUse < lru->lastUse)
+            lru = &base[w];
+    }
+    return lru;
+}
+
+void
+SectorCache::fill(CacheLine &frame, Addr line_addr, CState state,
+                  std::uint32_t valid_mask, bool prefetched)
+{
+    IMPSIM_CHECK(state != CState::I, "filling an invalid state");
+    frame.lineAddr = lineAlign(line_addr);
+    frame.state = state;
+    frame.validMask = valid_mask & allSectors();
+    frame.dirtyMask = 0;
+    frame.prefetched = prefetched;
+    frame.touched = false;
+    touch(frame);
+}
+
+void
+SectorCache::invalidate(CacheLine &line)
+{
+    line.state = CState::I;
+    line.validMask = 0;
+    line.dirtyMask = 0;
+    line.prefetched = false;
+    line.touched = false;
+    line.lineAddr = kNoAddr;
+}
+
+std::uint32_t
+SectorCache::residentLines() const
+{
+    std::uint32_t n = 0;
+    for (const auto &l : frames_) {
+        if (l.valid())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace impsim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Sectored set-associative cache model (paper §4.1, Fig 7).
+ *
+ * Every line carries a valid bit per sector; a conventional cache is
+ * the special case of one sector per line. The model tracks tags,
+ * coherence state, per-sector valid/dirty masks and LRU order; data
+ * contents live in FuncMem.
+ */
+#ifndef IMPSIM_CACHE_SECTOR_CACHE_HPP
+#define IMPSIM_CACHE_SECTOR_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/intmath.hpp"
+#include "common/types.hpp"
+
+namespace impsim {
+
+/** MESI-style line state (directory uses the same encoding). */
+enum class CState : std::uint8_t {
+    I = 0, ///< Invalid.
+    S = 1, ///< Shared, clean.
+    E = 2, ///< Exclusive, clean.
+    M = 3, ///< Modified.
+};
+
+/** One cache tag entry. */
+struct CacheLine
+{
+    Addr lineAddr = kNoAddr;     ///< Line-aligned address (tag).
+    CState state = CState::I;
+    std::uint32_t validMask = 0; ///< Per-sector valid bits.
+    std::uint32_t dirtyMask = 0; ///< Per-sector dirty bits.
+    std::uint64_t lastUse = 0;   ///< LRU timestamp.
+    bool prefetched = false;     ///< Brought in by a prefetch...
+    bool touched = false;        ///< ...and since hit by a demand access.
+
+    bool valid() const { return state != CState::I; }
+};
+
+/**
+ * Computes the sector mask covering [addr, addr+size) within its line.
+ * @param sector_bytes sector size; must divide the line size.
+ */
+std::uint32_t sectorMask(Addr addr, std::uint32_t size,
+                         std::uint32_t sector_bytes);
+
+/** Mask with the low @p n bits set (n = sectors per line). */
+constexpr std::uint32_t
+fullMask(std::uint32_t n)
+{
+    return n >= 32 ? ~0u : ((1u << n) - 1);
+}
+
+/**
+ * Set-associative sectored cache with true-LRU replacement.
+ *
+ * The cache is a passive structure: controllers decide when to fill,
+ * evict and write back; this class only answers lookups and picks
+ * victims.
+ */
+class SectorCache
+{
+  public:
+    /**
+     * @param size_bytes     total capacity
+     * @param ways           associativity
+     * @param sector_bytes   sector granularity (== line size when the
+     *                       cache is not sectored)
+     */
+    SectorCache(std::uint32_t size_bytes, std::uint32_t ways,
+                std::uint32_t sector_bytes = kLineSize);
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t sectorBytes() const { return sectorBytes_; }
+    std::uint32_t sectorsPerLine() const { return sectorsPerLine_; }
+
+    /** Full valid mask for this cache's sector count. */
+    std::uint32_t allSectors() const { return fullMask(sectorsPerLine_); }
+
+    /** Set index for @p line_addr. */
+    std::uint32_t setOf(Addr line_addr) const;
+
+    /**
+     * Finds the line holding @p line_addr.
+     * @return mutable pointer, or nullptr on tag miss. Does not update
+     *         LRU state; call touch() on a real access.
+     */
+    CacheLine *find(Addr line_addr);
+    const CacheLine *find(Addr line_addr) const;
+
+    /** Marks @p line most recently used. */
+    void touch(CacheLine &line) { line.lastUse = ++useClock_; }
+
+    /**
+     * Chooses a victim frame in the set of @p line_addr: an invalid
+     * frame if one exists, else the LRU line. Never returns nullptr.
+     */
+    CacheLine *victim(Addr line_addr);
+
+    /**
+     * Installs @p line_addr into @p frame (caller must have handled the
+     * previous occupant). Initialises state/masks and LRU position.
+     */
+    void fill(CacheLine &frame, Addr line_addr, CState state,
+              std::uint32_t valid_mask, bool prefetched);
+
+    /** Invalidates a line (keeps LRU slot reusable). */
+    void invalidate(CacheLine &line);
+
+    /** Number of valid lines currently resident (for tests). */
+    std::uint32_t residentLines() const;
+
+    /** Iterates all valid lines (test/inspection helper). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (const auto &l : frames_) {
+            if (l.valid())
+                fn(l);
+        }
+    }
+
+  private:
+    std::uint32_t numSets_;
+    std::uint32_t ways_;
+    std::uint32_t sectorBytes_;
+    std::uint32_t sectorsPerLine_;
+    std::uint64_t useClock_ = 0;
+    std::vector<CacheLine> frames_; ///< numSets_ * ways_, set-major.
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_CACHE_SECTOR_CACHE_HPP

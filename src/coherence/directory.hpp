@@ -1,0 +1,112 @@
+/**
+ * @file
+ * ACKwise-4 limited-pointer directory (paper §5, Table 1).
+ *
+ * The directory is embedded in each L2 slice and tracks, per resident
+ * line, up to `ackwisePointers` sharers precisely. When more cores
+ * share a line the entry degrades to broadcast mode: it keeps an exact
+ * sharer *count* (so acknowledgements can be counted — the "ACKwise"
+ * idea) but forgets identities, and invalidations are broadcast.
+ *
+ * This class is a pure protocol state machine. It owns no timing; the
+ * L2 controller turns the returned actions into NoC messages.
+ */
+#ifndef IMPSIM_COHERENCE_DIRECTORY_HPP
+#define IMPSIM_COHERENCE_DIRECTORY_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace impsim {
+
+/** Sentinel for "no core". */
+inline constexpr CoreId kNoCore = ~CoreId{0};
+
+/** Directory sharing states. */
+enum class DirState : std::uint8_t {
+    Uncached,  ///< No L1 holds the line.
+    Shared,    ///< One or more L1s hold it read-only.
+    Exclusive, ///< A single L1 holds it in E or M.
+};
+
+/** Per-line directory entry. */
+struct DirEntry
+{
+    DirState state = DirState::Uncached;
+    /** Precise sharer pointers (valid when !broadcast). */
+    std::uint32_t pointers[4] = {kNoCore, kNoCore, kNoCore, kNoCore};
+    std::uint16_t sharerCount = 0; ///< Exact count, even in broadcast.
+    bool broadcast = false;        ///< Pointer overflow occurred.
+    CoreId owner = kNoCore;        ///< Valid in Exclusive state.
+};
+
+/** What the L2 controller must do to satisfy a request. */
+struct DirAction
+{
+    /** State to grant the requester (S, E-as-exclusive or M). */
+    bool grantExclusive = false;
+    /** Owner whose copy must be fetched/downgraded first. */
+    CoreId downgrade = kNoCore;
+    /** Precise cores to invalidate (requester never included). */
+    std::vector<CoreId> invalidate;
+    /** True: invalidate by broadcast to all cores except requester. */
+    bool broadcastInvalidate = false;
+    /** Acks the controller must collect before granting. */
+    std::uint32_t acks = 0;
+};
+
+/**
+ * Directory for one L2 slice.
+ */
+class Directory
+{
+  public:
+    /**
+     * @param max_pointers ACKwise pointer budget (4 in the paper)
+     * @param num_cores    cores in the machine (broadcast fan-out)
+     */
+    Directory(std::uint32_t max_pointers, std::uint32_t num_cores);
+
+    /**
+     * Read request from @p req. Grants E when the line was uncached
+     * (silent-upgrade-friendly, like MESI), else S.
+     */
+    DirAction onGetS(Addr line, CoreId req);
+
+    /** Write (or upgrade) request from @p req; grants M. */
+    DirAction onGetX(Addr line, CoreId req);
+
+    /**
+     * L1 eviction notification. Dirty data handling is the caller's
+     * job; this only updates sharing state.
+     */
+    void onEvict(Addr line, CoreId core);
+
+    /**
+     * The L2 slice evicted the line: the entry is dropped and the
+     * caller must back-invalidate the returned sharers.
+     */
+    DirAction onL2Evict(Addr line);
+
+    /** Current entry (read-only inspection; Uncached default). */
+    DirEntry peek(Addr line) const;
+
+    /** Number of lines with directory state (for tests). */
+    std::size_t trackedLines() const { return entries_.size(); }
+
+  private:
+    DirEntry &entry(Addr line);
+    void addSharer(DirEntry &e, CoreId core);
+    void dropEntryIfIdle(Addr line);
+
+    std::uint32_t maxPointers_;
+    std::uint32_t numCores_;
+    std::unordered_map<Addr, DirEntry> entries_;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_COHERENCE_DIRECTORY_HPP

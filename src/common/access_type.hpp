@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Ground-truth classification of memory accesses.
+ *
+ * Workload kernels label each access they emit. Labels are used only
+ * for reporting (Fig 1 / Fig 2 breakdowns) and by the oracle
+ * prefetcher — the IMP hardware model never reads them.
+ */
+#ifndef IMPSIM_COMMON_ACCESS_TYPE_HPP
+#define IMPSIM_COMMON_ACCESS_TYPE_HPP
+
+#include <cstdint>
+
+namespace impsim {
+
+/** Access classes from Fig 1 of the paper. */
+enum class AccessType : std::uint8_t {
+    Stream = 0,   ///< Sequential scan of an index array (B[i]).
+    Indirect = 1, ///< Data-dependent access (A[B[i]] and deeper).
+    Other = 2,    ///< Everything else.
+};
+
+/** Number of AccessType values (array sizing). */
+inline constexpr int kNumAccessTypes = 3;
+
+/** Human-readable name for an AccessType. */
+constexpr const char *
+accessTypeName(AccessType t)
+{
+    switch (t) {
+      case AccessType::Stream:
+        return "stream";
+      case AccessType::Indirect:
+        return "indirect";
+      case AccessType::Other:
+      default:
+        return "other";
+    }
+}
+
+} // namespace impsim
+
+#endif // IMPSIM_COMMON_ACCESS_TYPE_HPP

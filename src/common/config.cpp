@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SystemConfig derived quantities and validation.
+ */
+#include "common/config.hpp"
+
+#include <cmath>
+
+#include "common/intmath.hpp"
+#include "common/logging.hpp"
+
+namespace impsim {
+
+std::uint32_t
+SystemConfig::meshDim() const
+{
+    std::uint32_t d = isqrt(numCores);
+    return d;
+}
+
+std::uint32_t
+SystemConfig::numMemControllers() const
+{
+    // Total DRAM bandwidth scales with sqrt(N) (paper §5.1): one
+    // 10 GB/s controller per mesh row.
+    return meshDim();
+}
+
+std::uint32_t
+SystemConfig::l2SliceBytes() const
+{
+    // Table 1: 2/sqrt(N) MB per tile, times the documented scale.
+    double mb = 2.0 / std::sqrt(static_cast<double>(numCores));
+    double bytes = mb * 1024.0 * 1024.0 * l2CapacityScale;
+    // Keep at least enough for a small set-associative slice.
+    std::uint64_t b = static_cast<std::uint64_t>(bytes);
+    std::uint64_t line_ways = std::uint64_t{kLineSize} * l2Ways;
+    if (b < line_ways)
+        b = line_ways;
+    // Round down to a power-of-two set count.
+    std::uint64_t sets = b / line_ways;
+    std::uint64_t pow2_sets = std::uint64_t{1} << floorLog2(sets);
+    return static_cast<std::uint32_t>(pow2_sets * line_ways);
+}
+
+void
+SystemConfig::validate() const
+{
+    std::uint32_t d = meshDim();
+    if (d * d != numCores)
+        IMPSIM_FATAL("numCores must be a perfect square (mesh NoC)");
+    if (!isPow2(l1SizeBytes) || !isPow2(l1Ways))
+        IMPSIM_FATAL("L1 geometry must be a power of two");
+    if (l1SizeBytes % (kLineSize * l1Ways) != 0)
+        IMPSIM_FATAL("L1 size must be divisible by ways*line");
+    if (!isPow2(gp.l1SectorBytes) || gp.l1SectorBytes > kLineSize)
+        IMPSIM_FATAL("L1 sector size must be a power of two <= line");
+    if (!isPow2(gp.l2SectorBytes) || gp.l2SectorBytes > kLineSize)
+        IMPSIM_FATAL("L2 sector size must be a power of two <= line");
+    if (imp.ptEntries == 0 || imp.ipdEntries == 0)
+        IMPSIM_FATAL("IMP tables must have at least one entry");
+    if (imp.maxPrefetchDistance == 0)
+        IMPSIM_FATAL("prefetch distance must be positive");
+    if (flitBytes == 0 || hopCycles == 0)
+        IMPSIM_FATAL("NoC parameters must be positive");
+    if (dramBytesPerCycle <= 0.0)
+        IMPSIM_FATAL("DRAM bandwidth must be positive");
+}
+
+} // namespace impsim

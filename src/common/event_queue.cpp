@@ -1,0 +1,5 @@
+/**
+ * @file
+ * Out-of-line anchor for EventQueue (header-only implementation).
+ */
+#include "common/event_queue.hpp"

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global priority queue of (tick, sequence, callback). Ties on
+ * the same tick fire in scheduling order, which makes whole-system runs
+ * deterministic.
+ */
+#ifndef IMPSIM_COMMON_EVENT_QUEUE_HPP
+#define IMPSIM_COMMON_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+
+namespace impsim {
+
+/** Callback invoked when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Tick-ordered event queue driving the whole simulation.
+ *
+ * Components schedule callbacks at absolute ticks; System::run() pops
+ * until the queue drains or a tick limit is hit.
+ */
+class EventQueue
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Total events executed so far (for perf diagnostics). */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Schedules @p fn at absolute tick @p when.
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, EventFn fn)
+    {
+        IMPSIM_CHECK(when >= now_, "event scheduled in the past");
+        queue_.push(Item{when, nextSeq_++, std::move(fn)});
+    }
+
+    /** Schedules @p fn @p delta ticks from now. */
+    void
+    scheduleAfter(Tick delta, EventFn fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /**
+     * Runs events until the queue is empty or now() exceeds @p limit.
+     * @return true if the queue drained, false if the limit was hit.
+     */
+    bool
+    run(Tick limit = kNoTick)
+    {
+        while (!queue_.empty()) {
+            if (queue_.top().when > limit)
+                return false;
+            // Move the callback out before popping so the callback may
+            // itself schedule (which can reallocate the heap).
+            Item item = std::move(const_cast<Item &>(queue_.top()));
+            queue_.pop();
+            now_ = item.when;
+            ++executed_;
+            item.fn();
+        }
+        return true;
+    }
+
+    /** Executes at most one event; returns false if queue is empty. */
+    bool
+    step()
+    {
+        if (queue_.empty())
+            return false;
+        Item item = std::move(const_cast<Item &>(queue_.top()));
+        queue_.pop();
+        now_ = item.when;
+        ++executed_;
+        item.fn();
+        return true;
+    }
+
+    /** Resets time and drops all pending events. */
+    void
+    reset()
+    {
+        queue_ = {};
+        now_ = 0;
+        nextSeq_ = 0;
+        executed_ = 0;
+    }
+
+  private:
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+
+        bool
+        operator>(const Item &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_COMMON_EVENT_QUEUE_HPP

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sparse page-backed functional memory.
+ */
+#include "common/func_mem.hpp"
+
+#include "common/logging.hpp"
+
+namespace impsim {
+
+const FuncMem::Page *
+FuncMem::findPage(Addr page_base) const
+{
+    auto it = pages_.find(page_base);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+FuncMem::Page &
+FuncMem::getPage(Addr page_base)
+{
+    auto &slot = pages_[page_base];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+void
+FuncMem::read(Addr addr, void *out, std::uint32_t len) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        Addr page_base = addr & ~Addr{kPageBytes - 1};
+        std::uint32_t off = static_cast<std::uint32_t>(addr - page_base);
+        std::uint32_t chunk = std::min(len, kPageBytes - off);
+        if (const Page *p = findPage(page_base))
+            std::memcpy(dst, p->data() + off, chunk);
+        else
+            std::memset(dst, 0, chunk);
+        dst += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+FuncMem::write(Addr addr, const void *in, std::uint32_t len)
+{
+    auto *src = static_cast<const std::uint8_t *>(in);
+    while (len > 0) {
+        Addr page_base = addr & ~Addr{kPageBytes - 1};
+        std::uint32_t off = static_cast<std::uint32_t>(addr - page_base);
+        std::uint32_t chunk = std::min(len, kPageBytes - off);
+        std::memcpy(getPage(page_base).data() + off, src, chunk);
+        src += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+std::uint64_t
+FuncMem::loadIndex(Addr addr, std::uint32_t elem_bytes) const
+{
+    // Little-endian read of 1..8 bytes. Odd widths appear when a
+    // prefetcher guesses an element size from an observed stride.
+    if (elem_bytes > 8)
+        elem_bytes = 8;
+    if (elem_bytes == 0)
+        elem_bytes = 1;
+    std::uint64_t v = 0;
+    read(addr, &v, elem_bytes);
+    return v;
+}
+
+} // namespace impsim

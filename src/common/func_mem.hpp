@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional memory image.
+ *
+ * A sparse, page-backed byte store holding the *contents* of simulated
+ * memory. Workload kernels write index arrays here; IMP reads the same
+ * values the hardware would see in the cache, so pattern detection and
+ * multi-level chaining operate on real data, not oracle knowledge.
+ */
+#ifndef IMPSIM_COMMON_FUNC_MEM_HPP
+#define IMPSIM_COMMON_FUNC_MEM_HPP
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace impsim {
+
+/**
+ * Sparse byte-addressable memory. Reads of never-written locations
+ * return zero, mirroring zero-fill-on-demand pages.
+ */
+class FuncMem
+{
+  public:
+    static constexpr std::uint32_t kPageBytes = 4096;
+
+    /** Reads @p len bytes at @p addr into @p out (may cross pages). */
+    void read(Addr addr, void *out, std::uint32_t len) const;
+
+    /** Writes @p len bytes from @p in at @p addr (may cross pages). */
+    void write(Addr addr, const void *in, std::uint32_t len);
+
+    /** Typed load of a little-endian scalar. */
+    template <typename T>
+    T
+    load(Addr addr) const
+    {
+        T v{};
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    /** Typed store of a little-endian scalar. */
+    template <typename T>
+    void
+    store(Addr addr, T v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    /**
+     * Reads an unsigned index element of @p elem_bytes (1, 2, 4 or 8)
+     * at @p addr — the value IMP's IPD consumes.
+     */
+    std::uint64_t loadIndex(Addr addr, std::uint32_t elem_bytes) const;
+
+    /** Number of pages currently materialised. */
+    std::size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    const Page *findPage(Addr page_base) const;
+    Page &getPage(Addr page_base);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_COMMON_FUNC_MEM_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small integer math helpers used throughout the simulator.
+ */
+#ifndef IMPSIM_COMMON_INTMATH_HPP
+#define IMPSIM_COMMON_INTMATH_HPP
+
+#include <cstdint>
+
+namespace impsim {
+
+/** True iff @p v is a (nonzero) power of two. */
+constexpr bool isPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/** Floor of log2(v); @p v must be nonzero. */
+constexpr int floorLog2(std::uint64_t v)
+{
+    int n = 0;
+    while (v >>= 1)
+        ++n;
+    return n;
+}
+
+/** Ceiling of log2(v); @p v must be nonzero. */
+constexpr int ceilLog2(std::uint64_t v)
+{
+    return floorLog2(v) + (isPow2(v) ? 0 : 1);
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Rounds @p a up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t roundUp(std::uint64_t a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Integer square root (exact for perfect squares, floor otherwise). */
+constexpr std::uint32_t isqrt(std::uint64_t v)
+{
+    std::uint32_t r = 0;
+    while (std::uint64_t{r + 1} * (r + 1) <= v)
+        ++r;
+    return r;
+}
+
+} // namespace impsim
+
+#endif // IMPSIM_COMMON_INTMATH_HPP

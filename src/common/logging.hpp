@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's panic()/fatal().
+ *
+ * panic() flags simulator bugs (aborts); fatal() flags user/config
+ * errors (clean exit with an error code).
+ */
+#ifndef IMPSIM_COMMON_LOGGING_HPP
+#define IMPSIM_COMMON_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace impsim {
+
+/** Aborts with a message; use for internal invariant violations. */
+[[noreturn]] inline void
+panicAt(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+/** Exits with a message; use for invalid user configuration. */
+[[noreturn]] inline void
+fatalAt(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace impsim
+
+#define IMPSIM_PANIC(msg) ::impsim::panicAt(__FILE__, __LINE__, msg)
+#define IMPSIM_FATAL(msg) ::impsim::fatalAt(__FILE__, __LINE__, msg)
+
+/** Panic unless @p cond holds; always evaluated (unlike assert). */
+#define IMPSIM_CHECK(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            IMPSIM_PANIC(msg);                                              \
+    } while (0)
+
+#endif // IMPSIM_COMMON_LOGGING_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64).
+ *
+ * The simulator must be bit-reproducible across runs and platforms, so
+ * we avoid std::mt19937 seeding subtleties and libc rand() entirely.
+ */
+#ifndef IMPSIM_COMMON_RNG_HPP
+#define IMPSIM_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace impsim {
+
+/** SplitMix64: tiny, fast, high-quality 64-bit generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_COMMON_RNG_HPP

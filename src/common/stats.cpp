@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Statistics aggregation and derived-metric definitions.
+ */
+#include "common/stats.hpp"
+
+#include <cstdio>
+
+namespace impsim {
+
+void
+CoreStats::merge(const CoreStats &o)
+{
+    instructions += o.instructions;
+    memAccesses += o.memAccesses;
+    loads += o.loads;
+    stores += o.stores;
+    swPrefetches += o.swPrefetches;
+    if (o.finishTick > finishTick)
+        finishTick = o.finishTick;
+    for (int i = 0; i < kNumAccessTypes; ++i)
+        stallCycles[i] += o.stallCycles[i];
+    loadLatencySum += o.loadLatencySum;
+    loadLatencyCount += o.loadLatencyCount;
+}
+
+void
+CacheStats::merge(const CacheStats &o)
+{
+    hits += o.hits;
+    misses += o.misses;
+    sectorMisses += o.sectorMisses;
+    demandMerges += o.demandMerges;
+    retries += o.retries;
+    evictions += o.evictions;
+    writebacks += o.writebacks;
+    for (int i = 0; i < kNumAccessTypes; ++i) {
+        missesByType[i] += o.missesByType[i];
+        accessesByType[i] += o.accessesByType[i];
+    }
+    prefIssued += o.prefIssued;
+    prefIssuedIndirect += o.prefIssuedIndirect;
+    prefIssuedStream += o.prefIssuedStream;
+    prefUsefulFirstTouch += o.prefUsefulFirstTouch;
+    prefLate += o.prefLate;
+    prefUnused += o.prefUnused;
+}
+
+double
+CacheStats::coverage() const
+{
+    // Paper §6.1.1: misses captured by prefetches / overall misses.
+    // A "captured" miss is a demand access that found its line already
+    // prefetched (first touch) or in flight from a prefetch (late).
+    std::uint64_t captured = prefUsefulFirstTouch + prefLate;
+    std::uint64_t total = captured + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(captured) /
+                            static_cast<double>(total);
+}
+
+double
+CacheStats::accuracy() const
+{
+    // Paper §6.1.1: prefetched lines later accessed / total prefetches.
+    std::uint64_t used = prefUsefulFirstTouch + prefLate;
+    std::uint64_t judged = used + prefUnused;
+    return judged == 0 ? 0.0
+                       : static_cast<double>(used) /
+                             static_cast<double>(judged);
+}
+
+void
+NocStats::merge(const NocStats &o)
+{
+    messages += o.messages;
+    flits += o.flits;
+    flitHops += o.flitHops;
+    bytes += o.bytes;
+    queueCycles += o.queueCycles;
+}
+
+void
+DramStats::merge(const DramStats &o)
+{
+    reads += o.reads;
+    writes += o.writes;
+    bytesRead += o.bytesRead;
+    bytesWritten += o.bytesWritten;
+    rowHits += o.rowHits;
+    rowMisses += o.rowMisses;
+    queueCycles += o.queueCycles;
+}
+
+double
+SimStats::ipc() const
+{
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(core.instructions) /
+                             static_cast<double>(cycles);
+}
+
+double
+SimStats::avgLoadLatency() const
+{
+    return core.loadLatencyCount == 0
+               ? 0.0
+               : static_cast<double>(core.loadLatencySum) /
+                     static_cast<double>(core.loadLatencyCount);
+}
+
+std::uint64_t
+SimStats::l1MissOpportunities() const
+{
+    return l1.misses + l1.prefUsefulFirstTouch + l1.prefLate;
+}
+
+std::string
+fmtCell(double v, int width, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%*.*f", width, prec, v);
+    return buf;
+}
+
+} // namespace impsim

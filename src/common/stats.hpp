@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Simulation statistics.
+ *
+ * Plain counter structs, aggregated into SimStats at end of run. All
+ * derived metrics the paper reports (coverage, accuracy, normalised
+ * latency, traffic) are computed here so benches and tests share one
+ * definition.
+ */
+#ifndef IMPSIM_COMMON_STATS_HPP
+#define IMPSIM_COMMON_STATS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/access_type.hpp"
+#include "common/types.hpp"
+
+namespace impsim {
+
+/** Per-core execution counters. */
+struct CoreStats
+{
+    std::uint64_t instructions = 0;   ///< Committed (incl. non-memory).
+    std::uint64_t memAccesses = 0;    ///< Loads + stores.
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t swPrefetches = 0;   ///< Software prefetch instructions.
+    Tick finishTick = 0;              ///< Cycle the core retired its trace.
+    /** Load-stall cycles attributed to the blocking access's label. */
+    std::array<std::uint64_t, kNumAccessTypes> stallCycles{};
+    /** Sum / count of demand load latencies (cycles). */
+    std::uint64_t loadLatencySum = 0;
+    std::uint64_t loadLatencyCount = 0;
+
+    void merge(const CoreStats &o);
+};
+
+/** Per-L1 cache + prefetcher effectiveness counters. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;          ///< True misses (no prefetch help).
+    std::uint64_t sectorMisses = 0;    ///< Line present, sector invalid.
+    std::uint64_t demandMerges = 0;    ///< Merged into a demand fill.
+    std::uint64_t retries = 0;         ///< Replayed after an unusable fill.
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    /** Demand misses by ground-truth label (Fig 1). */
+    std::array<std::uint64_t, kNumAccessTypes> missesByType{};
+    std::array<std::uint64_t, kNumAccessTypes> accessesByType{};
+
+    // Prefetch effectiveness (Table 3).
+    std::uint64_t prefIssued = 0;       ///< Prefetch fills requested.
+    std::uint64_t prefIssuedIndirect = 0;
+    std::uint64_t prefIssuedStream = 0;
+    std::uint64_t prefUsefulFirstTouch = 0; ///< Demand hit a prefetched line.
+    std::uint64_t prefLate = 0;         ///< Demand merged into inflight pf.
+    std::uint64_t prefUnused = 0;       ///< Prefetched line evicted untouched.
+
+    void merge(const CacheStats &o);
+
+    /** Fraction of would-be misses covered by prefetching. */
+    double coverage() const;
+    /** Fraction of prefetched lines that were demanded before eviction. */
+    double accuracy() const;
+};
+
+/** NoC counters. */
+struct NocStats
+{
+    std::uint64_t messages = 0;
+    std::uint64_t flits = 0;
+    std::uint64_t flitHops = 0;   ///< Sum over messages of flits * hops.
+    std::uint64_t bytes = 0;      ///< Payload + header bytes.
+    std::uint64_t queueCycles = 0; ///< Total link queueing delay.
+
+    void merge(const NocStats &o);
+};
+
+/** DRAM counters. */
+struct DramStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t queueCycles = 0;
+
+    void merge(const DramStats &o);
+
+    std::uint64_t bytes() const { return bytesRead + bytesWritten; }
+};
+
+/** Whole-run snapshot: aggregate plus per-core detail. */
+struct SimStats
+{
+    Tick cycles = 0;          ///< Max finish tick over cores.
+    CoreStats core;           ///< Aggregated over cores.
+    CacheStats l1;            ///< Aggregated over L1s.
+    CacheStats l2;            ///< Aggregated over L2 slices.
+    NocStats noc;
+    DramStats dram;
+    std::vector<CoreStats> perCore;
+
+    /** Aggregate instructions / cycle over the whole machine. */
+    double ipc() const;
+    /** Average demand load latency in cycles. */
+    double avgLoadLatency() const;
+    /** Total L1 demand misses incl. prefetch-covered ones. */
+    std::uint64_t l1MissOpportunities() const;
+};
+
+/** Formats a fixed-width numeric cell for bench tables. */
+std::string fmtCell(double v, int width = 8, int prec = 2);
+
+} // namespace impsim
+
+#endif // IMPSIM_COMMON_STATS_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental types shared by every impsim module.
+ */
+#ifndef IMPSIM_COMMON_TYPES_HPP
+#define IMPSIM_COMMON_TYPES_HPP
+
+#include <cstdint>
+
+namespace impsim {
+
+/** Virtual address. The simulated machine has a 48-bit address space. */
+using Addr = std::uint64_t;
+
+/** Simulation time in core clock cycles (1 GHz in the paper). */
+using Tick = std::uint64_t;
+
+/** Core / tile identifier. */
+using CoreId = std::uint32_t;
+
+/** Number of bits in a simulated virtual address (paper §6.4). */
+inline constexpr int kAddrBits = 48;
+
+/** Cacheline size in bytes (Table 1). */
+inline constexpr std::uint32_t kLineSize = 64;
+
+/** log2(kLineSize). */
+inline constexpr int kLineBits = 6;
+
+/** Returns the cacheline-aligned base of @p a. */
+constexpr Addr lineAlign(Addr a) { return a & ~Addr{kLineSize - 1}; }
+
+/** Returns the cacheline number of @p a (address >> log2(line size)). */
+constexpr Addr lineOf(Addr a) { return a >> kLineBits; }
+
+/** Returns the byte offset of @p a within its cacheline. */
+constexpr std::uint32_t lineOffset(Addr a)
+{
+    return static_cast<std::uint32_t>(a & (kLineSize - 1));
+}
+
+/** An invalid / "no address" sentinel. */
+inline constexpr Addr kNoAddr = ~Addr{0};
+
+/** An invalid tick sentinel (events that never fire). */
+inline constexpr Tick kNoTick = ~Tick{0};
+
+} // namespace impsim
+
+#endif // IMPSIM_COMMON_TYPES_HPP

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Virtual-region bump allocator implementation.
+ */
+#include "common/virt_alloc.hpp"
+
+#include "common/intmath.hpp"
+#include "common/logging.hpp"
+
+namespace impsim {
+
+Addr
+VirtAlloc::alloc(const std::string &name, std::uint64_t size,
+                 std::uint64_t align)
+{
+    IMPSIM_CHECK(isPow2(align), "alignment must be a power of two");
+    IMPSIM_CHECK(size > 0, "zero-sized allocation");
+    Addr base = roundUp(next_, align);
+    // Leave a page gap so adjacent arrays never share a page; this
+    // mirrors real allocators and keeps IMP patterns distinct.
+    next_ = roundUp(base + size + 4096, 4096);
+    IMPSIM_CHECK(next_ < (Addr{1} << kAddrBits), "address space exhausted");
+    regions_.push_back(VirtRegion{name, base, size});
+    return base;
+}
+
+const VirtRegion *
+VirtAlloc::find(Addr a) const
+{
+    for (const auto &r : regions_) {
+        if (r.contains(a))
+            return &r;
+    }
+    return nullptr;
+}
+
+} // namespace impsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Virtual-region bump allocator.
+ *
+ * Workload kernels carve named arrays out of the simulated virtual
+ * address space. A generous inter-region gap keeps distinct arrays on
+ * distinct cachelines and pages, like a real malloc would.
+ */
+#ifndef IMPSIM_COMMON_VIRT_ALLOC_HPP
+#define IMPSIM_COMMON_VIRT_ALLOC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace impsim {
+
+/** One named allocation. */
+struct VirtRegion
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t size = 0;
+
+    /** True if @p a falls inside this region. */
+    bool
+    contains(Addr a) const
+    {
+        return a >= base && a < base + size;
+    }
+};
+
+/** Monotonic allocator over the simulated 48-bit space. */
+class VirtAlloc
+{
+  public:
+    /** @param start first address handed out (default: 256 MB mark). */
+    explicit VirtAlloc(Addr start = Addr{1} << 28)
+        : next_(start)
+    {}
+
+    /**
+     * Allocates @p size bytes aligned to @p align (power of two).
+     * @return base address of the region.
+     */
+    Addr alloc(const std::string &name, std::uint64_t size,
+               std::uint64_t align = kLineSize);
+
+    /** All regions allocated so far, in order. */
+    const std::vector<VirtRegion> &regions() const { return regions_; }
+
+    /** Region containing @p a, or nullptr. */
+    const VirtRegion *find(Addr a) const;
+
+  private:
+    Addr next_;
+    std::vector<VirtRegion> regions_;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_COMMON_VIRT_ALLOC_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * IMP's shift-based address generator (paper §3.2.1, Eq. 2).
+ *
+ * Coeff is restricted to small powers of two (and 1/8 for bit
+ * vectors), so ADDR(A[B[i]]) = (B[i] shift) + BaseAddr needs only a
+ * shifter and an adder. Negative shifts encode right shifts: shift -3
+ * is the Coeff = 1/8 bit-vector case.
+ */
+#ifndef IMPSIM_CORE_ADDR_GEN_HPP
+#define IMPSIM_CORE_ADDR_GEN_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace impsim {
+
+/** Applies a signed shift to an index value. */
+constexpr std::uint64_t
+applyShift(std::uint64_t index, std::int8_t shift)
+{
+    return shift >= 0 ? index << shift : index >> (-shift);
+}
+
+/** Eq. 2: predicted address of A[B[i]] from index value and pattern. */
+constexpr Addr
+indirectAddr(std::uint64_t index, std::int8_t shift, Addr base_addr)
+{
+    return base_addr + applyShift(index, shift);
+}
+
+/**
+ * Inverse used by the IPD: the BaseAddr candidate implied by pairing
+ * @p miss_addr with index value @p index under @p shift. Computed
+ * modulo 2^48 like the hardware's subtractor.
+ */
+constexpr Addr
+baseCandidate(Addr miss_addr, std::uint64_t index, std::int8_t shift)
+{
+    return (miss_addr - applyShift(index, shift)) &
+           ((Addr{1} << kAddrBits) - 1);
+}
+
+/**
+ * Element size in bytes implied by a shift (how many bytes of A one
+ * index step covers). The bit-vector shift touches single bytes.
+ */
+constexpr std::uint32_t
+coeffBytes(std::int8_t shift)
+{
+    return shift >= 0 ? (1u << shift) : 1u;
+}
+
+} // namespace impsim
+
+#endif // IMPSIM_CORE_ADDR_GEN_HPP

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Granularity Predictor implementation.
+ */
+#include "core/granularity_predictor.hpp"
+
+#include <bit>
+
+#include "cache/sector_cache.hpp"
+#include "common/logging.hpp"
+
+namespace impsim {
+
+GranularityPredictor::GranularityPredictor(const GpConfig &cfg,
+                                           std::uint32_t patterns,
+                                           std::uint64_t rng_seed)
+    : cfg_(cfg), sectorsPerLine_(kLineSize / cfg.l1SectorBytes),
+      rng_(rng_seed)
+{
+    entries_.resize(patterns);
+    for (auto &e : entries_)
+        e.samples.resize(cfg_.samples);
+}
+
+void
+GranularityPredictor::allocPattern(std::uint16_t pattern)
+{
+    IMPSIM_CHECK(pattern < entries_.size(), "GP pattern out of range");
+    Entry &e = entries_[pattern];
+    // Drop stale sample index entries.
+    for (auto &s : e.samples) {
+        if (s.used)
+            sampleIndex_.erase(s.lineAddr);
+        s = Entry::Sample{};
+    }
+    e.valid = true;
+    e.granu = sectorsPerLine_; // Start with full cachelines (§4.2).
+    e.minGranu = sectorsPerLine_;
+    e.totSectors = 0;
+    e.evictions = 0;
+}
+
+std::uint32_t
+GranularityPredictor::granuSectors(std::uint16_t pattern) const
+{
+    if (pattern >= entries_.size() || !entries_[pattern].valid)
+        return sectorsPerLine_;
+    return entries_[pattern].granu;
+}
+
+void
+GranularityPredictor::maybeSample(std::uint16_t pattern, Addr line_addr)
+{
+    if (pattern >= entries_.size() || !entries_[pattern].valid)
+        return;
+    Entry &e = entries_[pattern];
+    line_addr = lineAlign(line_addr);
+    if (sampleIndex_.count(line_addr))
+        return; // Already tracked (possibly by another pattern).
+    // Random sampling bounds hardware cost (§4.2); probability 1/2
+    // keeps the table warm while staying unbiased.
+    if (!rng_.chance(0.5))
+        return;
+    for (std::uint32_t i = 0; i < e.samples.size(); ++i) {
+        if (!e.samples[i].used) {
+            e.samples[i].used = true;
+            e.samples[i].lineAddr = line_addr;
+            e.samples[i].touchMask = 0;
+            sampleIndex_.emplace(line_addr, std::make_pair(pattern, i));
+            return;
+        }
+    }
+}
+
+void
+GranularityPredictor::onDemandTouch(Addr addr, std::uint32_t size)
+{
+    if (sampleIndex_.empty())
+        return;
+    auto it = sampleIndex_.find(lineAlign(addr));
+    if (it == sampleIndex_.end())
+        return;
+    auto [pattern, slot] = it->second;
+    Entry &e = entries_[pattern];
+    e.samples[slot].touchMask |= sectorMask(addr, size, cfg_.l1SectorBytes);
+}
+
+std::uint32_t
+GranularityPredictor::minConsecutiveRun(std::uint32_t mask)
+{
+    std::uint32_t best = 0;
+    std::uint32_t run = 0;
+    while (mask != 0 || run != 0) {
+        if (mask & 1) {
+            ++run;
+        } else if (run != 0) {
+            if (best == 0 || run < best)
+                best = run;
+            run = 0;
+        }
+        if (mask == 0)
+            break;
+        mask >>= 1;
+    }
+    if (run != 0 && (best == 0 || run < best))
+        best = run;
+    return best;
+}
+
+void
+GranularityPredictor::onEvict(Addr line_addr)
+{
+    if (sampleIndex_.empty())
+        return;
+    auto it = sampleIndex_.find(lineAlign(line_addr));
+    if (it == sampleIndex_.end())
+        return;
+    auto [pattern, slot] = it->second;
+    sampleIndex_.erase(it);
+    Entry &e = entries_[pattern];
+    Entry::Sample &s = e.samples[slot];
+
+    std::uint32_t run = minConsecutiveRun(s.touchMask);
+    if (run != 0 && run < e.minGranu)
+        e.minGranu = run;
+    e.totSectors += std::popcount(s.touchMask);
+    e.evictions += 1;
+    s = Entry::Sample{};
+
+    if (e.evictions >= cfg_.samples)
+        applyAlgorithm1(e);
+}
+
+void
+GranularityPredictor::applyAlgorithm1(Entry &e)
+{
+    // Algorithm 1 (paper §4.2). The +1 terms model per-request
+    // headers: full-line fetches pay one header per line, partial
+    // fetches one header per min_granu-sized request.
+    std::uint64_t cost_full =
+        std::uint64_t{cfg_.samples} * (sectorsPerLine_ + 1);
+    std::uint64_t cost_partial =
+        e.totSectors +
+        (e.minGranu == 0 ? 0 : e.totSectors / e.minGranu);
+    if (cost_full <= cost_partial) {
+        e.granu = sectorsPerLine_;
+    } else {
+        e.granu = e.minGranu == 0 ? 1 : e.minGranu;
+    }
+    e.evictions = 0;
+    e.totSectors = 0;
+    e.minGranu = sectorsPerLine_;
+}
+
+const GranularityPredictor::Entry &
+GranularityPredictor::entry(std::uint16_t pattern) const
+{
+    IMPSIM_CHECK(pattern < entries_.size(), "GP pattern out of range");
+    return entries_[pattern];
+}
+
+} // namespace impsim

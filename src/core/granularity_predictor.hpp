@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Partial-cacheline Granularity Predictor (paper §4.2, Fig 8,
+ * Algorithm 1).
+ *
+ * Per indirect pattern, the GP samples a few prefetched lines, records
+ * which sectors demand accesses touch, and on eviction accumulates the
+ * total touched sectors and the minimum consecutive-touched-run
+ * length. After N sampled evictions it compares the header-inclusive
+ * cost of full-line vs partial fetches (Algorithm 1) and sets the
+ * pattern's fetch granularity.
+ */
+#ifndef IMPSIM_CORE_GRANULARITY_PREDICTOR_HPP
+#define IMPSIM_CORE_GRANULARITY_PREDICTOR_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace impsim {
+
+/** The predictor; one entry per Prefetch Table pattern. */
+class GranularityPredictor
+{
+  public:
+    /** Per-pattern state (exposed for tests and the storage bench). */
+    struct Entry
+    {
+        bool valid = false;
+        std::uint32_t granu = 0;     ///< Current prediction, sectors.
+        std::uint32_t minGranu = 0;  ///< Min run seen this epoch.
+        std::uint32_t totSectors = 0;
+        std::uint32_t evictions = 0;
+        struct Sample
+        {
+            bool used = false;
+            Addr lineAddr = 0;
+            std::uint32_t touchMask = 0;
+        };
+        std::vector<Sample> samples;
+    };
+
+    GranularityPredictor(const GpConfig &cfg, std::uint32_t patterns,
+                         std::uint64_t rng_seed = 0x6d70);
+
+    /** Sectors per line tracked by this GP (L1 granularity). */
+    std::uint32_t sectorsPerLine() const { return sectorsPerLine_; }
+
+    /** (Re)initialises a pattern to full-line fetches (§4.2). */
+    void allocPattern(std::uint16_t pattern);
+
+    /** Current predicted fetch size, in L1 sectors. */
+    std::uint32_t granuSectors(std::uint16_t pattern) const;
+
+    /** Called when an indirect prefetch is issued for @p pattern. */
+    void maybeSample(std::uint16_t pattern, Addr line_addr);
+
+    /** Called on every demand access (touch recording). */
+    void onDemandTouch(Addr addr, std::uint32_t size);
+
+    /** Called when any L1 line is evicted or invalidated. */
+    void onEvict(Addr line_addr);
+
+    /**
+     * Length of the shortest maximal run of consecutive set bits
+     * (0 for an empty mask). Exposed for unit tests.
+     */
+    static std::uint32_t minConsecutiveRun(std::uint32_t mask);
+
+    /** Entry inspection for tests. */
+    const Entry &entry(std::uint16_t pattern) const;
+
+  private:
+    void applyAlgorithm1(Entry &e);
+
+    GpConfig cfg_;
+    std::uint32_t sectorsPerLine_;
+    std::vector<Entry> entries_;
+    /** line -> (pattern, sample slot) for O(1) touch lookups. */
+    std::unordered_map<Addr, std::pair<std::uint16_t, std::uint32_t>>
+        sampleIndex_;
+    Rng rng_;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_CORE_GRANULARITY_PREDICTOR_HPP

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Indirect Pattern Detector implementation.
+ */
+#include "core/ipd.hpp"
+
+#include "core/addr_gen.hpp"
+
+namespace impsim {
+
+Ipd::Ipd(const ImpConfig &cfg)
+    : cfg_(cfg)
+{
+    entries_.resize(cfg_.ipdEntries);
+    for (auto &e : entries_)
+        e.base.assign(cfg_.shifts.size() * cfg_.baseAddrSlots, 0);
+}
+
+Addr &
+Ipd::baseAt(Entry &e, std::size_t shift_idx, std::size_t slot)
+{
+    return e.base[shift_idx * cfg_.baseAddrSlots + slot];
+}
+
+Ipd::Entry *
+Ipd::find(std::int16_t pt_id, IndType purpose)
+{
+    for (auto &e : entries_) {
+        if (e.valid && e.ptId == pt_id && e.purpose == purpose)
+            return &e;
+    }
+    return nullptr;
+}
+
+Ipd::FeedResult
+Ipd::feedIndex(std::int16_t pt_id, IndType purpose, std::uint64_t value)
+{
+    if (Entry *e = find(pt_id, purpose)) {
+        if (!e->hasIdx2) {
+            if (value == e->idx1)
+                return FeedResult::Ignored; // Degenerate pair.
+            e->idx2 = value;
+            e->hasIdx2 = true;
+            return FeedResult::SecondIndex;
+        }
+        if (value == e->idx2 || value == e->idx1)
+            return FeedResult::Ignored;
+        // Third distinct index and still no match: give up (§3.2.2).
+        e->valid = false;
+        return FeedResult::Failed;
+    }
+
+    for (auto &e : entries_) {
+        if (!e.valid) {
+            e.valid = true;
+            e.ptId = pt_id;
+            e.purpose = purpose;
+            e.idx1 = value;
+            e.idx2 = 0;
+            e.hasIdx2 = false;
+            e.missCount = 0;
+            return FeedResult::Allocated;
+        }
+    }
+    return FeedResult::NoSlot;
+}
+
+std::vector<IpdDetection>
+Ipd::onMiss(Addr miss_addr)
+{
+    std::vector<IpdDetection> found;
+    for (auto &e : entries_) {
+        if (!e.valid)
+            continue;
+        if (!e.hasIdx2) {
+            // Record BaseAddr candidates for the first few misses
+            // following idx1.
+            if (e.missCount < cfg_.baseAddrSlots) {
+                for (std::size_t s = 0; s < cfg_.shifts.size(); ++s) {
+                    baseAt(e, s, e.missCount) =
+                        baseCandidate(miss_addr, e.idx1, cfg_.shifts[s]);
+                }
+                ++e.missCount;
+            }
+            continue;
+        }
+        // Pair this miss with idx2 and compare against the idx1 array.
+        for (std::size_t s = 0; s < cfg_.shifts.size(); ++s) {
+            Addr cand = baseCandidate(miss_addr, e.idx2, cfg_.shifts[s]);
+            for (std::size_t k = 0; k < e.missCount; ++k) {
+                if (baseAt(e, s, k) == cand) {
+                    found.push_back(IpdDetection{
+                        e.ptId, e.purpose, cfg_.shifts[s], cand});
+                    e.valid = false; // Release on success (§3.2.2).
+                    break;
+                }
+            }
+            if (!e.valid)
+                break;
+        }
+    }
+    return found;
+}
+
+bool
+Ipd::tracking(std::int16_t pt_id, IndType purpose) const
+{
+    for (const auto &e : entries_) {
+        if (e.valid && e.ptId == pt_id && e.purpose == purpose)
+            return true;
+    }
+    return false;
+}
+
+void
+Ipd::releaseFor(std::int16_t pt_id)
+{
+    for (auto &e : entries_) {
+        if (e.valid && e.ptId == pt_id)
+            e.valid = false;
+    }
+}
+
+std::uint32_t
+Ipd::activeEntries() const
+{
+    std::uint32_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace impsim

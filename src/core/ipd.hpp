@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Indirect Pattern Detector (paper §3.2.2, Fig 4).
+ *
+ * Each IPD entry tries to solve Eq. 2 for one candidate stream: it
+ * remembers the first index value (idx1) and, for each of the first
+ * few cache misses that follow, the BaseAddr each candidate shift
+ * would imply. When the next index value (idx2) arrives, later misses
+ * are paired with idx2 and their implied BaseAddrs compared against
+ * the stored array — a match means two (index, miss-address) pairs
+ * agree on (shift, BaseAddr) and the pattern is detected. If a third
+ * index arrives first, detection failed and the entry is released.
+ */
+#ifndef IMPSIM_CORE_IPD_HPP
+#define IMPSIM_CORE_IPD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "core/prefetch_table.hpp" // IndType, kNoEntry
+
+namespace impsim {
+
+/** A successful detection. */
+struct IpdDetection
+{
+    std::int16_t ptId = kNoEntry; ///< Stream (or parent) PT entry.
+    IndType purpose = IndType::Primary;
+    std::int8_t shift = 0;
+    Addr baseAddr = 0;
+};
+
+/** The detector. */
+class Ipd
+{
+  public:
+    /** Outcome of feeding one index value. */
+    enum class FeedResult {
+        Allocated,   ///< New entry created, idx1 recorded.
+        SecondIndex, ///< idx2 recorded; detection now possible.
+        Failed,      ///< Third index without a match; entry released.
+        NoSlot,      ///< Table full; nothing recorded.
+        Ignored,     ///< Duplicate value; no state change.
+    };
+
+    explicit Ipd(const ImpConfig &cfg);
+
+    /**
+     * Feeds the index value of a candidate stream access for
+     * (@p pt_id, @p purpose).
+     */
+    FeedResult feedIndex(std::int16_t pt_id, IndType purpose,
+                         std::uint64_t value);
+
+    /**
+     * Feeds a demand miss; every active entry pairs it per Fig 4.
+     * @return detections triggered by this miss (entries released).
+     */
+    std::vector<IpdDetection> onMiss(Addr miss_addr);
+
+    /** True if an entry is tracking (@p pt_id, @p purpose). */
+    bool tracking(std::int16_t pt_id, IndType purpose) const;
+
+    /** Releases any entry belonging to @p pt_id. */
+    void releaseFor(std::int16_t pt_id);
+
+    /** Number of active entries (tests). */
+    std::uint32_t activeEntries() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::int16_t ptId = kNoEntry;
+        IndType purpose = IndType::Primary;
+        std::uint64_t idx1 = 0;
+        std::uint64_t idx2 = 0;
+        bool hasIdx2 = false;
+        std::uint8_t missCount = 0; ///< Misses paired with idx1.
+        /** baseaddr[shift][slot] candidate array (Fig 4). */
+        std::vector<Addr> base;
+    };
+
+    Entry *find(std::int16_t pt_id, IndType purpose);
+    Addr &baseAt(Entry &e, std::size_t shift_idx, std::size_t slot);
+
+    ImpConfig cfg_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_CORE_IPD_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Oracle prefetcher implementation.
+ */
+#include "core/perfect_prefetcher.hpp"
+
+namespace impsim {
+
+PerfectPrefetcher::PerfectPrefetcher(PrefetchHost &host,
+                                     const CoreTrace &trace,
+                                     std::uint32_t lookahead_accesses,
+                                     std::uint32_t max_inflight)
+    : host_(host), trace_(trace), lookahead_(lookahead_accesses),
+      maxInflight_(max_inflight)
+{}
+
+void
+PerfectPrefetcher::onAccess(const AccessInfo &)
+{
+    ++demandsSeen_;
+    pump();
+}
+
+void
+PerfectPrefetcher::onPrefetchFill(Addr, std::uint16_t)
+{
+    if (inflight_ > 0)
+        --inflight_;
+    pump();
+}
+
+void
+PerfectPrefetcher::pump()
+{
+    const auto &acc = trace_.accesses;
+    while (frontier_ < acc.size() && inflight_ < maxInflight_ &&
+           frontierDemands_ < demandsSeen_ + lookahead_) {
+        const MemAccess &a = acc[frontier_];
+        ++frontier_;
+        if (a.isSwPrefetch())
+            continue; // Oracle traces carry no software prefetches.
+        ++frontierDemands_;
+        if (frontierDemands_ <= demandsSeen_)
+            continue; // Past or current access: nothing to prefetch.
+        Addr line = lineAlign(a.addr);
+        if (host_.linePresent(line))
+            continue;
+        PrefetchRequest req;
+        req.addr = line;
+        req.bytes = kLineSize;
+        req.exclusive = a.isWrite();
+        req.indirect = a.type == AccessType::Indirect;
+        if (host_.issuePrefetch(req))
+            ++inflight_;
+    }
+}
+
+} // namespace impsim

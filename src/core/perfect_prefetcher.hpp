@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Perfect (oracle) prefetcher — the paper's "Perfect Prefetching"
+ * configuration (§5.4).
+ *
+ * Looks into the core's own future trace and issues each upcoming
+ * access's line well before the demand arrives, bounded by a lookahead
+ * window and an in-flight cap. Latency is hidden perfectly unless NoC
+ * or DRAM bandwidth saturates — making this the bandwidth-limited
+ * upper bound of §2.2.
+ */
+#ifndef IMPSIM_CORE_PERFECT_PREFETCHER_HPP
+#define IMPSIM_CORE_PERFECT_PREFETCHER_HPP
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "cpu/trace.hpp"
+#include "core/prefetcher.hpp"
+
+namespace impsim {
+
+/** The oracle. */
+class PerfectPrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param trace the exact trace the attached core will replay.
+     */
+    PerfectPrefetcher(PrefetchHost &host, const CoreTrace &trace,
+                      std::uint32_t lookahead_accesses,
+                      std::uint32_t max_inflight);
+
+    void onAccess(const AccessInfo &info) override;
+    void onPrefetchFill(Addr line_addr, std::uint16_t pattern_id) override;
+
+  private:
+    void pump();
+
+    PrefetchHost &host_;
+    const CoreTrace &trace_;
+    std::uint32_t lookahead_;
+    std::uint32_t maxInflight_;
+
+    std::uint64_t demandsSeen_ = 0;
+    std::size_t frontier_ = 0;          ///< Next trace entry to prefetch.
+    std::uint64_t frontierDemands_ = 0; ///< Demand accesses before it.
+    std::uint32_t inflight_ = 0;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_CORE_PERFECT_PREFETCHER_HPP

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Prefetch Table implementation.
+ */
+#include "core/prefetch_table.hpp"
+
+#include "common/logging.hpp"
+
+namespace impsim {
+
+PrefetchTable::PrefetchTable(const ImpConfig &cfg,
+                             const StreamConfig &stream_cfg)
+    : cfg_(cfg), streamCfg_(stream_cfg)
+{
+    entries_.resize(cfg_.ptEntries);
+}
+
+std::int16_t
+PrefetchTable::findByPc(std::uint32_t pc) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const PtEntry &e = entries_[i];
+        if (e.valid && !e.secondary && e.pc == pc)
+            return static_cast<std::int16_t>(i);
+    }
+    return kNoEntry;
+}
+
+void
+PrefetchTable::clearEntry(PtEntry &e)
+{
+    // Unlink any secondaries hanging off this entry.
+    if (e.nextWay != kNoEntry)
+        release(e.nextWay);
+    if (e.nextLevel != kNoEntry)
+        release(e.nextLevel);
+    std::uint64_t lru = e.lru;
+    e = PtEntry{};
+    e.lru = lru;
+}
+
+std::int16_t
+PrefetchTable::allocate(std::uint32_t pc, Addr addr)
+{
+    // Prefer an invalid frame; otherwise evict the LRU entry that is
+    // not an active secondary (secondaries die with their parents).
+    std::int16_t victim = kNoEntry;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        PtEntry &e = entries_[i];
+        if (!e.valid) {
+            victim = static_cast<std::int16_t>(i);
+            break;
+        }
+        if (e.secondary)
+            continue;
+        if (victim == kNoEntry || e.lru < entries_[victim].lru)
+            victim = static_cast<std::int16_t>(i);
+    }
+    if (victim == kNoEntry)
+        return kNoEntry; // Pathological: every entry is secondary.
+
+    PtEntry &e = entries_[victim];
+    if (e.valid)
+        clearEntry(e);
+    e.valid = true;
+    e.secondary = false;
+    e.pc = pc;
+    e.lastAddr = addr;
+    e.stride = 0;
+    e.streamHits = 0;
+    e.nextPrefetchLine = lineOf(addr) + 1;
+    e.lru = ++lruClock_;
+    return victim;
+}
+
+StreamObservation
+PrefetchTable::observe(std::uint32_t pc, Addr addr)
+{
+    StreamObservation obs;
+    std::int16_t id = findByPc(pc);
+    if (id == kNoEntry) {
+        obs.entry = allocate(pc, addr);
+        return obs;
+    }
+
+    PtEntry &e = entries_[id];
+    e.lru = ++lruClock_;
+    obs.entry = id;
+
+    std::int64_t delta = static_cast<std::int64_t>(addr) -
+                         static_cast<std::int64_t>(e.lastAddr);
+    std::int64_t max_stride = streamCfg_.maxStrideBytes;
+
+    if (delta == 0)
+        return obs; // Same element re-read; no state change.
+
+    if (e.stride == 0) {
+        // Learning: accept any small nonzero stride.
+        if (delta >= -max_stride && delta <= max_stride) {
+            e.stride = static_cast<std::int32_t>(delta);
+            e.streamHits = 1;
+            obs.streamHit = true;
+        } else {
+            e.lastAddr = addr;
+            return obs;
+        }
+        e.lastAddr = addr;
+        obs.confirmed = e.streamHits >= cfg_.streamThreshold;
+        return obs;
+    }
+
+    if (delta == e.stride) {
+        // Cap low enough that a stream-turned-random PC decays out of
+        // confirmed state quickly under the resync penalty.
+        if (e.streamHits < 64)
+            ++e.streamHits;
+        e.lastAddr = addr;
+        obs.streamHit = true;
+        obs.confirmed = e.streamHits >= cfg_.streamThreshold;
+        return obs;
+    }
+
+    // Discontinuity. §3.3.1: with PC resync the entry keeps its learnt
+    // stride and indirect pattern and just moves its position (the
+    // next outer-loop iteration); without it, the pattern re-learns
+    // from scratch. The hit count decays on every jump so that a PC
+    // making *random* accesses (which occasionally luck into a stride
+    // match) loses stream status, while genuine nested loops — several
+    // stride hits between jumps — stay confirmed.
+    if (cfg_.pcResync) {
+        e.lastAddr = addr;
+        e.streamHits = e.streamHits >= 2 ? e.streamHits - 2 : 0;
+        obs.resynced = true;
+        obs.confirmed = e.streamHits >= cfg_.streamThreshold;
+        if (obs.confirmed)
+            e.nextPrefetchLine = lineOf(addr) + 1;
+    } else {
+        e.lastAddr = addr;
+        e.stride = 0;
+        e.streamHits = 0;
+        e.indEnable = false;
+        e.indexValid = false;
+        if (e.nextWay != kNoEntry) {
+            release(e.nextWay);
+            e.nextWay = kNoEntry;
+        }
+        if (e.nextLevel != kNoEntry) {
+            release(e.nextLevel);
+            e.nextLevel = kNoEntry;
+        }
+    }
+    return obs;
+}
+
+std::int16_t
+PrefetchTable::allocSecondary(std::int16_t parent, IndType type)
+{
+    IMPSIM_CHECK(parent >= 0 && parent < static_cast<int>(entries_.size()),
+                 "bad parent entry");
+    // Find an invalid frame or the LRU entry that is neither the
+    // parent chain nor an enabled indirect pattern.
+    std::int16_t victim = kNoEntry;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        PtEntry &e = entries_[i];
+        if (static_cast<std::int16_t>(i) == parent)
+            continue;
+        if (!e.valid) {
+            victim = static_cast<std::int16_t>(i);
+            break;
+        }
+        if (e.secondary || e.indEnable)
+            continue;
+        if (victim == kNoEntry || e.lru < entries_[victim].lru)
+            victim = static_cast<std::int16_t>(i);
+    }
+    if (victim == kNoEntry)
+        return kNoEntry;
+
+    PtEntry &e = entries_[victim];
+    if (e.valid)
+        clearEntry(e);
+    e.valid = true;
+    e.secondary = true;
+    e.indType = type;
+    e.prev = parent;
+    e.lru = ++lruClock_;
+    return victim;
+}
+
+void
+PrefetchTable::release(std::int16_t id)
+{
+    if (id == kNoEntry)
+        return;
+    PtEntry &e = entries_[id];
+    if (!e.valid)
+        return;
+    if (e.prev != kNoEntry && entries_[e.prev].valid) {
+        if (entries_[e.prev].nextWay == id)
+            entries_[e.prev].nextWay = kNoEntry;
+        if (entries_[e.prev].nextLevel == id)
+            entries_[e.prev].nextLevel = kNoEntry;
+    }
+    clearEntry(e);
+    e.valid = false;
+}
+
+} // namespace impsim

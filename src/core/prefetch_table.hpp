@@ -1,0 +1,147 @@
+/**
+ * @file
+ * IMP's Prefetch Table (paper §3.2.3, Figs 5 and 6).
+ *
+ * Each entry combines a Stream Table part (pc, last address, stride,
+ * hit count — a conventional PC-keyed stream prefetcher) with an
+ * Indirect Table part (enable, shift, BaseAddr, last index, confidence
+ * counter) plus the linkage fields of Fig 6 for multi-way and
+ * multi-level secondary indirections.
+ */
+#ifndef IMPSIM_CORE_PREFETCH_TABLE_HPP
+#define IMPSIM_CORE_PREFETCH_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace impsim {
+
+/** Secondary-indirection role of a PT entry (Fig 6). */
+enum class IndType : std::uint8_t {
+    None = 0,       ///< Indirect part inactive.
+    Primary = 1,    ///< Root of an indirection tree.
+    SecondWay = 2,  ///< Shares the parent's index value.
+    SecondLevel = 3,///< Indexes with the parent's loaded value.
+};
+
+/** Sentinel for "no linked entry". */
+inline constexpr std::int16_t kNoEntry = -1;
+
+/** One Prefetch Table entry. */
+struct PtEntry
+{
+    // ---- Stream Table part (Fig 5 left) ----
+    bool valid = false;
+    bool secondary = false;  ///< Dedicated to a secondary indirection:
+                             ///< no stream part of its own.
+    std::uint32_t pc = 0;
+    Addr lastAddr = 0;
+    std::int32_t stride = 0; ///< Bytes per element; sign = direction.
+    std::uint32_t streamHits = 0;
+    Addr nextPrefetchLine = 0; ///< Stream-prefetch frontier.
+    std::uint64_t lru = 0;
+
+    // ---- Indirect Table part (Fig 5 right) ----
+    bool indEnable = false;
+    std::int8_t shift = 0;
+    Addr baseAddr = 0;
+    std::uint64_t index = 0;   ///< Last observed index value.
+    bool indexValid = false;   ///< index awaiting its indirect match.
+    Addr indexAddr = 0;        ///< Where the index was read from.
+    std::uint32_t indHits = 0; ///< Saturating confidence counter.
+    std::uint32_t distance = 1;///< Current prefetch distance (ramps).
+
+    // ---- Secondary indirection links (Fig 6) ----
+    IndType indType = IndType::None;
+    std::int16_t nextWay = kNoEntry;
+    std::int16_t nextLevel = kNoEntry;
+    std::int16_t prev = kNoEntry;
+    std::uint8_t waysUsed = 1;   ///< Indirect ways rooted here.
+    std::uint8_t levelsUsed = 1; ///< Indirect levels rooted here.
+
+    // ---- Read/write predictor (§3.2.3) ----
+    std::uint8_t writeCtr = 0; ///< 2-bit saturating counter.
+
+    // ---- IPD back-off state (§3.2.2) ----
+    std::uint32_t backoff = 0;     ///< Next back-off duration.
+    std::uint32_t backoffLeft = 0; ///< Index accesses until retry.
+
+    /** Element size of the index stream in bytes. */
+    std::uint32_t
+    elemBytes() const
+    {
+        std::int32_t s = stride < 0 ? -stride : stride;
+        return s == 0 ? 4u : static_cast<std::uint32_t>(s > 8 ? 8 : s);
+    }
+};
+
+/** Result of feeding one access to the stream tables. */
+struct StreamObservation
+{
+    std::int16_t entry = kNoEntry; ///< PT entry for this PC.
+    bool streamHit = false;        ///< Followed the established stride.
+    bool confirmed = false;        ///< Stream hit count over threshold.
+    bool resynced = false;         ///< Nested-loop position update.
+};
+
+/**
+ * The Prefetch Table: fixed-size, LRU-allocated.
+ */
+class PrefetchTable
+{
+  public:
+    PrefetchTable(const ImpConfig &cfg, const StreamConfig &stream_cfg);
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+
+    PtEntry &at(std::int16_t id) { return entries_[id]; }
+    const PtEntry &at(std::int16_t id) const { return entries_[id]; }
+
+    /**
+     * Feeds a demand access to the stream-table halves: finds or
+     * allocates the PC's entry, detects stride continuation, applies
+     * the §3.3.1 nested-loop resync when the position jumps.
+     */
+    StreamObservation observe(std::uint32_t pc, Addr addr);
+
+    /**
+     * Allocates an entry for a secondary indirection (evicting the LRU
+     * non-secondary, non-enabled candidate). Returns kNoEntry if
+     * nothing suitable is free.
+     */
+    std::int16_t allocSecondary(std::int16_t parent, IndType type);
+
+    /** Releases @p id and unlinks it from its tree. */
+    void release(std::int16_t id);
+
+    /** Iterates valid entries. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].valid)
+                fn(static_cast<std::int16_t>(i), entries_[i]);
+        }
+    }
+
+  private:
+    std::int16_t findByPc(std::uint32_t pc) const;
+    std::int16_t allocate(std::uint32_t pc, Addr addr);
+    void clearEntry(PtEntry &e);
+
+    ImpConfig cfg_;
+    StreamConfig streamCfg_;
+    std::vector<PtEntry> entries_;
+    std::uint64_t lruClock_ = 0;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_CORE_PREFETCH_TABLE_HPP

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Barrier implementation.
+ */
+#include "cpu/barrier.hpp"
+
+#include "common/logging.hpp"
+
+namespace impsim {
+
+Barrier::Barrier(EventQueue &eq, std::uint32_t participants)
+    : eq_(eq), participants_(participants)
+{
+    IMPSIM_CHECK(participants_ > 0, "barrier needs participants");
+    waiting_.reserve(participants_);
+}
+
+void
+Barrier::arrive(std::function<void()> resume)
+{
+    waiting_.push_back(std::move(resume));
+    IMPSIM_CHECK(waiting_.size() <= participants_,
+                 "barrier over-subscribed");
+    if (waiting_.size() == participants_) {
+        ++generation_;
+        auto batch = std::move(waiting_);
+        waiting_.clear();
+        eq_.scheduleAfter(1, [batch = std::move(batch)]() {
+            for (const auto &fn : batch)
+                fn();
+        });
+    }
+}
+
+} // namespace impsim

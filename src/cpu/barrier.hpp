@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Sense-reversing barrier for trace-driven cores.
+ */
+#ifndef IMPSIM_CPU_BARRIER_HPP
+#define IMPSIM_CPU_BARRIER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/event_queue.hpp"
+
+namespace impsim {
+
+/**
+ * All-core synchronisation point. When the last participant arrives,
+ * every waiter resumes on the next tick (one cycle of release
+ * latency, standing in for the flag broadcast).
+ */
+class Barrier
+{
+  public:
+    Barrier(EventQueue &eq, std::uint32_t participants);
+
+    /**
+     * Registers arrival; @p resume is called once the barrier opens.
+     * A core must not arrive twice in the same generation.
+     */
+    void arrive(std::function<void()> resume);
+
+    /** Completed barrier generations (for tests). */
+    std::uint64_t generation() const { return generation_; }
+
+  private:
+    EventQueue &eq_;
+    std::uint32_t participants_;
+    std::vector<std::function<void()>> waiting_;
+    std::uint64_t generation_ = 0;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_CPU_BARRIER_HPP

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Common interface for trace-driven core models.
+ */
+#ifndef IMPSIM_CPU_CORE_IFACE_HPP
+#define IMPSIM_CPU_CORE_IFACE_HPP
+
+#include "common/stats.hpp"
+
+namespace impsim {
+
+/** What the System needs from any core model. */
+class TraceCore
+{
+  public:
+    virtual ~TraceCore() = default;
+
+    /** Schedules the first instruction at the current tick. */
+    virtual void start() = 0;
+
+    /** True once the whole trace has retired. */
+    virtual bool done() const = 0;
+
+    /** Execution counters. */
+    virtual const CoreStats &stats() const = 0;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_CPU_CORE_IFACE_HPP

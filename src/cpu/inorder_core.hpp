@@ -1,0 +1,74 @@
+/**
+ * @file
+ * In-order, single-issue core model (Table 1 default).
+ *
+ * Non-memory instructions retire at 1 IPC (compressed into trace
+ * gaps). Loads block the pipeline until data returns; stores drain
+ * through a small store buffer and only block when it is full.
+ */
+#ifndef IMPSIM_CPU_INORDER_CORE_HPP
+#define IMPSIM_CPU_INORDER_CORE_HPP
+
+#include <functional>
+
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "cpu/barrier.hpp"
+#include "cpu/core_iface.hpp"
+#include "cpu/mem_port.hpp"
+#include "cpu/trace.hpp"
+
+namespace impsim {
+
+/** Shared parameters for core construction. */
+struct CoreParams
+{
+    CoreId id = 0;
+    std::uint32_t l1HitCycles = 1;
+    std::uint32_t storeBufferEntries = 8;
+    std::uint32_t robEntries = 32;          ///< OoO only.
+    std::uint32_t maxOutstandingLoads = 8;  ///< OoO only.
+};
+
+/** In-order core. */
+class InOrderCore final : public TraceCore
+{
+  public:
+    /**
+     * @param barrier may be null when the trace has no barriers.
+     * @param on_finish invoked once, at the core's completion tick.
+     */
+    InOrderCore(const CoreParams &params, EventQueue &eq, MemPort &port,
+                Barrier *barrier, const CoreTrace &trace,
+                std::function<void()> on_finish);
+
+    /** Schedules the first instruction at the current tick. */
+    void start() override;
+
+    bool done() const override { return done_; }
+    const CoreStats &stats() const override { return stats_; }
+
+  private:
+    void advance();
+    void issue();
+    void completeEntry();
+
+    CoreParams params_;
+    EventQueue &eq_;
+    MemPort &port_;
+    Barrier *barrier_;
+    const CoreTrace &trace_;
+    std::function<void()> onFinish_;
+
+    std::size_t idx_ = 0;
+    bool passedBarrier_ = false;
+    bool waitingAtBarrier_ = false;
+    bool waitingStoreSlot_ = false;
+    std::uint32_t storesOutstanding_ = 0;
+    bool done_ = false;
+    CoreStats stats_;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_CPU_INORDER_CORE_HPP

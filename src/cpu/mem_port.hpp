@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The core-side memory interface.
+ *
+ * Cores issue demand accesses and software prefetches through this
+ * port; the sim module's L1 controller implements it.
+ */
+#ifndef IMPSIM_CPU_MEM_PORT_HPP
+#define IMPSIM_CPU_MEM_PORT_HPP
+
+#include <functional>
+
+#include "common/access_type.hpp"
+#include "common/types.hpp"
+
+namespace impsim {
+
+struct MemAccess;
+
+/** Completion callback: invoked at the tick the data is available. */
+using DemandDoneFn = std::function<void(Tick)>;
+
+/** Abstract L1 port as seen by a core. */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /**
+     * Issues a demand access at the current simulation tick.
+     * @p done fires exactly once, at completion time.
+     */
+    virtual void demandAccess(const MemAccess &access, DemandDoneFn done) = 0;
+
+    /**
+     * Issues a non-binding software prefetch (never blocks, no
+     * completion callback).
+     */
+    virtual void softwarePrefetch(Addr addr, std::uint32_t pc) = 0;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_CPU_MEM_PORT_HPP

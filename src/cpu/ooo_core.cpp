@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Out-of-order core implementation.
+ */
+#include "cpu/ooo_core.hpp"
+
+#include "common/logging.hpp"
+
+namespace impsim {
+
+OoOCore::OoOCore(const CoreParams &params, EventQueue &eq, MemPort &port,
+                 Barrier *barrier, const CoreTrace &trace,
+                 std::function<void()> on_finish)
+    : params_(params), eq_(eq), port_(port), barrier_(barrier),
+      trace_(trace), onFinish_(std::move(on_finish))
+{
+    const auto &acc = trace_.accesses;
+    completion_.assign(acc.size(), kNoTick);
+    instrIndex_.resize(acc.size());
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+        instrIndex_[i] = n;
+        n += std::uint64_t{acc[i].gap} + 1;
+    }
+}
+
+void
+OoOCore::start()
+{
+    eq_.scheduleAfter(0, [this] { tryDispatch(); });
+}
+
+void
+OoOCore::tryDispatch()
+{
+    if (done_ || issueScheduled_)
+        return;
+    if (idx_ >= trace_.accesses.size()) {
+        finishIfDrained();
+        return;
+    }
+
+    const MemAccess &a = trace_.accesses[idx_];
+
+    if (a.hasBarrier() && !passedBarrier_) {
+        if (waitingAtBarrier_)
+            return; // Already registered; don't arrive twice.
+        if (retired_ < idx_)
+            return; // Drain the window first.
+        IMPSIM_CHECK(barrier_, "trace has barriers but none provided");
+        waitingAtBarrier_ = true;
+        barrier_->arrive([this] {
+            waitingAtBarrier_ = false;
+            passedBarrier_ = true;
+            if (fetchClock_ < eq_.now())
+                fetchClock_ = eq_.now();
+            tryDispatch();
+        });
+        return;
+    }
+
+    // ROB window: the access's instruction slot must be within
+    // robEntries of the oldest unretired instruction. With an empty
+    // window (retired_ == idx_) dispatch can always proceed.
+    if (retired_ < idx_) {
+        std::uint64_t access_instr = instrIndex_[idx_] + a.gap;
+        std::uint64_t oldest_instr = instrIndex_[retired_];
+        if (access_instr - oldest_instr >= params_.robEntries)
+            return; // A completion will re-run dispatch.
+    }
+
+    // Register dependence: the address producer must have completed.
+    Tick ready = fetchClock_ + a.gap + 1;
+    if (a.dep != 0) {
+        IMPSIM_CHECK(a.dep <= idx_, "dependence precedes the trace");
+        std::size_t j = idx_ - a.dep;
+        if (completion_[j] == kNoTick)
+            return; // Wait for the producer.
+        if (completion_[j] > ready)
+            ready = completion_[j];
+    }
+
+    // Structural limits.
+    if (!a.isSwPrefetch()) {
+        if (a.isWrite()) {
+            if (storesOutstanding_ >= params_.storeBufferEntries)
+                return;
+        } else if (loadsOutstanding_ >= params_.maxOutstandingLoads) {
+            return;
+        }
+    }
+
+    issueAt(ready < eq_.now() ? eq_.now() : ready);
+}
+
+void
+OoOCore::issueAt(Tick when)
+{
+    issueScheduled_ = true;
+    if (when <= eq_.now()) {
+        issueScheduled_ = false;
+        doIssue();
+    } else {
+        eq_.schedule(when, [this] {
+            issueScheduled_ = false;
+            doIssue();
+        });
+    }
+}
+
+void
+OoOCore::doIssue()
+{
+    std::size_t entry = idx_;
+    const MemAccess &a = trace_.accesses[entry];
+    Tick now = eq_.now();
+
+    stats_.instructions += std::uint64_t{a.gap} + 1;
+    fetchClock_ = now;
+    ++idx_;
+    passedBarrier_ = false;
+
+    if (a.isSwPrefetch()) {
+        stats_.swPrefetches += 1;
+        port_.softwarePrefetch(a.addr, a.pc);
+        completion_[entry] = now;
+        onComplete(entry, now);
+        return;
+    }
+
+    stats_.memAccesses += 1;
+    if (a.isWrite()) {
+        stats_.stores += 1;
+        ++storesOutstanding_;
+        // Stores retire at issue (store buffer); the slot frees when
+        // the write completes in the memory system.
+        completion_[entry] = now;
+        port_.demandAccess(a, [this](Tick) {
+            --storesOutstanding_;
+            tryDispatch();
+        });
+        onComplete(entry, now);
+        return;
+    }
+
+    stats_.loads += 1;
+    ++loadsOutstanding_;
+    port_.demandAccess(a, [this, entry, now](Tick done) {
+        --loadsOutstanding_;
+        stats_.loadLatencySum += done - now;
+        stats_.loadLatencyCount += 1;
+        completion_[entry] = done;
+        onComplete(entry, done);
+    });
+    tryDispatch();
+}
+
+void
+OoOCore::onComplete(std::size_t, Tick done)
+{
+    if (done > lastCompletion_)
+        lastCompletion_ = done;
+    while (retired_ < idx_ && completion_[retired_] != kNoTick)
+        ++retired_;
+    tryDispatch();
+}
+
+void
+OoOCore::finishIfDrained()
+{
+    if (done_ || retired_ < trace_.accesses.size())
+        return;
+    done_ = true;
+    stats_.instructions += trace_.tailInstructions;
+    Tick end = eq_.now();
+    if (lastCompletion_ > end)
+        end = lastCompletion_;
+    stats_.finishTick = end + trace_.tailInstructions;
+    if (onFinish_)
+        onFinish_();
+}
+
+} // namespace impsim

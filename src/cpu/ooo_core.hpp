@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Out-of-order core limit model (paper §6.3.1, Fig 13).
+ *
+ * A ROB-window model in the style of limit studies: instructions
+ * dispatch in program order at 1 instruction/cycle; a load issues as
+ * soon as (a) its address-producing dependence has completed, (b) the
+ * ROB window (32 entries, mimicking Silvermont/Knights Landing) has
+ * room, and (c) an LSQ slot is free. Independent loads overlap; the
+ * A[B[i]]-on-B[i] dependence chains are honoured via trace dep links.
+ */
+#ifndef IMPSIM_CPU_OOO_CORE_HPP
+#define IMPSIM_CPU_OOO_CORE_HPP
+
+#include <functional>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "cpu/barrier.hpp"
+#include "cpu/core_iface.hpp"
+#include "cpu/inorder_core.hpp" // CoreParams
+#include "cpu/mem_port.hpp"
+#include "cpu/trace.hpp"
+
+namespace impsim {
+
+/** Out-of-order core. */
+class OoOCore final : public TraceCore
+{
+  public:
+    OoOCore(const CoreParams &params, EventQueue &eq, MemPort &port,
+            Barrier *barrier, const CoreTrace &trace,
+            std::function<void()> on_finish);
+
+    /** Schedules the first dispatch at the current tick. */
+    void start() override;
+
+    bool done() const override { return done_; }
+    const CoreStats &stats() const override { return stats_; }
+
+  private:
+    void tryDispatch();
+    void issueAt(Tick when);
+    void doIssue();
+    void onComplete(std::size_t entry, Tick done);
+    void finishIfDrained();
+
+    CoreParams params_;
+    EventQueue &eq_;
+    MemPort &port_;
+    Barrier *barrier_;
+    const CoreTrace &trace_;
+    std::function<void()> onFinish_;
+
+    std::size_t idx_ = 0;           ///< Next entry to dispatch.
+    std::size_t retired_ = 0;       ///< Oldest incomplete entry.
+    bool passedBarrier_ = false;
+    bool waitingAtBarrier_ = false;
+    bool issueScheduled_ = false;
+    bool done_ = false;
+
+    /** Fetch clock: tick entry idx_ leaves the front end. */
+    Tick fetchClock_ = 0;
+    std::uint32_t loadsOutstanding_ = 0;
+    std::uint32_t storesOutstanding_ = 0;
+
+    /** Completion tick per entry (kNoTick while in flight/unissued). */
+    std::vector<Tick> completion_;
+    /** Cumulative instruction index at each entry's dispatch. */
+    std::vector<std::uint64_t> instrIndex_;
+    Tick lastCompletion_ = 0;
+    CoreStats stats_;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_CPU_OOO_CORE_HPP

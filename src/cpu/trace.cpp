@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CoreTrace helpers.
+ */
+#include "cpu/trace.hpp"
+
+namespace impsim {
+
+std::uint64_t
+CoreTrace::instructionCount() const
+{
+    std::uint64_t n = tailInstructions;
+    for (const auto &a : accesses)
+        n += std::uint64_t{a.gap} + 1;
+    return n;
+}
+
+std::uint64_t
+CoreTrace::barrierCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &a : accesses)
+        n += a.hasBarrier() ? 1 : 0;
+    return n;
+}
+
+} // namespace impsim

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * L1 controller implementation.
+ */
+#include "sim/l1_controller.hpp"
+
+#include <bit>
+
+#include "common/logging.hpp"
+
+namespace impsim {
+
+namespace {
+
+/** Outstanding prefetch fills allowed per L1 (MSHR-style bound). */
+constexpr std::uint32_t kMaxPrefetchFills = 32;
+
+} // namespace
+
+L1Controller::L1Controller(CoreId core, const SystemConfig &cfg,
+                           EventQueue &eq, MeshNoc &noc,
+                           const FuncMem &mem,
+                           std::vector<L2Controller *> l2s)
+    : core_(core), cfg_(cfg), eq_(eq), noc_(noc), mem_(mem),
+      l2s_(std::move(l2s)),
+      cache_(cfg.l1SizeBytes, cfg.l1Ways,
+             cfg.partial != PartialMode::Off ? cfg.gp.l1SectorBytes
+                                             : kLineSize)
+{}
+
+void
+L1Controller::attachPrefetcher(std::unique_ptr<Prefetcher> pf)
+{
+    prefetcher_ = std::move(pf);
+}
+
+std::uint32_t
+L1Controller::maskFor(Addr addr, std::uint32_t size) const
+{
+    std::uint32_t off = lineOffset(addr);
+    if (off + size > kLineSize)
+        size = kLineSize - off; // Clip to the line (no split accesses).
+    return sectorMask(addr, size, cache_.sectorBytes());
+}
+
+CoreId
+L1Controller::homeOf(Addr line_addr) const
+{
+    return static_cast<CoreId>(lineOf(line_addr) % cfg_.numCores);
+}
+
+bool
+L1Controller::linePresent(Addr addr) const
+{
+    return cache_.find(lineAlign(addr)) != nullptr;
+}
+
+std::uint64_t
+L1Controller::readValue(Addr addr, std::uint32_t bytes) const
+{
+    return mem_.loadIndex(addr, bytes);
+}
+
+void
+L1Controller::applyWrite(Addr addr, std::uint32_t size)
+{
+    CacheLine *line = cache_.find(lineAlign(addr));
+    if (line == nullptr)
+        return; // Lost to a concurrent invalidation: drop silently.
+    line->state = CState::M;
+    line->dirtyMask |= maskFor(addr, size) & line->validMask;
+}
+
+void
+L1Controller::finishDemand(const MemAccess &access, DemandDoneFn &done,
+                           Tick when)
+{
+    if (access.isWrite())
+        applyWrite(access.addr, access.size);
+    done(when);
+}
+
+void
+L1Controller::demandAccess(const MemAccess &access, DemandDoneFn done)
+{
+    AccessType type = access.type;
+    stats_.accessesByType[static_cast<int>(type)] += 1;
+
+    if (cfg_.magicMemory) {
+        stats_.hits += 1;
+        Tick when = eq_.now() + cfg_.l1LatencyCycles;
+        eq_.schedule(when,
+                     [done = std::move(done), when] { done(when); });
+        return;
+    }
+    if (cfg_.perfectMemory) {
+        perfectAccess(access, std::move(done));
+        return;
+    }
+
+    Addr line_addr = lineAlign(access.addr);
+    std::uint32_t need = maskFor(access.addr, access.size);
+    CacheLine *line = cache_.find(line_addr);
+
+    bool sectors_ok = line != nullptr &&
+                      (line->validMask & need) == need;
+    bool state_ok = line != nullptr &&
+                    (!access.isWrite() || line->state == CState::E ||
+                     line->state == CState::M);
+
+    AccessInfo info{access.addr, access.pc, access.size, access.isWrite(),
+                    sectors_ok && state_ok};
+
+    if (sectors_ok && state_ok) {
+        // Hit.
+        stats_.hits += 1;
+        cache_.touch(*line);
+        if (line->prefetched && !line->touched) {
+            line->touched = true;
+            stats_.prefUsefulFirstTouch += 1;
+        }
+        if (access.isWrite())
+            applyWrite(access.addr, access.size);
+        if (prefetcher_)
+            prefetcher_->onAccess(info);
+        Tick when = eq_.now() + cfg_.l1LatencyCycles;
+        eq_.schedule(when,
+                     [done = std::move(done), when] { done(when); });
+        return;
+    }
+
+    // Miss or upgrade. Check for an in-flight fill first.
+    if (auto it = pending_.find(line_addr); it != pending_.end()) {
+        PendingFill &pf = it->second;
+        bool satisfies = !pf.invalidated &&
+                         (pf.mask & need) == need &&
+                         (!access.isWrite() || pf.exclusive);
+        if (satisfies) {
+            if (pf.isPrefetch)
+                stats_.prefLate += 1; // Covered, but only partially.
+            else
+                stats_.demandMerges += 1;
+            pf.demandMerged = true;
+            pf.waiters.push_back(Waiter{access, std::move(done)});
+            if (prefetcher_)
+                prefetcher_->onAccess(info);
+            return;
+        }
+        // Insufficient fill (e.g. needs exclusivity): retry after it.
+        stats_.retries += 1;
+        Tick retry = pf.completion + 1;
+        eq_.schedule(retry,
+                     [this, access, done = std::move(done)]() mutable {
+                         demandAccess(access, std::move(done));
+                     });
+        if (prefetcher_)
+            prefetcher_->onAccess(info);
+        return;
+    }
+
+    // True miss.
+    bool pure_upgrade = sectors_ok && !state_ok;
+    if (line != nullptr && !sectors_ok)
+        stats_.sectorMisses += 1;
+    if (!pure_upgrade) {
+        stats_.misses += 1;
+        stats_.missesByType[static_cast<int>(type)] += 1;
+    } else if (line->prefetched && !line->touched) {
+        // A store consuming a prefetched line: the data fetch was
+        // covered even though ownership still must be acquired.
+        line->touched = true;
+        stats_.prefUsefulFirstTouch += 1;
+    }
+
+    // Demand misses always fetch the full (remaining) line: partial
+    // accessing is triggered only by IMP's indirect prefetches (§4.2).
+    std::uint32_t fetch = cache_.allSectors();
+    if (line != nullptr)
+        fetch = sectors_ok ? 0 : (cache_.allSectors() & ~line->validMask);
+
+    launchFill(line_addr, fetch, access.isWrite(), false, false,
+               kNoPattern);
+    auto &pf = pending_.at(line_addr);
+    pf.demandMerged = true;
+    pf.waiters.push_back(Waiter{access, std::move(done)});
+
+    if (prefetcher_) {
+        prefetcher_->onAccess(info);
+        if (!pure_upgrade)
+            prefetcher_->onMiss(info);
+    }
+}
+
+void
+L1Controller::perfectAccess(const MemAccess &access, DemandDoneFn done)
+{
+    // PerfPref (§5.4): an oracle issued this access's line "several
+    // thousand cycles" early, so the demand sees L1-hit latency unless
+    // the memory system's backlog exceeds that lead. Cache state and
+    // traffic are modeled for real so bandwidth limits still bind.
+    Addr line_addr = lineAlign(access.addr);
+    std::uint32_t need = maskFor(access.addr, access.size);
+    CacheLine *line = cache_.find(line_addr);
+    Tick lead = cfg_.perfectLeadCycles;
+
+    Tick ready = eq_.now() + cfg_.l1LatencyCycles;
+    if (line != nullptr && (line->validMask & need) == need) {
+        stats_.hits += 1;
+        cache_.touch(*line);
+        if (access.isWrite())
+            applyWrite(access.addr, access.size);
+    } else if (auto it = pending_.find(line_addr);
+               it != pending_.end()) {
+        Tick completion = it->second.completion;
+        if (completion > eq_.now() + lead)
+            ready = completion - lead;
+    } else {
+        stats_.misses += 1;
+        stats_.missesByType[static_cast<int>(access.type)] += 1;
+        std::uint32_t fetch =
+            line != nullptr ? (cache_.allSectors() & ~line->validMask)
+                            : cache_.allSectors();
+        launchFill(line_addr, fetch, access.isWrite(), false, false,
+                   kNoPattern);
+        Tick completion = pending_.at(line_addr).completion;
+        if (completion > eq_.now() + lead)
+            ready = completion - lead;
+    }
+    if (access.isWrite()) {
+        // Ensure the write lands once the line is resident.
+        Addr a = access.addr;
+        std::uint8_t sz = access.size;
+        eq_.schedule(ready, [this, a, sz, done = std::move(done),
+                             ready] {
+            applyWrite(a, sz);
+            done(ready);
+        });
+        return;
+    }
+    eq_.schedule(ready,
+                 [done = std::move(done), ready] { done(ready); });
+}
+
+void
+L1Controller::softwarePrefetch(Addr addr, std::uint32_t pc)
+{
+    (void)pc;
+    if (cfg_.magicMemory)
+        return;
+    PrefetchRequest req;
+    req.addr = lineAlign(addr);
+    req.bytes = kLineSize;
+    issuePrefetch(req);
+}
+
+bool
+L1Controller::issuePrefetch(const PrefetchRequest &req)
+{
+    if (cfg_.magicMemory)
+        return false;
+
+    Addr line_addr = lineAlign(req.addr);
+    std::uint32_t off = lineOffset(req.addr);
+    std::uint32_t size = req.bytes;
+    if (off + size > kLineSize)
+        size = kLineSize - off;
+    std::uint32_t mask = sectorMask(req.addr, size, cache_.sectorBytes());
+
+    const CacheLine *line = cache_.find(line_addr);
+    if (line != nullptr && (line->validMask & mask) == mask &&
+        (!req.exclusive ||
+         line->state == CState::E || line->state == CState::M)) {
+        return false; // Already covered.
+    }
+    if (pending_.count(line_addr))
+        return false; // Already in flight.
+    if (prefetchesInFlight_ >= kMaxPrefetchFills)
+        return false;
+
+    std::uint32_t fetch =
+        line != nullptr ? (mask & ~line->validMask) : mask;
+    if (!launchFill(line_addr, fetch, req.exclusive, true, req.indirect,
+                    req.patternId))
+        return false;
+    ++prefetchesInFlight_;
+    stats_.prefIssued += 1;
+    if (req.indirect)
+        stats_.prefIssuedIndirect += 1;
+    else
+        stats_.prefIssuedStream += 1;
+    return true;
+}
+
+bool
+L1Controller::launchFill(Addr line_addr, std::uint32_t mask,
+                         bool exclusive, bool is_prefetch, bool indirect,
+                         std::uint16_t pattern_id)
+{
+    if (pending_.count(line_addr))
+        return false;
+
+    Tick t0 = eq_.now() + cfg_.l1LatencyCycles;
+    CoreId home = homeOf(line_addr);
+    Tick at_home = noc_.send(core_, home, 0, t0);
+    L2FillResult res =
+        l2s_[home]->handleFill(line_addr, mask, exclusive, core_, at_home);
+    Tick done = noc_.send(home, core_, res.payloadBytes, res.ready);
+    if (done < eq_.now() + 2)
+        done = eq_.now() + 2;
+
+    PendingFill pf;
+    pf.mask = mask;
+    pf.exclusive = exclusive || res.exclusiveGranted;
+    pf.isPrefetch = is_prefetch;
+    pf.indirect = indirect;
+    pf.patternId = pattern_id;
+    pf.completion = done;
+    pending_.emplace(line_addr, std::move(pf));
+
+    eq_.schedule(done, [this, line_addr] { completeFill(line_addr); });
+    return true;
+}
+
+void
+L1Controller::completeFill(Addr line_addr)
+{
+    auto it = pending_.find(line_addr);
+    IMPSIM_CHECK(it != pending_.end(), "fill completion without entry");
+    PendingFill pf = std::move(it->second);
+    pending_.erase(it);
+    if (pf.isPrefetch && prefetchesInFlight_ > 0)
+        --prefetchesInFlight_;
+
+    Tick now = eq_.now();
+
+    if (!pf.invalidated) {
+        CacheLine *line = cache_.find(line_addr);
+        if (line != nullptr) {
+            line->validMask |= pf.mask;
+            if (pf.exclusive && line->state == CState::S)
+                line->state = CState::E;
+            cache_.touch(*line);
+        } else if (pf.mask != 0) {
+            CacheLine *victim = cache_.victim(line_addr);
+            if (victim->valid())
+                evictFrame(*victim);
+            cache_.fill(*victim, line_addr,
+                        pf.exclusive ? CState::E : CState::S, pf.mask,
+                        pf.isPrefetch);
+            if (pf.isPrefetch && pf.demandMerged)
+                victim->touched = true; // Late coverage counted already.
+        } else {
+            // Upgrade raced with an eviction: the data is gone. Replay
+            // the waiting demands from scratch.
+            for (auto &w : pf.waiters) {
+                eq_.schedule(now + 1,
+                             [this, access = w.access,
+                              done = std::move(w.done)]() mutable {
+                                 demandAccess(access, std::move(done));
+                             });
+            }
+            pf.waiters.clear();
+        }
+    }
+
+    for (auto &w : pf.waiters)
+        finishDemand(w.access, w.done, now);
+
+    if (pf.isPrefetch && prefetcher_ && !pf.invalidated)
+        prefetcher_->onPrefetchFill(line_addr, pf.patternId);
+}
+
+void
+L1Controller::evictFrame(CacheLine &frame)
+{
+    stats_.evictions += 1;
+    if (frame.prefetched && !frame.touched)
+        stats_.prefUnused += 1;
+    if (prefetcher_)
+        prefetcher_->onEvict(frame.lineAddr);
+
+    Addr line_addr = frame.lineAddr;
+    CoreId home = homeOf(line_addr);
+    if (frame.dirtyMask != 0) {
+        stats_.writebacks += 1;
+        std::uint32_t bytes =
+            cfg_.partial != PartialMode::Off
+                ? std::popcount(frame.dirtyMask) * cache_.sectorBytes()
+                : kLineSize;
+        Tick arr = noc_.send(core_, home, bytes, eq_.now());
+        l2s_[home]->handleWriteback(line_addr, frame.dirtyMask, core_,
+                                    arr);
+    } else {
+        // Clean evictions are silent (no NoC message); the directory
+        // is updated directly — see DESIGN.md.
+        l2s_[home]->noteL1Evict(line_addr, core_);
+    }
+    cache_.invalidate(frame);
+}
+
+std::uint32_t
+L1Controller::backInvalidate(Addr line_addr)
+{
+    line_addr = lineAlign(line_addr);
+    if (auto it = pending_.find(line_addr); it != pending_.end())
+        it->second.invalidated = true;
+
+    CacheLine *line = cache_.find(line_addr);
+    if (line == nullptr)
+        return 0;
+    std::uint32_t dirty = line->dirtyMask;
+    if (line->prefetched && !line->touched)
+        stats_.prefUnused += 1;
+    if (prefetcher_)
+        prefetcher_->onEvict(line_addr);
+    cache_.invalidate(*line);
+    return dirty;
+}
+
+std::uint32_t
+L1Controller::downgrade(Addr line_addr)
+{
+    line_addr = lineAlign(line_addr);
+    // An exclusive fill still in flight must land in S, or this core
+    // would silently upgrade a line the directory now counts shared.
+    if (auto it = pending_.find(line_addr); it != pending_.end())
+        it->second.exclusive = false;
+
+    CacheLine *line = cache_.find(line_addr);
+    if (line == nullptr)
+        return 0;
+    std::uint32_t dirty = line->dirtyMask;
+    line->dirtyMask = 0;
+    line->state = CState::S;
+    return dirty;
+}
+
+} // namespace impsim

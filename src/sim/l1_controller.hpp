@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Private L1-D controller: the core's MemPort, the prefetcher's host,
+ * and the coherence backdoor, in one place.
+ *
+ * Demand accesses look up the (optionally sectored) L1; misses launch
+ * fill transactions whose end-to-end timing is composed through the
+ * NoC, the home L2 slice, the directory and DRAM. Prefetches share
+ * the same fill path. Completion installs the line, wakes merged
+ * demands and notifies the prefetcher.
+ */
+#ifndef IMPSIM_SIM_L1_CONTROLLER_HPP
+#define IMPSIM_SIM_L1_CONTROLLER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/sector_cache.hpp"
+#include "common/config.hpp"
+#include "common/event_queue.hpp"
+#include "common/func_mem.hpp"
+#include "common/stats.hpp"
+#include "core/prefetcher.hpp"
+#include "cpu/mem_port.hpp"
+#include "cpu/trace.hpp"
+#include "noc/mesh.hpp"
+#include "sim/l2_controller.hpp"
+
+namespace impsim {
+
+/** The per-core L1 data cache controller. */
+class L1Controller final : public MemPort,
+                           public PrefetchHost,
+                           public L1Backdoor
+{
+  public:
+    L1Controller(CoreId core, const SystemConfig &cfg, EventQueue &eq,
+                 MeshNoc &noc, const FuncMem &mem,
+                 std::vector<L2Controller *> l2s);
+
+    /** Attaches (or replaces) the prefetcher snooping this cache. */
+    void attachPrefetcher(std::unique_ptr<Prefetcher> pf);
+
+    Prefetcher *prefetcher() { return prefetcher_.get(); }
+    SectorCache &cache() { return cache_; }
+    CacheStats &stats() { return stats_; }
+    const CacheStats &stats() const { return stats_; }
+
+    // ---- MemPort ----
+    void demandAccess(const MemAccess &access, DemandDoneFn done) override;
+    void softwarePrefetch(Addr addr, std::uint32_t pc) override;
+
+    // ---- PrefetchHost ----
+    bool linePresent(Addr addr) const override;
+    bool issuePrefetch(const PrefetchRequest &req) override;
+    std::uint64_t readValue(Addr addr, std::uint32_t bytes) const override;
+    Tick now() const override { return eq_.now(); }
+
+    // ---- L1Backdoor ----
+    std::uint32_t backInvalidate(Addr line_addr) override;
+    std::uint32_t downgrade(Addr line_addr) override;
+
+  private:
+    struct Waiter
+    {
+        MemAccess access;
+        DemandDoneFn done;
+    };
+
+    struct PendingFill
+    {
+        std::uint32_t mask = 0; ///< L1 sectors being fetched.
+        bool exclusive = false;
+        bool isPrefetch = false;
+        bool indirect = false;
+        std::uint16_t patternId = kNoPattern;
+        bool invalidated = false;   ///< Back-invalidated in flight.
+        bool demandMerged = false;  ///< A demand is waiting on it.
+        Tick completion = 0;
+        std::vector<Waiter> waiters;
+    };
+
+    /** Requested-sector mask for an access, clipped to its line. */
+    std::uint32_t maskFor(Addr addr, std::uint32_t size) const;
+
+    /** Home tile of a line (line-interleaved L2 slices). */
+    CoreId homeOf(Addr line_addr) const;
+
+    /** Starts a fill transaction; returns false if one is in flight. */
+    bool launchFill(Addr line_addr, std::uint32_t mask, bool exclusive,
+                    bool is_prefetch, bool indirect,
+                    std::uint16_t pattern_id);
+
+    void completeFill(Addr line_addr);
+    void perfectAccess(const MemAccess &access, DemandDoneFn done);
+    void evictFrame(CacheLine &frame);
+    void applyWrite(Addr addr, std::uint32_t size);
+    void finishDemand(const MemAccess &access, DemandDoneFn &done,
+                      Tick when);
+
+    CoreId core_;
+    const SystemConfig &cfg_;
+    EventQueue &eq_;
+    MeshNoc &noc_;
+    const FuncMem &mem_;
+    std::vector<L2Controller *> l2s_;
+    SectorCache cache_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    std::unordered_map<Addr, PendingFill> pending_;
+    std::uint32_t prefetchesInFlight_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_SIM_L1_CONTROLLER_HPP

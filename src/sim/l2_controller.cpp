@@ -1,0 +1,223 @@
+/**
+ * @file
+ * L2 slice controller implementation.
+ */
+#include "sim/l2_controller.hpp"
+
+#include <bit>
+
+#include "common/intmath.hpp"
+#include "common/logging.hpp"
+
+namespace impsim {
+
+L2Controller::L2Controller(CoreId tile, const SystemConfig &cfg,
+                           MeshNoc &noc, DramModel &dram,
+                           const McMap &mc_map)
+    : tile_(tile), cfg_(cfg), noc_(noc), dram_(dram), mcMap_(mc_map),
+      cache_(cfg.l2SliceBytes(), cfg.l2Ways,
+             cfg.partial != PartialMode::Off ? cfg.gp.l2SectorBytes
+                                             : kLineSize),
+      dir_(cfg.ackwisePointers, cfg.numCores)
+{}
+
+void
+L2Controller::connectL1s(std::vector<L1Backdoor *> l1s)
+{
+    l1s_ = std::move(l1s);
+}
+
+std::uint32_t
+L2Controller::toL2Mask(std::uint32_t l1_mask) const
+{
+    if (l1_mask == 0)
+        return 0;
+    if (cache_.sectorsPerLine() == 1)
+        return 1;
+    std::uint32_t ratio = cfg_.gp.l2SectorBytes / cfg_.gp.l1SectorBytes;
+    std::uint32_t out = 0;
+    std::uint32_t l1_sectors = kLineSize / cfg_.gp.l1SectorBytes;
+    for (std::uint32_t s = 0; s < l1_sectors; ++s) {
+        if (l1_mask & (1u << s))
+            out |= 1u << (s / ratio);
+    }
+    return out;
+}
+
+Tick
+L2Controller::dramFetch(Addr line_addr, std::uint32_t l2_mask, Tick when)
+{
+    bool partial_dram = cfg_.partial == PartialMode::NocAndDram;
+    std::uint32_t bytes;
+    if (partial_dram) {
+        std::uint32_t sectors = std::popcount(l2_mask);
+        bytes = sectors * cfg_.gp.l2SectorBytes;
+        if (bytes < cfg_.gp.dramMinBytes)
+            bytes = cfg_.gp.dramMinBytes;
+        if (bytes > kLineSize)
+            bytes = kLineSize;
+    } else {
+        bytes = kLineSize;
+    }
+
+    std::uint32_t mc = mcMap_.mcOf(line_addr);
+    CoreId mc_tile = mcMap_.tileOf(mc);
+    Tick at_mc = noc_.send(tile_, mc_tile, 0, when);
+    Tick data = dram_.access(mc, line_addr, bytes, false, at_mc);
+    return noc_.send(mc_tile, tile_, bytes, data);
+}
+
+void
+L2Controller::evictFrame(CacheLine &frame, Tick when)
+{
+    stats_.evictions += 1;
+
+    // The L2 is non-inclusive (Graphite-style): the ACKwise directory
+    // is standalone, so evicting an L2 data line leaves L1 copies and
+    // directory state untouched. Only dirty data must be flushed.
+    if (frame.dirtyMask != 0) {
+        stats_.writebacks += 1;
+        std::uint32_t bytes =
+            cfg_.partial == PartialMode::NocAndDram
+                ? std::max<std::uint32_t>(
+                      std::popcount(frame.dirtyMask) *
+                          cache_.sectorBytes(),
+                      cfg_.gp.dramMinBytes)
+                : kLineSize;
+        std::uint32_t mc = mcMap_.mcOf(frame.lineAddr);
+        CoreId mc_tile = mcMap_.tileOf(mc);
+        Tick at_mc = noc_.send(tile_, mc_tile, bytes, when);
+        dram_.access(mc, frame.lineAddr, bytes, true, at_mc);
+    }
+    cache_.invalidate(frame);
+}
+
+L2FillResult
+L2Controller::handleFill(Addr line_addr, std::uint32_t l1_mask,
+                         bool exclusive, CoreId requester, Tick when)
+{
+    line_addr = lineAlign(line_addr);
+    Tick t = when + cfg_.l2LatencyCycles + cfg_.directoryLatencyCycles;
+
+    // ---- Directory transaction ----
+    DirAction act = exclusive ? dir_.onGetX(line_addr, requester)
+                              : dir_.onGetS(line_addr, requester);
+
+    if (act.downgrade != kNoCore && act.downgrade != requester) {
+        // Fetch the owner's copy (and invalidate it on GetX).
+        CoreId owner = act.downgrade;
+        Tick fwd = noc_.send(tile_, owner, 0, t);
+        std::uint32_t dirty = exclusive
+                                  ? l1s_[owner]->backInvalidate(line_addr)
+                                  : l1s_[owner]->downgrade(line_addr);
+        Tick back = noc_.send(owner, tile_, kLineSize, fwd + 1);
+        if (dirty != 0) {
+            if (CacheLine *line = cache_.find(line_addr))
+                line->dirtyMask |= toL2Mask(dirty);
+        }
+        if (back > t)
+            t = back;
+    }
+
+    if (act.broadcastInvalidate || !act.invalidate.empty()) {
+        Tick ack_max = t;
+        auto inv_one = [&](CoreId c) {
+            if (c == requester)
+                return;
+            Tick iv = noc_.send(tile_, c, 0, t);
+            l1s_[c]->backInvalidate(line_addr);
+            Tick ack = noc_.send(c, tile_, 0, iv + 1);
+            if (ack > ack_max)
+                ack_max = ack;
+        };
+        if (act.broadcastInvalidate) {
+            for (CoreId c = 0; c < cfg_.numCores; ++c)
+                inv_one(c);
+        } else {
+            for (CoreId c : act.invalidate)
+                inv_one(c);
+        }
+        t = ack_max;
+    }
+
+    // ---- Data lookup ----
+    bool partial_noc = cfg_.partial != PartialMode::Off;
+    std::uint32_t need = l1_mask == 0 ? 0 // Pure upgrade: no data.
+                         : partial_noc ? toL2Mask(l1_mask)
+                                       : cache_.allSectors();
+
+    CacheLine *line = cache_.find(line_addr);
+    if (line != nullptr &&
+        (need & line->validMask) == need) {
+        stats_.hits += 1;
+        cache_.touch(*line);
+    } else {
+        stats_.misses += 1;
+        std::uint32_t fetch = need;
+        if (line != nullptr)
+            fetch = need & ~line->validMask;
+        if (line == nullptr) {
+            // Allocate a frame; full-line fetch unless partial DRAM
+            // accessing narrows it.
+            if (fetch == 0)
+                fetch = cache_.allSectors();
+            Tick data = dramFetch(line_addr, fetch, t);
+            CacheLine *victim = cache_.victim(line_addr);
+            if (victim->valid())
+                evictFrame(*victim, t);
+            cache_.fill(*victim, line_addr, CState::S, fetch, false);
+            t = data;
+        } else {
+            if (fetch != 0) {
+                Tick data = dramFetch(line_addr, fetch, t);
+                line->validMask |= fetch;
+                cache_.touch(*line);
+                t = data;
+            } else {
+                stats_.misses -= 1; // Upgrade only: not a data miss.
+                stats_.hits += 1;
+            }
+        }
+    }
+
+    std::uint32_t payload =
+        partial_noc
+            ? std::popcount(l1_mask) * cfg_.gp.l1SectorBytes
+            : (l1_mask == 0 ? 0 : kLineSize);
+    return L2FillResult{t, payload, exclusive || act.grantExclusive};
+}
+
+void
+L2Controller::handleWriteback(Addr line_addr, std::uint32_t l1_dirty_mask,
+                              CoreId from, Tick when)
+{
+    line_addr = lineAlign(line_addr);
+    dir_.onEvict(line_addr, from);
+    CacheLine *line = cache_.find(line_addr);
+    if (line != nullptr) {
+        line->dirtyMask |= toL2Mask(l1_dirty_mask);
+        // The written sectors are now valid in L2 by definition.
+        line->validMask |= toL2Mask(l1_dirty_mask);
+        cache_.touch(*line);
+        return;
+    }
+    // Slice no longer holds the line: forward straight to DRAM.
+    std::uint32_t bytes =
+        cfg_.partial == PartialMode::NocAndDram
+            ? std::max<std::uint32_t>(std::popcount(l1_dirty_mask) *
+                                          cfg_.gp.l1SectorBytes,
+                                      cfg_.gp.dramMinBytes)
+            : kLineSize;
+    std::uint32_t mc = mcMap_.mcOf(line_addr);
+    CoreId mc_tile = mcMap_.tileOf(mc);
+    Tick at_mc = noc_.send(tile_, mc_tile, bytes, when);
+    dram_.access(mc, line_addr, bytes, true, at_mc);
+}
+
+void
+L2Controller::noteL1Evict(Addr line_addr, CoreId from)
+{
+    dir_.onEvict(lineAlign(line_addr), from);
+}
+
+} // namespace impsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Distributed shared-L2 slice controller with embedded ACKwise
+ * directory (Table 1).
+ *
+ * One slice per tile; lines are home-interleaved across slices. The
+ * controller composes transaction timing arithmetically: directory
+ * lookup, owner downgrades, invalidation/ack rounds, DRAM fetches and
+ * NoC transfers all advance a single timestamp while claiming
+ * bandwidth on the shared resources they cross.
+ */
+#ifndef IMPSIM_SIM_L2_CONTROLLER_HPP
+#define IMPSIM_SIM_L2_CONTROLLER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/sector_cache.hpp"
+#include "coherence/directory.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "dram/dram.hpp"
+#include "noc/mesh.hpp"
+
+namespace impsim {
+
+/**
+ * L1-side operations the L2 needs for coherence (implemented by
+ * L1Controller). Returned masks are dirty sectors at L1 granularity.
+ */
+class L1Backdoor
+{
+  public:
+    virtual ~L1Backdoor() = default;
+
+    /** Invalidates the line; returns its dirty mask (0 if absent). */
+    virtual std::uint32_t backInvalidate(Addr line_addr) = 0;
+
+    /** Downgrades E/M to S; returns the dirty mask (now clean). */
+    virtual std::uint32_t downgrade(Addr line_addr) = 0;
+};
+
+/** Completed fill description returned to the requesting L1. */
+struct L2FillResult
+{
+    Tick ready = 0;               ///< Data leaves the slice then.
+    std::uint32_t payloadBytes = 0; ///< Response data size.
+    bool exclusiveGranted = false;  ///< Requester may install E/M.
+};
+
+/** One L2 slice + directory. */
+class L2Controller
+{
+  public:
+    L2Controller(CoreId tile, const SystemConfig &cfg, MeshNoc &noc,
+                 DramModel &dram, const McMap &mc_map);
+
+    /** Wires the per-core L1 backdoors (after all L1s exist). */
+    void connectL1s(std::vector<L1Backdoor *> l1s);
+
+    /**
+     * Handles a fill request arriving at @p when.
+     * @param l1_mask  requested sectors at L1 granularity (full-line
+     *                 mask when partial accessing is off)
+     * @param exclusive GetX (writes / exclusive prefetches)
+     */
+    L2FillResult handleFill(Addr line_addr, std::uint32_t l1_mask,
+                            bool exclusive, CoreId requester, Tick when);
+
+    /** Dirty L1 eviction data arriving at @p when. */
+    void handleWriteback(Addr line_addr, std::uint32_t l1_dirty_mask,
+                         CoreId from, Tick when);
+
+    /** Clean (silent) L1 eviction: directory state only. */
+    void noteL1Evict(Addr line_addr, CoreId from);
+
+    Directory &directory() { return dir_; }
+    CacheStats &stats() { return stats_; }
+    const CacheStats &stats() const { return stats_; }
+    SectorCache &cache() { return cache_; }
+
+  private:
+    /** Converts an L1 sector mask to this slice's sector mask. */
+    std::uint32_t toL2Mask(std::uint32_t l1_mask) const;
+
+    /** Fetches @p l2_mask sectors from DRAM; returns data-ready tick. */
+    Tick dramFetch(Addr line_addr, std::uint32_t l2_mask, Tick when);
+
+    /** Evicts @p frame (writeback + back-invalidation). */
+    void evictFrame(CacheLine &frame, Tick when);
+
+    CoreId tile_;
+    const SystemConfig &cfg_;
+    MeshNoc &noc_;
+    DramModel &dram_;
+    const McMap &mcMap_;
+    SectorCache cache_;
+    Directory dir_;
+    std::vector<L1Backdoor *> l1s_;
+    CacheStats stats_;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_SIM_L2_CONTROLLER_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Memory hierarchy wiring.
+ */
+#include "sim/mem_hierarchy.hpp"
+
+namespace impsim {
+
+MemHierarchy::MemHierarchy(const SystemConfig &cfg, EventQueue &eq,
+                           const FuncMem &mem)
+    : noc_(cfg.meshDim(), cfg.hopCycles, cfg.flitBytes, cfg.headerFlits),
+      mcMap_(cfg.meshDim()), dram_(makeDram(cfg))
+{
+    l2s_.reserve(cfg.numCores);
+    for (CoreId t = 0; t < cfg.numCores; ++t) {
+        l2s_.push_back(std::make_unique<L2Controller>(t, cfg, noc_,
+                                                      *dram_, mcMap_));
+    }
+
+    std::vector<L2Controller *> l2_ptrs;
+    l2_ptrs.reserve(l2s_.size());
+    for (auto &l2 : l2s_)
+        l2_ptrs.push_back(l2.get());
+
+    l1s_.reserve(cfg.numCores);
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        l1s_.push_back(std::make_unique<L1Controller>(c, cfg, eq, noc_,
+                                                      mem, l2_ptrs));
+    }
+
+    std::vector<L1Backdoor *> backdoors;
+    backdoors.reserve(l1s_.size());
+    for (auto &l1 : l1s_)
+        backdoors.push_back(l1.get());
+    for (auto &l2 : l2s_)
+        l2->connectL1s(backdoors);
+}
+
+CacheStats
+MemHierarchy::l1Stats() const
+{
+    CacheStats s;
+    for (const auto &l1 : l1s_)
+        s.merge(l1->stats());
+    return s;
+}
+
+CacheStats
+MemHierarchy::l2Stats() const
+{
+    CacheStats s;
+    for (const auto &l2 : l2s_)
+        s.merge(l2->stats());
+    return s;
+}
+
+} // namespace impsim

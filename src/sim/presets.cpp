@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Preset construction.
+ */
+#include "sim/presets.hpp"
+
+#include "common/logging.hpp"
+
+namespace impsim {
+
+const char *
+presetName(ConfigPreset p)
+{
+    switch (p) {
+      case ConfigPreset::Ideal:
+        return "Ideal";
+      case ConfigPreset::PerfectPref:
+        return "PerfPref";
+      case ConfigPreset::Baseline:
+        return "Base";
+      case ConfigPreset::SwPref:
+        return "SWPref";
+      case ConfigPreset::Imp:
+        return "IMP";
+      case ConfigPreset::ImpPartialNoc:
+        return "Partial-NoC";
+      case ConfigPreset::ImpPartialNocDram:
+        return "Partial-NoC+DRAM";
+      case ConfigPreset::Ghb:
+        return "GHB";
+      case ConfigPreset::NoPrefetch:
+        return "NoPref";
+    }
+    IMPSIM_PANIC("unknown preset");
+}
+
+SystemConfig
+makePreset(ConfigPreset p, std::uint32_t cores, CoreModel model)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.coreModel = model;
+    switch (p) {
+      case ConfigPreset::Ideal:
+        cfg.magicMemory = true;
+        cfg.prefetcher = PrefetcherKind::None;
+        break;
+      case ConfigPreset::PerfectPref:
+        cfg.perfectMemory = true;
+        cfg.prefetcher = PrefetcherKind::None;
+        break;
+      case ConfigPreset::Baseline:
+      case ConfigPreset::SwPref:
+        cfg.prefetcher = PrefetcherKind::Stream;
+        break;
+      case ConfigPreset::Imp:
+        cfg.prefetcher = PrefetcherKind::Imp;
+        break;
+      case ConfigPreset::ImpPartialNoc:
+        cfg.prefetcher = PrefetcherKind::Imp;
+        cfg.partial = PartialMode::NocOnly;
+        break;
+      case ConfigPreset::ImpPartialNocDram:
+        cfg.prefetcher = PrefetcherKind::Imp;
+        cfg.partial = PartialMode::NocAndDram;
+        break;
+      case ConfigPreset::Ghb:
+        cfg.prefetcher = PrefetcherKind::Ghb;
+        break;
+      case ConfigPreset::NoPrefetch:
+        cfg.prefetcher = PrefetcherKind::None;
+        break;
+    }
+    cfg.validate();
+    return cfg;
+}
+
+bool
+presetWantsSwPrefetch(ConfigPreset p)
+{
+    return p == ConfigPreset::SwPref;
+}
+
+} // namespace impsim

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The evaluation configurations of paper §5.4.
+ */
+#ifndef IMPSIM_SIM_PRESETS_HPP
+#define IMPSIM_SIM_PRESETS_HPP
+
+#include "common/config.hpp"
+
+namespace impsim {
+
+/** Named machine configurations used throughout the evaluation. */
+enum class ConfigPreset {
+    Ideal,             ///< Every access hits L1 (§5.4 "Ideal").
+    PerfectPref,       ///< Oracle prefetcher, real bandwidth.
+    Baseline,          ///< Stream prefetcher only.
+    SwPref,            ///< Baseline hardware + Mowry software pf.
+    Imp,               ///< Stream + IMP, full cachelines.
+    ImpPartialNoc,     ///< IMP + partial accessing in the NoC.
+    ImpPartialNocDram, ///< IMP + partial accessing NoC and DRAM.
+    Ghb,               ///< Stream + GHB correlation prefetcher.
+    NoPrefetch,        ///< No prefetching at all (analysis only).
+};
+
+/** Human-readable preset name (bench table headers). */
+const char *presetName(ConfigPreset p);
+
+/** Builds the SystemConfig for a preset at @p cores. */
+SystemConfig makePreset(ConfigPreset p, std::uint32_t cores,
+                        CoreModel model = CoreModel::InOrder);
+
+/** True if workload traces should carry software prefetches. */
+bool presetWantsSwPrefetch(ConfigPreset p);
+
+} // namespace impsim
+
+#endif // IMPSIM_SIM_PRESETS_HPP

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Report writers.
+ */
+#include "sim/report.hpp"
+
+#include <ostream>
+
+namespace impsim {
+
+namespace {
+
+double
+pct(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : 100.0 * static_cast<double>(num) /
+                          static_cast<double>(den);
+}
+
+} // namespace
+
+void
+writeReport(std::ostream &os, const std::string &label, const SimStats &s)
+{
+    os << "==== " << label << " ====\n";
+    os << "cycles                " << s.cycles << "\n";
+    os << "instructions          " << s.core.instructions << "\n";
+    os << "aggregate IPC         " << s.ipc() << "\n";
+    os << "avg load latency      " << s.avgLoadLatency() << " cycles\n";
+
+    os << "-- L1 (all cores) --\n";
+    std::uint64_t lookups = s.l1.hits + s.l1.misses + s.l1.prefLate +
+                            s.l1.demandMerges;
+    os << "hits / misses         " << s.l1.hits << " / " << s.l1.misses
+       << "  (miss " << pct(s.l1.misses, lookups) << "%)\n";
+    os << "miss breakdown        ";
+    for (int t = 0; t < kNumAccessTypes; ++t) {
+        os << accessTypeName(static_cast<AccessType>(t)) << " "
+           << pct(s.l1.missesByType[t], s.l1.misses) << "%  ";
+    }
+    os << "\n";
+    os << "sector misses         " << s.l1.sectorMisses << "\n";
+    os << "evictions/writebacks  " << s.l1.evictions << " / "
+       << s.l1.writebacks << "\n";
+
+    os << "-- prefetching --\n";
+    os << "issued                " << s.l1.prefIssued << " (indirect "
+       << s.l1.prefIssuedIndirect << ", stream "
+       << s.l1.prefIssuedStream << ")\n";
+    os << "coverage / accuracy   " << s.l1.coverage() << " / "
+       << s.l1.accuracy() << "\n";
+    os << "useful/late/unused    " << s.l1.prefUsefulFirstTouch << " / "
+       << s.l1.prefLate << " / " << s.l1.prefUnused << "\n";
+
+    os << "-- L2 --\n";
+    os << "hits / misses         " << s.l2.hits << " / " << s.l2.misses
+       << "\n";
+
+    os << "-- NoC --\n";
+    os << "messages / flit-hops  " << s.noc.messages << " / "
+       << s.noc.flitHops << "\n";
+    os << "bytes / queue cycles  " << s.noc.bytes << " / "
+       << s.noc.queueCycles << "\n";
+
+    os << "-- DRAM --\n";
+    os << "reads / writes        " << s.dram.reads << " / "
+       << s.dram.writes << "\n";
+    os << "bytes (rd+wr)         " << s.dram.bytes() << "\n";
+    os << "row hits / misses     " << s.dram.rowHits << " / "
+       << s.dram.rowMisses << "\n";
+    os << "queue cycles          " << s.dram.queueCycles << "\n";
+}
+
+void
+writeCsvHeader(std::ostream &os)
+{
+    os << "label,cycles,instructions,ipc,avg_load_latency,"
+          "l1_hits,l1_misses,l1_miss_indirect,l1_miss_stream,"
+          "l1_miss_other,pref_issued,pref_indirect,coverage,accuracy,"
+          "noc_bytes,noc_queue_cycles,dram_bytes,dram_queue_cycles\n";
+}
+
+void
+writeCsvRow(std::ostream &os, const std::string &label, const SimStats &s)
+{
+    os << label << ',' << s.cycles << ',' << s.core.instructions << ','
+       << s.ipc() << ',' << s.avgLoadLatency() << ',' << s.l1.hits
+       << ',' << s.l1.misses << ','
+       << s.l1.missesByType[static_cast<int>(AccessType::Indirect)]
+       << ','
+       << s.l1.missesByType[static_cast<int>(AccessType::Stream)] << ','
+       << s.l1.missesByType[static_cast<int>(AccessType::Other)] << ','
+       << s.l1.prefIssued << ',' << s.l1.prefIssuedIndirect << ','
+       << s.l1.coverage() << ',' << s.l1.accuracy() << ','
+       << s.noc.bytes << ',' << s.noc.queueCycles << ','
+       << s.dram.bytes() << ',' << s.dram.queueCycles << "\n";
+}
+
+} // namespace impsim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Human-readable and CSV reporting of simulation results.
+ */
+#ifndef IMPSIM_SIM_REPORT_HPP
+#define IMPSIM_SIM_REPORT_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace impsim {
+
+/**
+ * Writes a multi-section plain-text report (cores, caches, NoC, DRAM,
+ * prefetch effectiveness) to @p os.
+ * @param label heading, e.g. "spmv / IMP / 64 cores"
+ */
+void writeReport(std::ostream &os, const std::string &label,
+                 const SimStats &s);
+
+/** Writes the CSV header matching writeCsvRow. */
+void writeCsvHeader(std::ostream &os);
+
+/** Writes one CSV row for a run. */
+void writeCsvRow(std::ostream &os, const std::string &label,
+                 const SimStats &s);
+
+} // namespace impsim
+
+#endif // IMPSIM_SIM_REPORT_HPP

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * System assembly and run loop.
+ */
+#include "sim/system.hpp"
+
+#include "common/logging.hpp"
+#include "core/ghb.hpp"
+#include "core/imp.hpp"
+#include "core/perfect_prefetcher.hpp"
+#include "core/stream_prefetcher.hpp"
+#include "cpu/inorder_core.hpp"
+#include "cpu/ooo_core.hpp"
+
+namespace impsim {
+
+namespace {
+
+/** Forwards every hook to two children (stream + GHB stacking). */
+class CompositePrefetcher final : public Prefetcher
+{
+  public:
+    CompositePrefetcher(std::unique_ptr<Prefetcher> a,
+                        std::unique_ptr<Prefetcher> b)
+        : a_(std::move(a)), b_(std::move(b))
+    {}
+
+    void
+    onAccess(const AccessInfo &info) override
+    {
+        a_->onAccess(info);
+        b_->onAccess(info);
+    }
+
+    void
+    onMiss(const AccessInfo &info) override
+    {
+        a_->onMiss(info);
+        b_->onMiss(info);
+    }
+
+    void
+    onPrefetchFill(Addr line, std::uint16_t pattern) override
+    {
+        a_->onPrefetchFill(line, pattern);
+        b_->onPrefetchFill(line, pattern);
+    }
+
+    void
+    onEvict(Addr line) override
+    {
+        a_->onEvict(line);
+        b_->onEvict(line);
+    }
+
+  private:
+    std::unique_ptr<Prefetcher> a_;
+    std::unique_ptr<Prefetcher> b_;
+};
+
+} // namespace
+
+System::System(const SystemConfig &cfg,
+               const std::vector<CoreTrace> &traces, const FuncMem &mem)
+    : cfg_(cfg), traces_(traces)
+{
+    cfg_.validate();
+    IMPSIM_CHECK(traces_.size() == cfg_.numCores,
+                 "trace count must match core count");
+    hier_ = std::make_unique<MemHierarchy>(cfg_, eq_, mem);
+    barrier_ = std::make_unique<Barrier>(eq_, cfg_.numCores);
+    buildCores();
+}
+
+std::unique_ptr<Prefetcher>
+System::makePrefetcher(CoreId c)
+{
+    L1Controller &l1 = hier_->l1(c);
+    switch (cfg_.prefetcher) {
+      case PrefetcherKind::None:
+        return nullptr;
+      case PrefetcherKind::Stream:
+        return std::make_unique<StreamPrefetcher>(l1, cfg_.imp,
+                                                  cfg_.stream);
+      case PrefetcherKind::Imp:
+        return std::make_unique<ImpPrefetcher>(
+            l1, cfg_.imp, cfg_.stream, cfg_.gp,
+            cfg_.partial != PartialMode::Off);
+      case PrefetcherKind::Ghb:
+        return std::make_unique<CompositePrefetcher>(
+            std::make_unique<StreamPrefetcher>(l1, cfg_.imp, cfg_.stream),
+            std::make_unique<GhbPrefetcher>(l1, cfg_.ghb));
+      case PrefetcherKind::Perfect:
+        return std::make_unique<PerfectPrefetcher>(
+            l1, traces_[c], cfg_.perfectLookahead,
+            cfg_.perfectMaxInflight);
+    }
+    IMPSIM_PANIC("unknown prefetcher kind");
+}
+
+void
+System::buildCores()
+{
+    CoreParams params;
+    params.l1HitCycles = cfg_.l1LatencyCycles;
+    params.storeBufferEntries = cfg_.storeBufferEntries;
+    params.robEntries = cfg_.robEntries;
+    params.maxOutstandingLoads = cfg_.maxOutstandingLoads;
+
+    bool any_barrier = false;
+    for (const auto &t : traces_) {
+        if (t.barrierCount() > 0) {
+            any_barrier = true;
+            break;
+        }
+    }
+
+    cores_.reserve(cfg_.numCores);
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        if (auto pf = makePrefetcher(c))
+            hier_->l1(c).attachPrefetcher(std::move(pf));
+        params.id = c;
+        Barrier *bar = any_barrier ? barrier_.get() : nullptr;
+        auto on_finish = [this] { ++coresDone_; };
+        if (cfg_.coreModel == CoreModel::InOrder) {
+            cores_.push_back(std::make_unique<InOrderCore>(
+                params, eq_, hier_->l1(c), bar, traces_[c], on_finish));
+        } else {
+            cores_.push_back(std::make_unique<OoOCore>(
+                params, eq_, hier_->l1(c), bar, traces_[c], on_finish));
+        }
+    }
+}
+
+SimStats
+System::run(Tick limit)
+{
+    for (auto &core : cores_)
+        core->start();
+
+    bool drained = eq_.run(limit);
+    if (!drained || coresDone_ != cfg_.numCores)
+        IMPSIM_PANIC("simulation did not complete (deadlock or limit)");
+
+    SimStats s;
+    s.perCore.reserve(cores_.size());
+    for (auto &core : cores_) {
+        s.perCore.push_back(core->stats());
+        s.core.merge(core->stats());
+        if (core->stats().finishTick > s.cycles)
+            s.cycles = core->stats().finishTick;
+    }
+    s.l1 = hier_->l1Stats();
+    s.l2 = hier_->l2Stats();
+    s.noc = hier_->noc().stats();
+    s.dram = hier_->dram().stats();
+    return s;
+}
+
+} // namespace impsim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Graph500 BFS kernel (paper §5.3): level-synchronised breadth-first
+ * search over an RMAT graph. Frontier entries index rowPtr (shift 2
+ * indirect), and neighbor ids index the parent array (shift 2).
+ */
+#include "workloads/apps/app_common.hpp"
+#include "workloads/graph_gen.hpp"
+
+namespace impsim {
+
+Workload
+makeGraph500(const WorkloadParams &p)
+{
+    const std::uint32_t vertices =
+        pow2Floor(scaled(32768, p.scale, 1024));
+    const std::uint32_t edges = vertices * 8;
+    Csr g = makeRmatGraph(vertices, edges, p.seed);
+
+    TraceBuilder tb(p.numCores);
+    Addr row_ptr = tb.putArray("row_ptr", g.rowPtr);
+    Addr col = tb.putArray("col_idx", g.col);
+    Addr parent = tb.allocArray("parent", std::uint64_t{vertices} * 4);
+
+    enum : std::uint32_t {
+        kPcFrontier = 0x5400,
+        kPcRowPtr,
+        kPcCol,
+        kPcParentLd,
+        kPcParentSt,
+        kPcPush,
+        kPcColPf,
+        kPcPf,
+        kPcSync,
+    };
+
+    // Per-core sync word touched once per level, so every core reaches
+    // every barrier even when its frontier slice is empty.
+    Addr sync = tb.allocArray("sync", std::uint64_t{p.numCores} * 64);
+
+    // Run the BFS functionally while emitting the trace level by
+    // level. Pick the highest-degree vertex as root so the search
+    // reaches most of the RMAT giant component.
+    std::uint32_t root = 0;
+    for (std::uint32_t v = 0; v < vertices; ++v) {
+        if (g.rowDegree(v) > g.rowDegree(root))
+            root = v;
+    }
+
+    std::vector<std::int32_t> par(vertices, -1);
+    par[root] = static_cast<std::int32_t>(root);
+    std::vector<std::uint32_t> frontier{root};
+    std::uint32_t level = 0;
+
+    while (!frontier.empty()) {
+        // The current frontier was fully written in the previous
+        // level; materialise it at a stable address.
+        Addr faddr = tb.putArray("frontier" + std::to_string(level),
+                                 frontier);
+        if (level > 0)
+            tb.barrier();
+
+        std::vector<std::uint32_t> next;
+        std::uint32_t fsize = static_cast<std::uint32_t>(frontier.size());
+        // Each core appends discovered vertices to its own chunk of a
+        // staging area; the compacted frontier of the next level is
+        // re-materialised above (as the real code's compaction does).
+        Addr stage = tb.allocArray("stage" + std::to_string(level),
+                                   std::uint64_t{vertices} * 4);
+        std::uint32_t chunk = vertices / p.numCores + 1;
+        std::vector<std::uint32_t> pushed(p.numCores, 0);
+
+        for (std::uint32_t c = 0; c < p.numCores; ++c) {
+            tb.load(c, kPcSync, sync + std::uint64_t{c} * 64, 4,
+                    AccessType::Other, 2);
+            Range r = coreSlice(fsize, p.numCores, c);
+            for (std::uint32_t k = r.begin; k < r.end; ++k) {
+                std::uint32_t u = frontier[k];
+                std::size_t up =
+                    tb.load(c, kPcFrontier, faddr + k * 4ull, 4,
+                            AccessType::Stream, 2);
+                std::size_t here = tb.position(c);
+                tb.load(c, kPcRowPtr, row_ptr + u * 4ull, 4,
+                        AccessType::Indirect, 1,
+                        static_cast<std::uint32_t>(here - up));
+                std::uint32_t jb = g.rowPtr[u], je = g.rowPtr[u + 1];
+                for (std::uint32_t j = jb; j < je; ++j) {
+                    std::size_t cp =
+                        tb.load(c, kPcCol, col + j * 4ull, 4,
+                                AccessType::Stream, 1);
+                    if (p.swPrefetch && j + kSwPrefetchDistance < je) {
+                        std::uint32_t jd = j + kSwPrefetchDistance;
+                        tb.load(c, kPcColPf, col + jd * 4ull, 4,
+                                AccessType::Stream, 1);
+                        tb.swPrefetch(c, kPcPf,
+                                      parent + g.col[jd] * 4ull, 2);
+                    }
+                    std::uint32_t v = g.col[j];
+                    here = tb.position(c);
+                    tb.load(c, kPcParentLd, parent + v * 4ull, 4,
+                            AccessType::Indirect, 3,
+                            static_cast<std::uint32_t>(here - cp));
+                    if (par[v] == -1) {
+                        par[v] = static_cast<std::int32_t>(u);
+                        next.push_back(v);
+                        here = tb.position(c);
+                        tb.store(c, kPcParentSt, parent + v * 4ull, 4,
+                                 AccessType::Indirect, 1,
+                                 static_cast<std::uint32_t>(here - cp));
+                        // Append to this core's next-frontier chunk.
+                        tb.store(c, kPcPush,
+                                 stage +
+                                     (std::uint64_t{c} * chunk +
+                                      pushed[c]) *
+                                         4,
+                                 4, AccessType::Other, 1);
+                        ++pushed[c];
+                    }
+                }
+            }
+        }
+        frontier = std::move(next);
+        ++level;
+    }
+
+    for (std::uint32_t c = 0; c < p.numCores; ++c)
+        tb.tail(c, 16);
+
+    Workload w;
+    w.name = "graph500";
+    w.traces = tb.take();
+    w.mem = tb.memPtr();
+    return w;
+}
+
+} // namespace impsim

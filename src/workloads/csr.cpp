@@ -1,0 +1,37 @@
+/**
+ * @file
+ * CSR helpers.
+ */
+#include "workloads/csr.hpp"
+
+#include <algorithm>
+
+namespace impsim {
+
+void
+Csr::sortRows()
+{
+    for (std::uint32_t r = 0; r < numRows; ++r) {
+        std::sort(col.begin() + rowPtr[r], col.begin() + rowPtr[r + 1]);
+    }
+}
+
+bool
+Csr::wellFormed() const
+{
+    if (rowPtr.size() != std::size_t{numRows} + 1)
+        return false;
+    if (rowPtr.front() != 0 || rowPtr.back() != col.size())
+        return false;
+    for (std::uint32_t r = 0; r < numRows; ++r) {
+        if (rowPtr[r] > rowPtr[r + 1])
+            return false;
+    }
+    for (std::uint32_t c : col) {
+        if (c >= numCols)
+            return false;
+    }
+    return true;
+}
+
+} // namespace impsim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Compressed Sparse Row structure shared by graphs and matrices
+ * (paper §5.3; Dongarra's CSR reference [9]).
+ */
+#ifndef IMPSIM_WORKLOADS_CSR_HPP
+#define IMPSIM_WORKLOADS_CSR_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace impsim {
+
+/** CSR adjacency / sparsity structure. */
+struct Csr
+{
+    std::uint32_t numRows = 0;
+    std::uint32_t numCols = 0;
+    /** numRows + 1 offsets into col. */
+    std::vector<std::uint32_t> rowPtr;
+    /** Column indices (neighbor ids), row-major. */
+    std::vector<std::uint32_t> col;
+
+    std::uint32_t nnz() const
+    {
+        return static_cast<std::uint32_t>(col.size());
+    }
+
+    std::uint32_t
+    rowDegree(std::uint32_t r) const
+    {
+        return rowPtr[r + 1] - rowPtr[r];
+    }
+
+    /** Sorts column indices within each row (canonical form). */
+    void sortRows();
+
+    /** Internal consistency check (tests). */
+    bool wellFormed() const;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_WORKLOADS_CSR_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Sparse matrix synthesis.
+ */
+#include "workloads/sparse_matrix.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace impsim {
+
+Csr
+makeBandedMatrix(std::uint32_t rows, std::uint32_t nnz_per_row,
+                 std::uint32_t bandwidth, std::uint64_t seed)
+{
+    IMPSIM_CHECK(rows > 0 && nnz_per_row > 0, "empty matrix");
+    Rng rng(seed);
+    Csr m;
+    m.numRows = rows;
+    m.numCols = rows;
+    m.rowPtr.assign(std::size_t{rows} + 1, 0);
+    m.col.reserve(std::size_t{rows} * nnz_per_row);
+
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        std::uint32_t lo = r > bandwidth ? r - bandwidth : 0;
+        std::uint32_t hi = std::min(rows - 1, r + bandwidth);
+        for (std::uint32_t k = 0; k < nnz_per_row; ++k) {
+            std::uint32_t c;
+            if (k + 1 == nnz_per_row) {
+                c = r; // Diagonal always present.
+            } else if (k + 3 >= nnz_per_row) {
+                // Long-range couplings (unstructured-mesh fill-in).
+                c = static_cast<std::uint32_t>(rng.below(rows));
+            } else {
+                c = lo + static_cast<std::uint32_t>(
+                             rng.below(std::uint64_t{hi} - lo + 1));
+            }
+            m.col.push_back(c);
+        }
+        m.rowPtr[r + 1] = static_cast<std::uint32_t>(m.col.size());
+    }
+    m.sortRows();
+    return m;
+}
+
+} // namespace impsim

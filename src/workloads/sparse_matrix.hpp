@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Synthetic sparse matrices for the HPCG-derived workloads (SpMV and
+ * SymGS, paper §5.3).
+ */
+#ifndef IMPSIM_WORKLOADS_SPARSE_MATRIX_HPP
+#define IMPSIM_WORKLOADS_SPARSE_MATRIX_HPP
+
+#include <cstdint>
+
+#include "workloads/csr.hpp"
+
+namespace impsim {
+
+/**
+ * Banded random matrix resembling an HPCG 27-point stencil after
+ * reordering: each row has @p nnz_per_row nonzeros clustered within
+ * +/- @p bandwidth of the diagonal (clipped at the edges), plus a few
+ * long-range couplings that defeat pure spatial locality.
+ */
+Csr makeBandedMatrix(std::uint32_t rows, std::uint32_t nnz_per_row,
+                     std::uint32_t bandwidth, std::uint64_t seed);
+
+} // namespace impsim
+
+#endif // IMPSIM_WORKLOADS_SPARSE_MATRIX_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Workload registry.
+ */
+#include "workloads/workload.hpp"
+
+#include "common/logging.hpp"
+
+namespace impsim {
+
+const char *
+appName(AppId app)
+{
+    switch (app) {
+      case AppId::Pagerank:
+        return "pagerank";
+      case AppId::TriCount:
+        return "tri_count";
+      case AppId::Graph500:
+        return "graph500";
+      case AppId::Sgd:
+        return "sgd";
+      case AppId::Lsh:
+        return "lsh";
+      case AppId::Spmv:
+        return "spmv";
+      case AppId::Symgs:
+        return "symgs";
+      case AppId::Streaming:
+        return "streaming";
+    }
+    IMPSIM_PANIC("unknown app");
+}
+
+Workload
+makeWorkload(AppId app, const WorkloadParams &params)
+{
+    switch (app) {
+      case AppId::Pagerank:
+        return makePagerank(params);
+      case AppId::TriCount:
+        return makeTriCount(params);
+      case AppId::Graph500:
+        return makeGraph500(params);
+      case AppId::Sgd:
+        return makeSgd(params);
+      case AppId::Lsh:
+        return makeLsh(params);
+      case AppId::Spmv:
+        return makeSpmv(params);
+      case AppId::Symgs:
+        return makeSymgs(params);
+      case AppId::Streaming:
+        return makeStreaming(params);
+    }
+    IMPSIM_PANIC("unknown app");
+}
+
+} // namespace impsim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Test double for PrefetchHost plus a small L1-like driver that feeds
+ * a prefetcher the access/miss/fill/evict streams a real cache would.
+ */
+#ifndef IMPSIM_TESTS_FAKE_HOST_HPP
+#define IMPSIM_TESTS_FAKE_HOST_HPP
+
+#include <set>
+#include <vector>
+
+#include "common/func_mem.hpp"
+#include "core/prefetcher.hpp"
+
+namespace impsim {
+
+/** Records prefetch requests; tracks a resident-line set. */
+class FakeHost : public PrefetchHost
+{
+  public:
+    FuncMem mem;
+    std::set<Addr> resident;
+    std::vector<PrefetchRequest> issued;
+    Tick tick = 0;
+    bool accept = true;
+
+    bool
+    linePresent(Addr addr) const override
+    {
+        return resident.count(lineAlign(addr)) != 0;
+    }
+
+    bool
+    issuePrefetch(const PrefetchRequest &req) override
+    {
+        if (!accept || linePresent(req.addr))
+            return false;
+        issued.push_back(req);
+        return true;
+    }
+
+    std::uint64_t
+    readValue(Addr addr, std::uint32_t bytes) const override
+    {
+        return mem.loadIndex(addr, bytes);
+    }
+
+    Tick now() const override { return tick; }
+
+    /** Prefetches issued for lines containing @p addr. */
+    std::size_t
+    issuedFor(Addr addr) const
+    {
+        std::size_t n = 0;
+        for (const auto &r : issued)
+            n += lineOf(r.addr) == lineOf(addr) ? 1 : 0;
+        return n;
+    }
+};
+
+/**
+ * Minimal L1 stand-in: resolves hits against the host's resident set,
+ * invokes the prefetcher hooks in controller order, and (optionally)
+ * completes issued prefetches immediately after the access.
+ */
+class PrefetchDriver
+{
+  public:
+    PrefetchDriver(FakeHost &host, Prefetcher &pf)
+        : host_(host), pf_(pf)
+    {}
+
+    /** Instantly complete prefetch fills after each access. */
+    bool autoFill = true;
+
+    void
+    access(Addr addr, std::uint32_t pc, std::uint8_t size = 4,
+           bool write = false)
+    {
+        ++host_.tick;
+        Addr line = lineAlign(addr);
+        bool hit = host_.resident.count(line) != 0;
+        AccessInfo info{addr, pc, size, write, hit};
+        pf_.onAccess(info);
+        if (!hit) {
+            pf_.onMiss(info);
+            host_.resident.insert(line); // Demand fill.
+        }
+        if (autoFill)
+            drainPrefetches();
+    }
+
+    /** Completes every outstanding prefetch (fills + callbacks). */
+    void
+    drainPrefetches()
+    {
+        // onPrefetchFill may chain more prefetches; loop to fixpoint.
+        while (drained_ < host_.issued.size()) {
+            const PrefetchRequest &r = host_.issued[drained_++];
+            host_.resident.insert(lineAlign(r.addr));
+            pf_.onPrefetchFill(lineAlign(r.addr), r.patternId);
+        }
+    }
+
+    void
+    evict(Addr line)
+    {
+        host_.resident.erase(lineAlign(line));
+        pf_.onEvict(lineAlign(line));
+    }
+
+  private:
+    FakeHost &host_;
+    Prefetcher &pf_;
+    std::size_t drained_ = 0;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_TESTS_FAKE_HOST_HPP

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for configuration derivation, RNG determinism and the
+ * statistics structs.
+ */
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/intmath.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "sim/presets.hpp"
+
+namespace impsim {
+namespace {
+
+TEST(Config, MeshDimensions)
+{
+    SystemConfig cfg;
+    cfg.numCores = 16;
+    EXPECT_EQ(cfg.meshDim(), 4u);
+    cfg.numCores = 64;
+    EXPECT_EQ(cfg.meshDim(), 8u);
+    cfg.numCores = 256;
+    EXPECT_EQ(cfg.meshDim(), 16u);
+}
+
+TEST(Config, MemControllersScaleWithSqrtN)
+{
+    SystemConfig cfg;
+    cfg.numCores = 16;
+    EXPECT_EQ(cfg.numMemControllers(), 4u);
+    cfg.numCores = 256;
+    EXPECT_EQ(cfg.numMemControllers(), 16u);
+}
+
+TEST(Config, L2SliceShrinksWithCores)
+{
+    SystemConfig a, b;
+    a.numCores = 16;
+    b.numCores = 256;
+    EXPECT_GT(a.l2SliceBytes(), b.l2SliceBytes());
+    // Set count must stay a power of two for indexing.
+    std::uint32_t sets = a.l2SliceBytes() / (kLineSize * a.l2Ways);
+    EXPECT_TRUE(isPow2(sets));
+}
+
+TEST(Config, SectorCounts)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.l1Sectors(), 8u);  // 8 B sectors (Table 2).
+    EXPECT_EQ(cfg.l2Sectors(), 2u);  // 32 B sectors (Table 2).
+}
+
+TEST(Config, Table2Defaults)
+{
+    ImpConfig imp;
+    EXPECT_EQ(imp.ptEntries, 16u);
+    EXPECT_EQ(imp.ipdEntries, 4u);
+    EXPECT_EQ(imp.maxPrefetchDistance, 16u);
+    EXPECT_EQ(imp.maxIndirectWays, 2u);
+    EXPECT_EQ(imp.maxIndirectLevels, 2u);
+    EXPECT_EQ(imp.baseAddrSlots, 4u);
+    // Shifts 2, 3, 4, -3 == Coeff 4, 8, 16, 1/8.
+    EXPECT_EQ(imp.shifts[0], 2);
+    EXPECT_EQ(imp.shifts[1], 3);
+    EXPECT_EQ(imp.shifts[2], 4);
+    EXPECT_EQ(imp.shifts[3], -3);
+}
+
+TEST(ConfigDeath, NonSquareCoreCountIsFatal)
+{
+    SystemConfig cfg;
+    cfg.numCores = 12;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "perfect square");
+}
+
+TEST(Presets, NamesAndFlags)
+{
+    EXPECT_STREQ(presetName(ConfigPreset::Baseline), "Base");
+    EXPECT_STREQ(presetName(ConfigPreset::Imp), "IMP");
+    EXPECT_TRUE(presetWantsSwPrefetch(ConfigPreset::SwPref));
+    EXPECT_FALSE(presetWantsSwPrefetch(ConfigPreset::Imp));
+}
+
+TEST(Presets, ConfigurationsMatchPaper)
+{
+    SystemConfig ideal = makePreset(ConfigPreset::Ideal, 64);
+    EXPECT_TRUE(ideal.magicMemory);
+
+    SystemConfig pp = makePreset(ConfigPreset::PerfectPref, 64);
+    EXPECT_TRUE(pp.perfectMemory);
+    EXPECT_FALSE(pp.magicMemory);
+
+    SystemConfig base = makePreset(ConfigPreset::Baseline, 64);
+    EXPECT_EQ(base.prefetcher, PrefetcherKind::Stream);
+    EXPECT_EQ(base.partial, PartialMode::Off);
+
+    SystemConfig imp = makePreset(ConfigPreset::Imp, 64);
+    EXPECT_EQ(imp.prefetcher, PrefetcherKind::Imp);
+
+    SystemConfig pn = makePreset(ConfigPreset::ImpPartialNoc, 64);
+    EXPECT_EQ(pn.partial, PartialMode::NocOnly);
+
+    SystemConfig pd = makePreset(ConfigPreset::ImpPartialNocDram, 64);
+    EXPECT_EQ(pd.partial, PartialMode::NocAndDram);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(r.below(17), 17u);
+    }
+}
+
+TEST(Stats, CoverageDefinition)
+{
+    CacheStats s;
+    s.misses = 50;
+    s.prefUsefulFirstTouch = 40;
+    s.prefLate = 10;
+    // 50 covered out of 100 would-be misses.
+    EXPECT_DOUBLE_EQ(s.coverage(), 0.5);
+}
+
+TEST(Stats, AccuracyDefinition)
+{
+    CacheStats s;
+    s.prefUsefulFirstTouch = 30;
+    s.prefLate = 10;
+    s.prefUnused = 60;
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.4);
+}
+
+TEST(Stats, EmptyMetricsAreZero)
+{
+    CacheStats s;
+    EXPECT_DOUBLE_EQ(s.coverage(), 0.0);
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.0);
+}
+
+TEST(Stats, MergeAccumulates)
+{
+    CoreStats a, b;
+    a.instructions = 10;
+    a.finishTick = 100;
+    a.stallCycles[0] = 5;
+    b.instructions = 20;
+    b.finishTick = 50;
+    b.stallCycles[0] = 7;
+    a.merge(b);
+    EXPECT_EQ(a.instructions, 30u);
+    EXPECT_EQ(a.finishTick, 100u); // Max, not sum.
+    EXPECT_EQ(a.stallCycles[0], 12u);
+}
+
+TEST(Stats, SimStatsDerived)
+{
+    SimStats s;
+    s.cycles = 100;
+    s.core.instructions = 250;
+    EXPECT_DOUBLE_EQ(s.ipc(), 2.5);
+    s.core.loadLatencySum = 300;
+    s.core.loadLatencyCount = 100;
+    EXPECT_DOUBLE_EQ(s.avgLoadLatency(), 3.0);
+}
+
+TEST(AccessTypeNames, AllDistinct)
+{
+    EXPECT_STREQ(accessTypeName(AccessType::Stream), "stream");
+    EXPECT_STREQ(accessTypeName(AccessType::Indirect), "indirect");
+    EXPECT_STREQ(accessTypeName(AccessType::Other), "other");
+}
+
+} // namespace
+} // namespace impsim

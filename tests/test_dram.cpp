@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the DRAM models and controller placement.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/dram.hpp"
+
+namespace impsim {
+namespace {
+
+TEST(SimpleDram, UncontendedReadLatency)
+{
+    SimpleDram d(4, 100, 10.0);
+    // 64 B at 10 B/cycle: 100 + ceil(64/10) = 107.
+    EXPECT_EQ(d.access(0, 0x1000, 64, false, 50), 50u + 100 + 7);
+    EXPECT_EQ(d.stats().reads, 1u);
+    EXPECT_EQ(d.stats().bytesRead, 64u);
+}
+
+TEST(SimpleDram, WriteSkipsAccessLatency)
+{
+    SimpleDram d(1, 100, 10.0);
+    Tick t = d.access(0, 0x2000, 64, true, 10);
+    EXPECT_LT(t, 10u + 100);
+    EXPECT_EQ(d.stats().writes, 1u);
+    EXPECT_EQ(d.stats().bytesWritten, 64u);
+}
+
+TEST(SimpleDram, BandwidthThrottlesBursts)
+{
+    SimpleDram d(1, 100, 10.0);
+    Tick last = 0;
+    // 100 lines at once: 6400 B at 10 B/cycle needs ~640 cycles.
+    for (int i = 0; i < 100; ++i)
+        last = std::max(last, d.access(0, i * 64, 64, false, 0));
+    EXPECT_GT(last, 600u);
+    EXPECT_GT(d.stats().queueCycles, 0u);
+}
+
+TEST(SimpleDram, ControllersAreIndependent)
+{
+    SimpleDram d(2, 100, 10.0);
+    for (int i = 0; i < 50; ++i)
+        d.access(0, i * 64, 64, false, 0);
+    // Controller 1 is idle: no queueing there.
+    Tick t = d.access(1, 0x9000, 64, false, 0);
+    EXPECT_EQ(t, 0u + 100 + 7);
+}
+
+TEST(Ddr3, RowHitFasterThanRowMiss)
+{
+    SystemConfig cfg;
+    cfg.numCores = 16;
+    Ddr3Dram d(4, cfg);
+    Addr row_a = 0;
+    Addr row_b = cfg.dramRowBytes * cfg.dramBanksPerRank; // Same bank.
+    Tick miss1 = d.access(0, row_a, 64, false, 0) - 0;
+    Tick hit = d.access(0, row_a + 64, 64, false, 10000) - 10000;
+    Tick miss2 = d.access(0, row_b, 64, false, 20000) - 20000;
+    EXPECT_LT(hit, miss2);
+    EXPECT_EQ(d.stats().rowHits, 1u);
+    EXPECT_EQ(d.stats().rowMisses, 2u);
+    (void)miss1;
+}
+
+TEST(Ddr3, BanksOverlap)
+{
+    SystemConfig cfg;
+    cfg.numCores = 16;
+    Ddr3Dram d(1, cfg);
+    // Two accesses to different banks at the same tick should not
+    // serialise on bank state (channel transfer still shared).
+    Tick a = d.access(0, 0, 64, false, 0);
+    Tick b = d.access(0, cfg.dramRowBytes, 64, false, 0);
+    // Different banks: b is delayed by channel transfer only, well
+    // under a full bank-miss serialisation.
+    EXPECT_LT(b, a + 30);
+}
+
+TEST(Ddr3, AgreesWithSimpleModelOnStream)
+{
+    // Paper §5.1: the simple model is within ~5% of DRAMSim on their
+    // workloads; on a row-friendly stream ours should land close too.
+    SystemConfig cfg;
+    cfg.numCores = 16;
+    Ddr3Dram ddr(1, cfg);
+    SimpleDram simple(1, cfg.dramLatencyCycles, cfg.dramBytesPerCycle);
+    Tick t_ddr = 0, t_simple = 0;
+    Tick when = 0;
+    for (int i = 0; i < 400; ++i) {
+        t_ddr = ddr.access(0, i * 64, 64, false, when);
+        t_simple = simple.access(0, i * 64, 64, false, when);
+        when += 12; // Offered just above channel bandwidth.
+    }
+    double ratio = static_cast<double>(t_ddr) /
+                   static_cast<double>(t_simple);
+    EXPECT_GT(ratio, 0.6);
+    EXPECT_LT(ratio, 1.4);
+}
+
+TEST(McMap, LineInterleaving)
+{
+    McMap map(8);
+    EXPECT_EQ(map.numControllers(), 8u);
+    // Consecutive lines hit consecutive controllers.
+    std::uint32_t prev = map.mcOf(0);
+    for (int i = 1; i < 16; ++i) {
+        std::uint32_t mc = map.mcOf(i * 64);
+        EXPECT_EQ(mc, (prev + 1) % 8);
+        prev = mc;
+    }
+}
+
+TEST(McMap, DiamondPlacementDistinctTiles)
+{
+    for (std::uint32_t dim : {4u, 8u, 16u}) {
+        McMap map(dim);
+        std::set<CoreId> tiles;
+        for (std::uint32_t m = 0; m < dim; ++m) {
+            CoreId t = map.tileOf(m);
+            EXPECT_LT(t, dim * dim);
+            tiles.insert(t);
+            // One controller per mesh row.
+            EXPECT_EQ(t / dim, m);
+        }
+        EXPECT_EQ(tiles.size(), dim);
+    }
+}
+
+TEST(DramFactory, BuildsConfiguredKind)
+{
+    SystemConfig cfg;
+    cfg.numCores = 16;
+    cfg.dramModel = DramModelKind::Simple;
+    auto simple = makeDram(cfg);
+    EXPECT_NE(dynamic_cast<SimpleDram *>(simple.get()), nullptr);
+    cfg.dramModel = DramModelKind::Ddr3;
+    auto ddr = makeDram(cfg);
+    EXPECT_NE(dynamic_cast<Ddr3Dram *>(ddr.get()), nullptr);
+}
+
+/** Property: returned completion is never before the request. */
+class DramSweep : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(DramSweep, CompletionAfterRequest)
+{
+    std::uint32_t bytes = GetParam();
+    SystemConfig cfg;
+    cfg.numCores = 16;
+    Ddr3Dram d(2, cfg);
+    for (Tick when = 0; when < 2000; when += 137) {
+        Tick t = d.access(when % 2, when * 64, bytes, when % 3 == 0,
+                          when);
+        EXPECT_GE(t, when);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bytes, DramSweep,
+                         ::testing::Values(8u, 32u, 64u));
+
+} // namespace
+} // namespace impsim

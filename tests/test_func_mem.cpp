@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the functional memory image and region allocator.
+ */
+#include <gtest/gtest.h>
+
+#include "common/func_mem.hpp"
+#include "common/virt_alloc.hpp"
+
+namespace impsim {
+namespace {
+
+TEST(FuncMem, ScalarRoundTrip)
+{
+    FuncMem m;
+    m.store<std::uint32_t>(0x1000, 0xdeadbeef);
+    EXPECT_EQ(m.load<std::uint32_t>(0x1000), 0xdeadbeefu);
+    m.store<std::uint64_t>(0x2000, 0x0123456789abcdefull);
+    EXPECT_EQ(m.load<std::uint64_t>(0x2000), 0x0123456789abcdefull);
+}
+
+TEST(FuncMem, UnwrittenReadsZero)
+{
+    FuncMem m;
+    EXPECT_EQ(m.load<std::uint64_t>(0x100000), 0u);
+    EXPECT_EQ(m.pageCount(), 0u);
+}
+
+TEST(FuncMem, CrossPageAccess)
+{
+    FuncMem m;
+    Addr addr = FuncMem::kPageBytes - 3; // Straddles first two pages.
+    m.store<std::uint64_t>(addr, 0x1122334455667788ull);
+    EXPECT_EQ(m.load<std::uint64_t>(addr), 0x1122334455667788ull);
+    EXPECT_EQ(m.pageCount(), 2u);
+}
+
+TEST(FuncMem, PartialOverwrite)
+{
+    FuncMem m;
+    m.store<std::uint64_t>(0x40, 0xffffffffffffffffull);
+    m.store<std::uint16_t>(0x42, 0);
+    EXPECT_EQ(m.load<std::uint64_t>(0x40), 0xffffffff0000ffffull);
+}
+
+TEST(FuncMem, LoadIndexWidths)
+{
+    FuncMem m;
+    m.store<std::uint64_t>(0x80, 0x8877665544332211ull);
+    EXPECT_EQ(m.loadIndex(0x80, 1), 0x11u);
+    EXPECT_EQ(m.loadIndex(0x80, 2), 0x2211u);
+    EXPECT_EQ(m.loadIndex(0x80, 4), 0x44332211u);
+    EXPECT_EQ(m.loadIndex(0x80, 8), 0x8877665544332211ull);
+    // Odd widths (stride-derived guesses) read little-endian prefixes.
+    EXPECT_EQ(m.loadIndex(0x80, 3), 0x332211u);
+    EXPECT_EQ(m.loadIndex(0x80, 5), 0x5544332211ull);
+    // Oversized widths clamp to 8.
+    EXPECT_EQ(m.loadIndex(0x80, 12), 0x8877665544332211ull);
+}
+
+TEST(FuncMem, BulkArrayRoundTrip)
+{
+    FuncMem m;
+    std::vector<std::uint32_t> data(5000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint32_t>(i * 7);
+    m.write(0x7000, data.data(),
+            static_cast<std::uint32_t>(data.size() * 4));
+    for (std::size_t i = 0; i < data.size(); i += 97)
+        EXPECT_EQ(m.load<std::uint32_t>(0x7000 + i * 4), i * 7);
+}
+
+TEST(VirtAlloc, AlignedAndDisjoint)
+{
+    VirtAlloc va;
+    Addr a = va.alloc("a", 100, 64);
+    Addr b = va.alloc("b", 100, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_EQ(va.regions().size(), 2u);
+}
+
+TEST(VirtAlloc, PageGapBetweenRegions)
+{
+    VirtAlloc va;
+    Addr a = va.alloc("a", 10);
+    Addr b = va.alloc("b", 10);
+    // Regions must never share a 4 KB page.
+    EXPECT_NE(a / 4096, b / 4096);
+}
+
+TEST(VirtAlloc, FindLocatesOwner)
+{
+    VirtAlloc va;
+    Addr a = va.alloc("first", 256);
+    Addr b = va.alloc("second", 256);
+    ASSERT_NE(va.find(a + 128), nullptr);
+    EXPECT_EQ(va.find(a + 128)->name, "first");
+    ASSERT_NE(va.find(b), nullptr);
+    EXPECT_EQ(va.find(b)->name, "second");
+    EXPECT_EQ(va.find(a + 300), nullptr); // In the gap.
+}
+
+TEST(VirtAlloc, ContainsBoundaries)
+{
+    VirtRegion r{"x", 1000, 50};
+    EXPECT_TRUE(r.contains(1000));
+    EXPECT_TRUE(r.contains(1049));
+    EXPECT_FALSE(r.contains(1050));
+    EXPECT_FALSE(r.contains(999));
+}
+
+} // namespace
+} // namespace impsim

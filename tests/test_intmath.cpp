@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for common/intmath.hpp.
+ */
+#include <gtest/gtest.h>
+
+#include "common/intmath.hpp"
+#include "common/types.hpp"
+
+namespace impsim {
+namespace {
+
+TEST(IntMath, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 47));
+    EXPECT_FALSE(isPow2((1ull << 47) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0);
+    EXPECT_EQ(floorLog2(2), 1);
+    EXPECT_EQ(floorLog2(3), 1);
+    EXPECT_EQ(floorLog2(64), 6);
+    EXPECT_EQ(floorLog2(65), 6);
+    EXPECT_EQ(floorLog2(1ull << 40), 40);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0);
+    EXPECT_EQ(ceilLog2(2), 1);
+    EXPECT_EQ(ceilLog2(3), 2);
+    EXPECT_EQ(ceilLog2(64), 6);
+    EXPECT_EQ(ceilLog2(65), 7);
+}
+
+TEST(IntMath, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 8), 0u);
+    EXPECT_EQ(ceilDiv(1, 8), 1u);
+    EXPECT_EQ(ceilDiv(8, 8), 1u);
+    EXPECT_EQ(ceilDiv(9, 8), 2u);
+    EXPECT_EQ(ceilDiv(64, 10), 7u);
+}
+
+TEST(IntMath, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+}
+
+TEST(IntMath, Isqrt)
+{
+    EXPECT_EQ(isqrt(0), 0u);
+    EXPECT_EQ(isqrt(1), 1u);
+    EXPECT_EQ(isqrt(16), 4u);
+    EXPECT_EQ(isqrt(17), 4u);
+    EXPECT_EQ(isqrt(64), 8u);
+    EXPECT_EQ(isqrt(256), 16u);
+    EXPECT_EQ(isqrt(255), 15u);
+}
+
+/** Property: for every power of two, floor == ceil == exponent. */
+class Pow2Sweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(Pow2Sweep, LogsAgreeOnPowers)
+{
+    int e = GetParam();
+    std::uint64_t v = std::uint64_t{1} << e;
+    EXPECT_TRUE(isPow2(v));
+    EXPECT_EQ(floorLog2(v), e);
+    EXPECT_EQ(ceilLog2(v), e);
+    if (e > 1) {
+        EXPECT_FALSE(isPow2(v - 1));
+        EXPECT_EQ(ceilLog2(v - 1), e);
+        EXPECT_EQ(floorLog2(v + 1), e);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExponents, Pow2Sweep,
+                         ::testing::Range(0, 48));
+
+TEST(Types, LineHelpers)
+{
+    EXPECT_EQ(lineAlign(0x12345), 0x12340u);
+    EXPECT_EQ(lineOf(0x12345), 0x12345u >> 6);
+    EXPECT_EQ(lineOffset(0x12345), 0x5u);
+    EXPECT_EQ(lineAlign(0x12340), 0x12340u);
+}
+
+} // namespace
+} // namespace impsim

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the Indirect Pattern Detector, including the worked
+ * example of Fig 4 (shift = 2, BaseAddr = 0xFC).
+ */
+#include <gtest/gtest.h>
+
+#include "core/addr_gen.hpp"
+#include "core/ipd.hpp"
+
+namespace impsim {
+namespace {
+
+TEST(AddrGen, ShiftApplication)
+{
+    EXPECT_EQ(applyShift(5, 2), 20u);
+    EXPECT_EQ(applyShift(5, 3), 40u);
+    EXPECT_EQ(applyShift(5, 4), 80u);
+    EXPECT_EQ(applyShift(24, -3), 3u); // Coeff 1/8 (bit vectors).
+}
+
+TEST(AddrGen, Equation2)
+{
+    EXPECT_EQ(indirectAddr(16, 2, 0xFC), 0x13Cu); // Fig 4's numbers.
+    EXPECT_EQ(baseCandidate(0x13C, 16, 2), 0xFCu);
+}
+
+TEST(AddrGen, CoeffBytes)
+{
+    EXPECT_EQ(coeffBytes(2), 4u);
+    EXPECT_EQ(coeffBytes(3), 8u);
+    EXPECT_EQ(coeffBytes(4), 16u);
+    EXPECT_EQ(coeffBytes(-3), 1u);
+}
+
+ImpConfig
+defaultCfg()
+{
+    return ImpConfig{};
+}
+
+TEST(Ipd, Figure4WorkedExample)
+{
+    // Events from Fig 4: read idx1 (=1); miss 0x100; miss 0x120;
+    // read idx2 (=16); miss 0x13C  =>  shift 2, BaseAddr 0xFC.
+    Ipd ipd(defaultCfg());
+    EXPECT_EQ(ipd.feedIndex(0, IndType::Primary, 1),
+              Ipd::FeedResult::Allocated);
+    EXPECT_TRUE(ipd.onMiss(0x100).empty());
+    EXPECT_TRUE(ipd.onMiss(0x120).empty());
+    EXPECT_EQ(ipd.feedIndex(0, IndType::Primary, 16),
+              Ipd::FeedResult::SecondIndex);
+    auto found = ipd.onMiss(0x13C);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].ptId, 0);
+    EXPECT_EQ(found[0].shift, 2);
+    EXPECT_EQ(found[0].baseAddr, 0xFCu);
+    // Detection releases the entry (§3.2.2).
+    EXPECT_EQ(ipd.activeEntries(), 0u);
+}
+
+/** Detection works for every Table 2 shift value. */
+class ShiftSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ShiftSweep, DetectsPattern)
+{
+    std::int8_t shift = static_cast<std::int8_t>(GetParam());
+    Addr base = 0x7f000;
+    Ipd ipd(defaultCfg());
+    std::uint64_t idx1 = 88, idx2 = 1032;
+    ipd.feedIndex(2, IndType::Primary, idx1);
+    ipd.onMiss(indirectAddr(idx1, shift, base));
+    ipd.feedIndex(2, IndType::Primary, idx2);
+    auto found = ipd.onMiss(indirectAddr(idx2, shift, base));
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].shift, shift);
+    EXPECT_EQ(found[0].baseAddr, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2Shifts, ShiftSweep,
+                         ::testing::Values(2, 3, 4, -3));
+
+TEST(Ipd, NoiseMissesDoNotFoolIt)
+{
+    Ipd ipd(defaultCfg());
+    std::int8_t shift = 3;
+    Addr base = 0x40000;
+    ipd.feedIndex(0, IndType::Primary, 10);
+    // Unrelated misses plus the real one.
+    ipd.onMiss(0x999888);
+    ipd.onMiss(indirectAddr(10, shift, base));
+    ipd.onMiss(0x123456);
+    ipd.feedIndex(0, IndType::Primary, 500);
+    EXPECT_TRUE(ipd.onMiss(0x777000).empty());
+    auto found = ipd.onMiss(indirectAddr(500, shift, base));
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].baseAddr, base);
+}
+
+TEST(Ipd, ThirdIndexWithoutMatchFails)
+{
+    Ipd ipd(defaultCfg());
+    ipd.feedIndex(1, IndType::Primary, 5);
+    ipd.onMiss(0x1000);
+    ipd.feedIndex(1, IndType::Primary, 9);
+    ipd.onMiss(0x2000); // Doesn't pair with anything.
+    EXPECT_EQ(ipd.feedIndex(1, IndType::Primary, 13),
+              Ipd::FeedResult::Failed);
+    EXPECT_EQ(ipd.activeEntries(), 0u);
+}
+
+TEST(Ipd, DuplicateIndexValuesIgnored)
+{
+    Ipd ipd(defaultCfg());
+    ipd.feedIndex(0, IndType::Primary, 7);
+    EXPECT_EQ(ipd.feedIndex(0, IndType::Primary, 7),
+              Ipd::FeedResult::Ignored);
+    ipd.feedIndex(0, IndType::Primary, 9);
+    EXPECT_EQ(ipd.feedIndex(0, IndType::Primary, 9),
+              Ipd::FeedResult::Ignored);
+    EXPECT_EQ(ipd.feedIndex(0, IndType::Primary, 7),
+              Ipd::FeedResult::Ignored);
+}
+
+TEST(Ipd, TableFullReturnsNoSlot)
+{
+    ImpConfig cfg;
+    cfg.ipdEntries = 2;
+    Ipd ipd(cfg);
+    EXPECT_EQ(ipd.feedIndex(0, IndType::Primary, 1),
+              Ipd::FeedResult::Allocated);
+    EXPECT_EQ(ipd.feedIndex(1, IndType::Primary, 1),
+              Ipd::FeedResult::Allocated);
+    EXPECT_EQ(ipd.feedIndex(2, IndType::Primary, 1),
+              Ipd::FeedResult::NoSlot);
+}
+
+TEST(Ipd, OnlyFirstFewMissesRecorded)
+{
+    // baseAddrSlots misses after idx1 are remembered; later pairs
+    // must match one of those.
+    ImpConfig cfg;
+    cfg.baseAddrSlots = 2;
+    Ipd ipd(cfg);
+    Addr base = 0x10000;
+    ipd.feedIndex(0, IndType::Primary, 3);
+    ipd.onMiss(0xdead00);
+    ipd.onMiss(0xbeef00);
+    ipd.onMiss(indirectAddr(3, 2, base)); // Slot budget exhausted.
+    ipd.feedIndex(0, IndType::Primary, 4);
+    EXPECT_TRUE(ipd.onMiss(indirectAddr(4, 2, base)).empty());
+}
+
+TEST(Ipd, SeparateEntriesPerPurpose)
+{
+    Ipd ipd(defaultCfg());
+    ipd.feedIndex(0, IndType::Primary, 1);
+    ipd.feedIndex(0, IndType::SecondWay, 1);
+    EXPECT_TRUE(ipd.tracking(0, IndType::Primary));
+    EXPECT_TRUE(ipd.tracking(0, IndType::SecondWay));
+    EXPECT_FALSE(ipd.tracking(0, IndType::SecondLevel));
+    EXPECT_EQ(ipd.activeEntries(), 2u);
+}
+
+TEST(Ipd, ReleaseForDropsAllPurposes)
+{
+    Ipd ipd(defaultCfg());
+    ipd.feedIndex(3, IndType::Primary, 1);
+    ipd.feedIndex(3, IndType::SecondLevel, 2);
+    ipd.releaseFor(3);
+    EXPECT_EQ(ipd.activeEntries(), 0u);
+}
+
+TEST(Ipd, MultipleEntriesDetectIndependently)
+{
+    Ipd ipd(defaultCfg());
+    Addr base_a = 0x10000, base_b = 0x90000;
+    // Distinct index deltas: with equal deltas both hypotheses would
+    // be arithmetically consistent (a genuine hardware ambiguity).
+    ipd.feedIndex(0, IndType::Primary, 10);
+    ipd.feedIndex(1, IndType::Primary, 20);
+    ipd.onMiss(indirectAddr(10, 2, base_a));
+    ipd.onMiss(indirectAddr(20, 3, base_b));
+    ipd.feedIndex(0, IndType::Primary, 11);
+    ipd.feedIndex(1, IndType::Primary, 23);
+    auto f_a = ipd.onMiss(indirectAddr(11, 2, base_a));
+    ASSERT_EQ(f_a.size(), 1u);
+    EXPECT_EQ(f_a[0].ptId, 0);
+    auto f_b = ipd.onMiss(indirectAddr(23, 3, base_b));
+    ASSERT_EQ(f_b.size(), 1u);
+    EXPECT_EQ(f_b[0].ptId, 1);
+    EXPECT_EQ(f_b[0].shift, 3);
+}
+
+/** Property: random (shift, base) patterns always detected in one
+ *  idx1/idx2 round when misses are clean. */
+class IpdRandomSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(IpdRandomSweep, CleanPatternsDetected)
+{
+    int seed = GetParam();
+    std::uint64_t s = static_cast<std::uint64_t>(seed) * 2654435761u;
+    const std::int8_t shifts[] = {2, 3, 4, -3};
+    std::int8_t shift = shifts[s % 4];
+    Addr base = ((s >> 2) % 0xffff) << 8;
+    std::uint64_t i1 = 8 + (s % 1000) * 8, i2 = i1 + 1016;
+
+    Ipd ipd(defaultCfg());
+    ipd.feedIndex(0, IndType::Primary, i1);
+    ipd.onMiss(indirectAddr(i1, shift, base));
+    ipd.feedIndex(0, IndType::Primary, i2);
+    auto found = ipd.onMiss(indirectAddr(i2, shift, base));
+    ASSERT_GE(found.size(), 1u);
+    EXPECT_EQ(found[0].baseAddr, base);
+    EXPECT_EQ(found[0].shift, shift);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpdRandomSweep,
+                         ::testing::Range(1, 33));
+
+} // namespace
+} // namespace impsim

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Direct unit tests of the L2 slice controller: directory-driven
+ * timing composition, partial-mask conversion, DRAM interplay and
+ * writeback handling, using stub L1 backdoors.
+ */
+#include <gtest/gtest.h>
+
+#include "dram/dram.hpp"
+#include "noc/mesh.hpp"
+#include "sim/l2_controller.hpp"
+
+namespace impsim {
+namespace {
+
+/** Scripted backdoor: records calls, returns configured dirt. */
+class StubL1 final : public L1Backdoor
+{
+  public:
+    std::uint32_t dirtyToReturn = 0;
+    int invalidations = 0;
+    int downgrades = 0;
+
+    std::uint32_t
+    backInvalidate(Addr) override
+    {
+        ++invalidations;
+        return dirtyToReturn;
+    }
+
+    std::uint32_t
+    downgrade(Addr) override
+    {
+        ++downgrades;
+        return dirtyToReturn;
+    }
+};
+
+struct L2Fixture : public ::testing::Test
+{
+    SystemConfig cfg;
+    std::unique_ptr<MeshNoc> noc;
+    std::unique_ptr<McMap> mcmap;
+    std::unique_ptr<SimpleDram> dram;
+    std::unique_ptr<L2Controller> l2;
+    std::vector<StubL1> l1s;
+
+    void
+    build(PartialMode partial = PartialMode::Off)
+    {
+        cfg.numCores = 4;
+        cfg.partial = partial;
+        cfg.validate();
+        noc = std::make_unique<MeshNoc>(cfg.meshDim(), cfg.hopCycles,
+                                        cfg.flitBytes, cfg.headerFlits);
+        mcmap = std::make_unique<McMap>(cfg.meshDim());
+        dram = std::make_unique<SimpleDram>(cfg.numMemControllers(),
+                                            cfg.dramLatencyCycles,
+                                            cfg.dramBytesPerCycle);
+        l2 = std::make_unique<L2Controller>(0, cfg, *noc, *dram,
+                                            *mcmap);
+        l1s.resize(4);
+        std::vector<L1Backdoor *> ptrs;
+        for (auto &s : l1s)
+            ptrs.push_back(&s);
+        l2->connectL1s(ptrs);
+    }
+
+    /** Full-line mask at the L1's granularity. */
+    std::uint32_t
+    fullL1Mask() const
+    {
+        return cfg.partial != PartialMode::Off ? 0xffu : 0x1u;
+    }
+};
+
+TEST_F(L2Fixture, ColdFillGoesToDram)
+{
+    build();
+    L2FillResult r = l2->handleFill(0x10000, fullL1Mask(), false, 1,
+                                    100);
+    EXPECT_GE(r.ready, 100u + cfg.dramLatencyCycles);
+    EXPECT_EQ(r.payloadBytes, kLineSize);
+    EXPECT_TRUE(r.exclusiveGranted); // First reader gets E.
+    EXPECT_EQ(dram->stats().reads, 1u);
+    EXPECT_EQ(l2->stats().misses, 1u);
+}
+
+TEST_F(L2Fixture, SecondFillHitsInSlice)
+{
+    build();
+    l2->handleFill(0x10000, fullL1Mask(), false, 1, 100);
+    L2FillResult r = l2->handleFill(0x10000, fullL1Mask(), false, 2,
+                                    10000);
+    EXPECT_EQ(dram->stats().reads, 1u); // No second DRAM trip.
+    EXPECT_EQ(l2->stats().hits, 1u);
+    EXPECT_FALSE(r.exclusiveGranted); // Now shared.
+    // Owner (core 1) was downgraded on the way.
+    EXPECT_EQ(l1s[1].downgrades, 1);
+}
+
+TEST_F(L2Fixture, GetXInvalidatesSharers)
+{
+    build();
+    l2->handleFill(0x10000, fullL1Mask(), false, 0, 100);
+    l2->handleFill(0x10000, fullL1Mask(), false, 1, 1000);
+    l2->handleFill(0x10000, fullL1Mask(), false, 2, 2000);
+    L2FillResult w = l2->handleFill(0x10000, fullL1Mask(), true, 3,
+                                    10000);
+    EXPECT_TRUE(w.exclusiveGranted);
+    EXPECT_EQ(l1s[0].invalidations + l1s[1].invalidations +
+                  l1s[2].invalidations,
+              3);
+    // The acks extend the transaction beyond a bare L2 hit.
+    EXPECT_GT(w.ready - 10000,
+              Tick{cfg.l2LatencyCycles} + cfg.directoryLatencyCycles);
+}
+
+TEST_F(L2Fixture, UpgradeCarriesNoData)
+{
+    build();
+    l2->handleFill(0x10000, fullL1Mask(), false, 0, 100);
+    l2->handleFill(0x10000, fullL1Mask(), false, 1, 1000);
+    // Core 0 upgrades: mask 0 (it already holds the sectors).
+    L2FillResult r = l2->handleFill(0x10000, 0, true, 0, 5000);
+    EXPECT_EQ(r.payloadBytes, 0u);
+    EXPECT_TRUE(r.exclusiveGranted);
+    EXPECT_EQ(l1s[1].invalidations, 1);
+}
+
+TEST_F(L2Fixture, DirtyWritebackMergesIntoSlice)
+{
+    build();
+    l2->handleFill(0x10000, fullL1Mask(), true, 2, 100);
+    l2->handleWriteback(0x10000, fullL1Mask(), 2, 5000);
+    // Line stays in L2 with dirty data; a later eviction must write
+    // it to DRAM. Force eviction by filling the set.
+    std::uint32_t sets = l2->cache().numSets();
+    std::uint32_t ways = l2->cache().ways();
+    for (std::uint32_t i = 1; i <= ways; ++i) {
+        Addr conflict = 0x10000 + std::uint64_t{i} * sets * kLineSize;
+        l2->handleFill(conflict, fullL1Mask(), false, 0,
+                       10000 + i * 1000);
+    }
+    EXPECT_GE(dram->stats().writes, 1u);
+    EXPECT_GE(l2->stats().writebacks, 1u);
+}
+
+TEST_F(L2Fixture, WritebackToEvictedLineForwardsToDram)
+{
+    build();
+    // Writeback for a line the slice no longer holds.
+    l2->handleWriteback(0x30000, fullL1Mask(), 1, 100);
+    EXPECT_EQ(dram->stats().writes, 1u);
+}
+
+TEST_F(L2Fixture, PartialFillFetchesOnlyNeededDram)
+{
+    build(PartialMode::NocAndDram);
+    // One 8-byte L1 sector -> one 32-byte L2 sector from DRAM.
+    L2FillResult r = l2->handleFill(0x40000, 0x01, false, 1, 100);
+    EXPECT_EQ(r.payloadBytes, 8u); // One L1 sector on the NoC.
+    EXPECT_EQ(dram->stats().bytesRead, 32u);
+}
+
+TEST_F(L2Fixture, PartialSectorRefillFetchesDelta)
+{
+    build(PartialMode::NocAndDram);
+    l2->handleFill(0x40000, 0x01, false, 1, 100);   // Sector 0.
+    l2->handleFill(0x40000, 0x80, false, 1, 10000); // Sector 7.
+    // Second fetch covers only the other 32-byte half.
+    EXPECT_EQ(dram->stats().bytesRead, 64u);
+    EXPECT_EQ(l2->stats().misses, 2u);
+}
+
+TEST_F(L2Fixture, PartialHitWhenSectorAlreadyPresent)
+{
+    build(PartialMode::NocAndDram);
+    l2->handleFill(0x40000, 0x03, false, 1, 100); // Sectors 0-1.
+    l2->handleFill(0x40000, 0x02, false, 2, 10000);
+    EXPECT_EQ(dram->stats().reads, 1u);
+    EXPECT_EQ(l2->stats().hits, 1u);
+}
+
+TEST_F(L2Fixture, SliceEvictionLeavesL1sAlone)
+{
+    build();
+    // Non-inclusive: evicting clean L2 data must not back-invalidate.
+    l2->handleFill(0x10000, fullL1Mask(), false, 1, 100);
+    std::uint32_t sets = l2->cache().numSets();
+    std::uint32_t ways = l2->cache().ways();
+    for (std::uint32_t i = 1; i <= ways + 1; ++i) {
+        Addr conflict = 0x10000 + std::uint64_t{i} * sets * kLineSize;
+        l2->handleFill(conflict, fullL1Mask(), false, 0,
+                       1000 + i * 1000);
+    }
+    EXPECT_EQ(l1s[1].invalidations, 0);
+    // Directory still remembers core 1's copy.
+    EXPECT_EQ(l2->directory().peek(0x10000).owner, 1u);
+}
+
+} // namespace
+} // namespace impsim

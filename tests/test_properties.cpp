@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Cross-cutting property tests: randomised sweeps over configurations
+ * and inputs asserting invariants the design must uphold everywhere.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/addr_gen.hpp"
+#include "core/imp.hpp"
+#include "fake_host.hpp"
+#include "sim/presets.hpp"
+#include "sim/system.hpp"
+#include "workloads/trace_builder.hpp"
+#include "workloads/workload.hpp"
+
+namespace impsim {
+namespace {
+
+/**
+ * Property: for ANY random interleaving of stream/indirect/noise
+ * accesses, every indirect prefetch IMP issues targets a line that a
+ * legal A[B[j]] access could touch — IMP never fabricates addresses
+ * outside the pattern once detected correctly.
+ */
+class ImpAddressSafety : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ImpAddressSafety, PrefetchesStayInsidePatterns)
+{
+    Rng rng(GetParam() * 7919 + 13);
+    constexpr Addr kB = 0x100000, kA = 0x800000;
+    const std::int8_t shifts[] = {2, 3, 4};
+    std::int8_t shift = shifts[rng.below(3)];
+
+    FakeHost host;
+    ImpConfig cfg;
+    StreamConfig scfg;
+    GpConfig gcfg;
+    ImpPrefetcher imp(host, cfg, scfg, gcfg, false);
+    PrefetchDriver drv(host, imp);
+
+    std::vector<std::uint32_t> b(256);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        b[i] = static_cast<std::uint32_t>(rng.below(8192));
+        host.mem.store<std::uint32_t>(kB + i * 4, b[i]);
+    }
+
+    for (int i = 0; i < 200; ++i) {
+        std::size_t idx = i % b.size();
+        drv.access(kB + idx * 4, 1, 4);
+        drv.access(indirectAddr(b[idx], shift, kA), 2, 8);
+        if (rng.chance(0.2)) // Unrelated noise access.
+            drv.access(0x4000000 + rng.below(1 << 20), 3, 8);
+    }
+
+    std::set<Addr> legal;
+    for (std::uint32_t v : b)
+        legal.insert(lineOf(indirectAddr(v, shift, kA)));
+    for (const auto &r : host.issued) {
+        if (!r.indirect)
+            continue;
+        EXPECT_TRUE(legal.count(lineOf(r.addr)))
+            << "shift=" << int(shift) << " addr=" << std::hex << r.addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImpAddressSafety,
+                         ::testing::Range(0, 24));
+
+/**
+ * Property: detection converges for any element size / shift combo
+ * within a bounded number of loop iterations.
+ */
+class DetectionLatency : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DetectionLatency, DetectsWithinTenIterations)
+{
+    Rng rng(GetParam() * 104729 + 7);
+    const std::int8_t shifts[] = {2, 3, 4, -3};
+    std::int8_t shift = shifts[rng.below(4)];
+    Addr base = 0x800000 + rng.below(1024) * 64;
+    constexpr Addr kB = 0x100000;
+
+    FakeHost host;
+    ImpConfig cfg;
+    StreamConfig scfg;
+    GpConfig gcfg;
+    ImpPrefetcher imp(host, cfg, scfg, gcfg, false);
+    PrefetchDriver drv(host, imp);
+
+    int detected_at = -1;
+    for (int i = 0; i < 16; ++i) {
+        // Spread values so indirect targets keep missing.
+        std::uint32_t v = static_cast<std::uint32_t>(
+            rng.below(1 << 16) | 1u << 17);
+        host.mem.store<std::uint32_t>(kB + i * 4, v);
+        drv.access(kB + i * 4, 1, 4);
+        drv.access(indirectAddr(v, shift, base), 2, 1);
+        if (imp.impStats().primaryDetections > 0) {
+            detected_at = i;
+            break;
+        }
+    }
+    ASSERT_GE(detected_at, 0) << "never detected shift "
+                              << int(shift);
+    EXPECT_LE(detected_at, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectionLatency,
+                         ::testing::Range(0, 24));
+
+/**
+ * Property: simulated cycle counts are monotone in memory-system
+ * generosity — a machine with strictly more DRAM bandwidth is never
+ * slower.
+ */
+TEST(SystemProperty, MoreBandwidthNeverHurts)
+{
+    WorkloadParams wp;
+    wp.numCores = 4;
+    wp.scale = 0.2;
+    Workload w = makeWorkload(AppId::Spmv, wp);
+
+    SystemConfig slow = makePreset(ConfigPreset::Baseline, 4);
+    slow.dramBytesPerCycle = 2.0;
+    SystemConfig fast = slow;
+    fast.dramBytesPerCycle = 40.0;
+
+    System s1(slow, w.traces, *w.mem);
+    System s2(fast, w.traces, *w.mem);
+    EXPECT_GE(s1.run().cycles, s2.run().cycles);
+}
+
+/** Property: latency monotone in DRAM latency too. */
+TEST(SystemProperty, LowerDramLatencyNeverHurts)
+{
+    WorkloadParams wp;
+    wp.numCores = 4;
+    wp.scale = 0.2;
+    Workload w = makeWorkload(AppId::Spmv, wp);
+
+    SystemConfig hi = makePreset(ConfigPreset::Baseline, 4);
+    hi.dramLatencyCycles = 400;
+    SystemConfig lo = hi;
+    lo.dramLatencyCycles = 50;
+
+    System s1(hi, w.traces, *w.mem);
+    System s2(lo, w.traces, *w.mem);
+    EXPECT_GT(s1.run().cycles, s2.run().cycles);
+}
+
+/** Property: a bigger L1 never increases misses. */
+TEST(SystemProperty, BiggerL1NeverMissesMore)
+{
+    WorkloadParams wp;
+    wp.numCores = 4;
+    wp.scale = 0.2;
+    Workload w = makeWorkload(AppId::Pagerank, wp);
+
+    SystemConfig small = makePreset(ConfigPreset::NoPrefetch, 4);
+    small.l1SizeBytes = 8 * 1024;
+    SystemConfig big = small;
+    big.l1SizeBytes = 128 * 1024;
+
+    System s1(small, w.traces, *w.mem);
+    System s2(big, w.traces, *w.mem);
+    EXPECT_GE(s1.run().l1.misses, s2.run().l1.misses);
+}
+
+/**
+ * Property: every preset, every app, tiny scale — the system always
+ * completes and produces internally consistent stats. This is the
+ * broad smoke sweep.
+ */
+class PresetAppSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(PresetAppSweep, CompletesWithSaneStats)
+{
+    auto [app_i, preset_i] = GetParam();
+    AppId app = static_cast<AppId>(app_i);
+    ConfigPreset preset = static_cast<ConfigPreset>(preset_i);
+
+    WorkloadParams wp;
+    wp.numCores = 4;
+    wp.scale = 0.05;
+    wp.swPrefetch = presetWantsSwPrefetch(preset);
+    Workload w = makeWorkload(app, wp);
+    SystemConfig cfg = makePreset(preset, 4);
+    System sys(cfg, w.traces, *w.mem);
+    SimStats s = sys.run();
+
+    EXPECT_GT(s.cycles, 0u);
+    EXPECT_EQ(s.core.instructions, w.totalInstructions());
+    EXPECT_EQ(s.core.memAccesses + s.core.swPrefetches,
+              w.totalAccesses());
+    // Coverage and accuracy are probabilities.
+    EXPECT_GE(s.l1.coverage(), 0.0);
+    EXPECT_LE(s.l1.coverage(), 1.0);
+    EXPECT_GE(s.l1.accuracy(), 0.0);
+    EXPECT_LE(s.l1.accuracy(), 1.0);
+    // Cycle count at least the critical path of one core.
+    std::uint64_t max_core_instr = 0;
+    for (const auto &c : s.perCore)
+        max_core_instr = std::max(max_core_instr, c.instructions);
+    EXPECT_GE(s.cycles + 1, max_core_instr / 2); // OoO width bound.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PresetAppSweep,
+    ::testing::Combine(::testing::Range(0, 8),   // All apps.
+                       ::testing::Range(0, 9))); // All presets.
+
+/** Determinism across the whole preset matrix (spot checks). */
+class DeterminismSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DeterminismSweep, SameSeedSameCycles)
+{
+    AppId app = static_cast<AppId>(GetParam() % 8);
+    ConfigPreset preset = static_cast<ConfigPreset>(GetParam() % 7);
+    WorkloadParams wp;
+    wp.numCores = 4;
+    wp.scale = 0.05;
+    wp.swPrefetch = presetWantsSwPrefetch(preset);
+
+    Tick first = 0;
+    for (int round = 0; round < 2; ++round) {
+        Workload w = makeWorkload(app, wp);
+        SystemConfig cfg = makePreset(preset, 4);
+        System sys(cfg, w.traces, *w.mem);
+        Tick c = sys.run().cycles;
+        if (round == 0)
+            first = c;
+        else
+            EXPECT_EQ(c, first);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
+                         ::testing::Range(0, 8));
+
+} // namespace
+} // namespace impsim

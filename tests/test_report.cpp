@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the report writers.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.hpp"
+
+namespace impsim {
+namespace {
+
+SimStats
+sampleStats()
+{
+    SimStats s;
+    s.cycles = 1000;
+    s.core.instructions = 2500;
+    s.core.loadLatencySum = 900;
+    s.core.loadLatencyCount = 300;
+    s.l1.hits = 900;
+    s.l1.misses = 100;
+    s.l1.missesByType[static_cast<int>(AccessType::Indirect)] = 60;
+    s.l1.missesByType[static_cast<int>(AccessType::Stream)] = 30;
+    s.l1.missesByType[static_cast<int>(AccessType::Other)] = 10;
+    s.l1.prefIssued = 50;
+    s.l1.prefIssuedIndirect = 40;
+    s.l1.prefUsefulFirstTouch = 35;
+    s.l1.prefUnused = 5;
+    s.noc.bytes = 4096;
+    s.dram.bytesRead = 2048;
+    return s;
+}
+
+TEST(Report, TextContainsKeySections)
+{
+    std::ostringstream os;
+    writeReport(os, "unit/test", sampleStats());
+    std::string t = os.str();
+    EXPECT_NE(t.find("unit/test"), std::string::npos);
+    EXPECT_NE(t.find("cycles"), std::string::npos);
+    EXPECT_NE(t.find("prefetching"), std::string::npos);
+    EXPECT_NE(t.find("DRAM"), std::string::npos);
+    EXPECT_NE(t.find("1000"), std::string::npos);
+    EXPECT_NE(t.find("2500"), std::string::npos);
+}
+
+TEST(Report, CsvRowMatchesHeaderArity)
+{
+    std::ostringstream h, r;
+    writeCsvHeader(h);
+    writeCsvRow(r, "a/b", sampleStats());
+    auto count = [](const std::string &s) {
+        std::size_t n = 1;
+        for (char c : s)
+            n += c == ',' ? 1 : 0;
+        return n;
+    };
+    EXPECT_EQ(count(h.str()), count(r.str()));
+}
+
+TEST(Report, CsvEscapesNothingButIsStable)
+{
+    std::ostringstream r1, r2;
+    writeCsvRow(r1, "x", sampleStats());
+    writeCsvRow(r2, "x", sampleStats());
+    EXPECT_EQ(r1.str(), r2.str());
+    EXPECT_EQ(r1.str().front(), 'x');
+    EXPECT_EQ(r1.str().back(), '\n');
+}
+
+} // namespace
+} // namespace impsim

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the sectored set-associative cache.
+ */
+#include <gtest/gtest.h>
+
+#include "cache/sector_cache.hpp"
+
+namespace impsim {
+namespace {
+
+TEST(SectorMask, CoversRequestedBytes)
+{
+    // 8 B sectors: byte 0 -> sector 0; bytes 8..15 -> sector 1.
+    EXPECT_EQ(sectorMask(0x1000, 1, 8), 0x01u);
+    EXPECT_EQ(sectorMask(0x1008, 8, 8), 0x02u);
+    EXPECT_EQ(sectorMask(0x1004, 8, 8), 0x03u); // Straddles 0 and 1.
+    EXPECT_EQ(sectorMask(0x1038, 8, 8), 0x80u); // Last sector.
+    EXPECT_EQ(sectorMask(0x1000, 64, 8), 0xffu);
+}
+
+TEST(SectorMask, FullLineSectors)
+{
+    EXPECT_EQ(sectorMask(0x1000, 4, kLineSize), 0x1u);
+    EXPECT_EQ(sectorMask(0x103f, 1, kLineSize), 0x1u);
+    EXPECT_EQ(fullMask(1), 0x1u);
+    EXPECT_EQ(fullMask(8), 0xffu);
+    EXPECT_EQ(fullMask(2), 0x3u);
+}
+
+class SectorCacheTest : public ::testing::Test
+{
+  protected:
+    // 4 KB, 4-way, 8 B sectors: 16 sets.
+    SectorCache cache_{4096, 4, 8};
+};
+
+TEST_F(SectorCacheTest, Geometry)
+{
+    EXPECT_EQ(cache_.numSets(), 16u);
+    EXPECT_EQ(cache_.ways(), 4u);
+    EXPECT_EQ(cache_.sectorsPerLine(), 8u);
+    EXPECT_EQ(cache_.allSectors(), 0xffu);
+}
+
+TEST_F(SectorCacheTest, FillAndFind)
+{
+    CacheLine *v = cache_.victim(0x1000);
+    cache_.fill(*v, 0x1000, CState::S, 0xff, false);
+    CacheLine *f = cache_.find(0x1000);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->lineAddr, 0x1000u);
+    EXPECT_EQ(f->state, CState::S);
+    // Any address within the line finds it.
+    EXPECT_EQ(cache_.find(0x103f), f);
+    EXPECT_EQ(cache_.find(0x1040), nullptr);
+}
+
+TEST_F(SectorCacheTest, PartialValidMask)
+{
+    CacheLine *v = cache_.victim(0x2000);
+    cache_.fill(*v, 0x2000, CState::S, 0x03, true);
+    CacheLine *f = cache_.find(0x2000);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->validMask, 0x03u);
+    EXPECT_TRUE(f->prefetched);
+    EXPECT_FALSE(f->touched);
+}
+
+TEST_F(SectorCacheTest, LruVictimSelection)
+{
+    // Fill all 4 ways of set 0 (lines 0x0000, 0x4000*k map to set 0
+    // since sets=16 -> stride 16*64 = 0x400).
+    Addr base = 0;
+    for (int w = 0; w < 4; ++w) {
+        CacheLine *v = cache_.victim(base + w * 0x400);
+        EXPECT_FALSE(v->valid());
+        cache_.fill(*v, base + w * 0x400, CState::S, 0xff, false);
+    }
+    // Touch lines 1..3 so line 0 is LRU.
+    for (int w = 1; w < 4; ++w)
+        cache_.touch(*cache_.find(base + w * 0x400));
+    CacheLine *v = cache_.victim(base + 4 * 0x400);
+    ASSERT_TRUE(v->valid());
+    EXPECT_EQ(v->lineAddr, base);
+}
+
+TEST_F(SectorCacheTest, InvalidateFreesFrame)
+{
+    CacheLine *v = cache_.victim(0x3000);
+    cache_.fill(*v, 0x3000, CState::M, 0xff, false);
+    v->dirtyMask = 0xf0;
+    cache_.invalidate(*v);
+    EXPECT_EQ(cache_.find(0x3000), nullptr);
+    EXPECT_EQ(v->dirtyMask, 0u);
+    EXPECT_EQ(cache_.residentLines(), 0u);
+}
+
+TEST_F(SectorCacheTest, ResidentLineCountTracks)
+{
+    for (int i = 0; i < 10; ++i) {
+        CacheLine *v = cache_.victim(i * 64);
+        cache_.fill(*v, i * 64, CState::S, 0xff, false);
+    }
+    EXPECT_EQ(cache_.residentLines(), 10u);
+}
+
+TEST_F(SectorCacheTest, NoDuplicateTagsInSet)
+{
+    // Filling the same line twice must be findable exactly once.
+    CacheLine *v = cache_.victim(0x5000);
+    cache_.fill(*v, 0x5000, CState::S, 0x01, false);
+    CacheLine *f1 = cache_.find(0x5000);
+    f1->validMask |= 0x02; // Sector refill in place.
+    int found = 0;
+    cache_.forEachLine([&](const CacheLine &l) {
+        if (l.lineAddr == 0x5000)
+            ++found;
+    });
+    EXPECT_EQ(found, 1);
+}
+
+/** Parameterised: geometry invariants across sector sizes. */
+class SectorSizeSweep : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(SectorSizeSweep, MaskAndGeometryConsistent)
+{
+    std::uint32_t sector = GetParam();
+    SectorCache c(32 * 1024, 4, sector);
+    EXPECT_EQ(c.sectorsPerLine() * sector, kLineSize);
+    EXPECT_EQ(sectorMask(0, kLineSize, sector),
+              fullMask(c.sectorsPerLine()));
+    // A one-byte access touches exactly one sector.
+    for (Addr a = 0; a < kLineSize; a += 7) {
+        std::uint32_t m = sectorMask(a, 1, sector);
+        EXPECT_EQ(m & (m - 1), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SectorSizeSweep,
+                         ::testing::Values(8u, 16u, 32u, 64u));
+
+/** Property: victim never returns a line from the wrong set. */
+TEST(SectorCacheProperty, VictimStaysInSet)
+{
+    SectorCache c(8192, 2, 64);
+    for (Addr a = 0; a < 64 * 256; a += 64) {
+        CacheLine *v = c.victim(a);
+        if (v->valid())
+            EXPECT_EQ(c.setOf(v->lineAddr), c.setOf(a));
+        c.fill(*v, a, CState::S, c.allSectors(), false);
+    }
+}
+
+} // namespace
+} // namespace impsim

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the stream table (PrefetchTable stream halves) and
+ * the baseline stream prefetcher.
+ */
+#include <gtest/gtest.h>
+
+#include "core/stream_prefetcher.hpp"
+#include "fake_host.hpp"
+
+namespace impsim {
+namespace {
+
+ImpConfig
+cfg()
+{
+    return ImpConfig{};
+}
+
+StreamConfig
+scfg()
+{
+    return StreamConfig{};
+}
+
+TEST(PrefetchTable, AllocatesPerPc)
+{
+    PrefetchTable pt(cfg(), scfg());
+    StreamObservation a = pt.observe(100, 0x1000);
+    StreamObservation b = pt.observe(200, 0x2000);
+    EXPECT_NE(a.entry, kNoEntry);
+    EXPECT_NE(b.entry, kNoEntry);
+    EXPECT_NE(a.entry, b.entry);
+    // Same PC maps back to the same entry.
+    EXPECT_EQ(pt.observe(100, 0x1004).entry, a.entry);
+}
+
+TEST(PrefetchTable, StrideLearningAndConfirmation)
+{
+    PrefetchTable pt(cfg(), scfg());
+    pt.observe(1, 0x1000);
+    StreamObservation o = pt.observe(1, 0x1004);
+    EXPECT_TRUE(o.streamHit);
+    EXPECT_FALSE(o.confirmed); // One hit so far.
+    o = pt.observe(1, 0x1008);
+    EXPECT_TRUE(o.confirmed);
+    EXPECT_EQ(pt.at(o.entry).stride, 4);
+}
+
+TEST(PrefetchTable, NegativeStride)
+{
+    PrefetchTable pt(cfg(), scfg());
+    pt.observe(1, 0x2000);
+    pt.observe(1, 0x1ff8);
+    StreamObservation o = pt.observe(1, 0x1ff0);
+    EXPECT_TRUE(o.confirmed);
+    EXPECT_EQ(pt.at(o.entry).stride, -8);
+}
+
+TEST(PrefetchTable, LargeJumpIsNotAStream)
+{
+    PrefetchTable pt(cfg(), scfg());
+    pt.observe(1, 0x1000);
+    StreamObservation o = pt.observe(1, 0x9000);
+    EXPECT_FALSE(o.streamHit);
+    EXPECT_EQ(pt.at(o.entry).stride, 0); // Still learning.
+}
+
+TEST(PrefetchTable, NestedLoopResyncKeepsConfirmation)
+{
+    PrefetchTable pt(cfg(), scfg());
+    // A long run confirms the stream…
+    for (int i = 0; i < 10; ++i)
+        pt.observe(1, 0x1000 + i * 4);
+    // …then the outer loop jumps the position (§3.3.1).
+    StreamObservation o = pt.observe(1, 0x8000);
+    EXPECT_TRUE(o.resynced);
+    EXPECT_TRUE(o.confirmed);
+    // The stream continues at the new position with the same stride.
+    o = pt.observe(1, 0x8004);
+    EXPECT_TRUE(o.streamHit);
+}
+
+TEST(PrefetchTable, RandomPcDecaysOutOfConfirmation)
+{
+    PrefetchTable pt(cfg(), scfg());
+    // Luck into two stride hits.
+    pt.observe(1, 0x1000);
+    pt.observe(1, 0x1004);
+    pt.observe(1, 0x1008);
+    EXPECT_TRUE(pt.observe(1, 0x100c).confirmed);
+    // Now the PC goes random: every access resyncs and decays hits.
+    bool confirmed = true;
+    for (int i = 0; i < 8; ++i)
+        confirmed = pt.observe(1, 0x100000 + i * 77777).confirmed;
+    EXPECT_FALSE(confirmed);
+}
+
+TEST(PrefetchTable, ResyncDisabledResetsPattern)
+{
+    ImpConfig c = cfg();
+    c.pcResync = false;
+    PrefetchTable pt(c, scfg());
+    for (int i = 0; i < 10; ++i)
+        pt.observe(1, 0x1000 + i * 4);
+    std::int16_t id = pt.observe(1, 0x8000).entry;
+    EXPECT_EQ(pt.at(id).streamHits, 0u);
+    EXPECT_EQ(pt.at(id).stride, 0);
+}
+
+TEST(PrefetchTable, LruEvictionWhenFull)
+{
+    ImpConfig c = cfg();
+    c.ptEntries = 2;
+    PrefetchTable pt(c, scfg());
+    std::int16_t a = pt.observe(1, 0x1000).entry;
+    pt.observe(2, 0x2000);
+    pt.observe(2, 0x2004); // PC 2 is more recent.
+    std::int16_t d = pt.observe(3, 0x3000).entry;
+    EXPECT_EQ(d, a); // PC 1's entry was LRU.
+    EXPECT_EQ(pt.at(d).pc, 3u);
+}
+
+TEST(PrefetchTable, SecondaryAllocationAndRelease)
+{
+    PrefetchTable pt(cfg(), scfg());
+    std::int16_t parent = pt.observe(1, 0x1000).entry;
+    std::int16_t sec = pt.allocSecondary(parent, IndType::SecondWay);
+    ASSERT_NE(sec, kNoEntry);
+    EXPECT_TRUE(pt.at(sec).secondary);
+    EXPECT_EQ(pt.at(sec).prev, parent);
+    pt.at(parent).nextWay = sec;
+    pt.release(sec);
+    EXPECT_FALSE(pt.at(sec).valid);
+    EXPECT_EQ(pt.at(parent).nextWay, kNoEntry); // Unlinked.
+}
+
+TEST(PrefetchTable, ElemBytesFollowsStride)
+{
+    PtEntry e;
+    e.stride = 4;
+    EXPECT_EQ(e.elemBytes(), 4u);
+    e.stride = -8;
+    EXPECT_EQ(e.elemBytes(), 8u);
+    e.stride = 0;
+    EXPECT_EQ(e.elemBytes(), 4u); // Default.
+}
+
+TEST(StreamPrefetcher, PrefetchesAheadOfConfirmedStream)
+{
+    FakeHost host;
+    StreamPrefetcher pf(host, cfg(), scfg());
+    PrefetchDriver drv(host, pf);
+    drv.autoFill = false;
+    for (int i = 0; i < 64; ++i)
+        drv.access(0x10000 + i * 4, /*pc=*/9);
+    EXPECT_FALSE(host.issued.empty());
+    // All prefetches are ahead of the last demand line.
+    for (const auto &r : host.issued)
+        EXPECT_GT(lineOf(r.addr), lineOf(Addr{0x10000}));
+}
+
+TEST(StreamPrefetcher, EachLineIssuedOnce)
+{
+    FakeHost host;
+    StreamPrefetcher pf(host, cfg(), scfg());
+    PrefetchDriver drv(host, pf);
+    drv.autoFill = false;
+    for (int i = 0; i < 256; ++i)
+        drv.access(0x20000 + i * 4, 9);
+    std::set<Addr> lines;
+    for (const auto &r : host.issued)
+        EXPECT_TRUE(lines.insert(lineOf(r.addr)).second)
+            << "line prefetched twice";
+}
+
+TEST(StreamPrefetcher, BackwardStreamsPrefetchBackward)
+{
+    FakeHost host;
+    StreamPrefetcher pf(host, cfg(), scfg());
+    PrefetchDriver drv(host, pf);
+    drv.autoFill = false;
+    Addr top = 0x40000;
+    for (int i = 0; i < 64; ++i)
+        drv.access(top - i * 8, 9);
+    ASSERT_FALSE(host.issued.empty());
+    for (const auto &r : host.issued)
+        EXPECT_LT(r.addr, top);
+}
+
+TEST(StreamPrefetcher, RandomAccessesStayQuiet)
+{
+    FakeHost host;
+    StreamPrefetcher pf(host, cfg(), scfg());
+    PrefetchDriver drv(host, pf);
+    std::uint64_t s = 12345;
+    for (int i = 0; i < 300; ++i) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        drv.access((s >> 16) % (1u << 24), 9);
+    }
+    // A couple of lucky strides may slip through, but no sustained
+    // prefetching.
+    EXPECT_LT(host.issued.size(), 20u);
+}
+
+} // namespace
+} // namespace impsim

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests for graph/matrix generators and the application kernels.
+ */
+#include <gtest/gtest.h>
+
+#include "core/addr_gen.hpp"
+#include "workloads/graph_gen.hpp"
+#include "workloads/sparse_matrix.hpp"
+#include "workloads/trace_builder.hpp"
+#include "workloads/workload.hpp"
+
+namespace impsim {
+namespace {
+
+TEST(GraphGen, RmatWellFormed)
+{
+    Csr g = makeRmatGraph(1024, 8192, 42);
+    EXPECT_TRUE(g.wellFormed());
+    EXPECT_EQ(g.numRows, 1024u);
+    EXPECT_EQ(g.nnz(), 8192u);
+}
+
+TEST(GraphGen, RmatIsSkewed)
+{
+    Csr g = makeRmatGraph(4096, 32768, 42);
+    // Power-law: the max degree dwarfs the average (8).
+    std::uint32_t max_deg = 0;
+    for (std::uint32_t v = 0; v < g.numRows; ++v)
+        max_deg = std::max(max_deg, g.rowDegree(v));
+    EXPECT_GT(max_deg, 64u);
+}
+
+TEST(GraphGen, UniformIsNotSkewed)
+{
+    Csr g = makeUniformGraph(4096, 32768, 42);
+    EXPECT_TRUE(g.wellFormed());
+    std::uint32_t max_deg = 0;
+    for (std::uint32_t v = 0; v < g.numRows; ++v)
+        max_deg = std::max(max_deg, g.rowDegree(v));
+    EXPECT_LT(max_deg, 40u);
+}
+
+TEST(GraphGen, Deterministic)
+{
+    Csr a = makeRmatGraph(1024, 4096, 7);
+    Csr b = makeRmatGraph(1024, 4096, 7);
+    EXPECT_EQ(a.col, b.col);
+    Csr c = makeRmatGraph(1024, 4096, 8);
+    EXPECT_NE(a.col, c.col);
+}
+
+TEST(SparseMatrix, BandedWellFormedWithDiagonal)
+{
+    Csr m = makeBandedMatrix(1000, 10, 100, 1);
+    EXPECT_TRUE(m.wellFormed());
+    for (std::uint32_t r = 0; r < m.numRows; ++r) {
+        bool diag = false;
+        for (std::uint32_t j = m.rowPtr[r]; j < m.rowPtr[r + 1]; ++j)
+            diag |= m.col[j] == r;
+        EXPECT_TRUE(diag) << "row " << r;
+    }
+}
+
+TEST(SparseMatrix, RowsSorted)
+{
+    Csr m = makeBandedMatrix(500, 8, 64, 3);
+    for (std::uint32_t r = 0; r < m.numRows; ++r) {
+        for (std::uint32_t j = m.rowPtr[r] + 1; j < m.rowPtr[r + 1];
+             ++j)
+            EXPECT_LE(m.col[j - 1], m.col[j]);
+    }
+}
+
+TEST(TraceBuilder, EmitsInOrderWithLabels)
+{
+    TraceBuilder tb(2);
+    tb.load(0, 1, 0x100, 4, AccessType::Stream, 3);
+    tb.store(0, 2, 0x200, 8, AccessType::Indirect, 1);
+    tb.swPrefetch(1, 3, 0x300, 2);
+    auto traces = tb.take();
+    ASSERT_EQ(traces[0].accesses.size(), 2u);
+    EXPECT_EQ(traces[0].accesses[0].type, AccessType::Stream);
+    EXPECT_FALSE(traces[0].accesses[0].isWrite());
+    EXPECT_TRUE(traces[0].accesses[1].isWrite());
+    EXPECT_TRUE(traces[1].accesses[0].isSwPrefetch());
+}
+
+TEST(TraceBuilder, BarrierFlagsNextAccessPerCore)
+{
+    TraceBuilder tb(2);
+    tb.load(0, 1, 0x100, 4, AccessType::Other, 0);
+    tb.load(1, 1, 0x100, 4, AccessType::Other, 0);
+    tb.barrier();
+    tb.load(0, 1, 0x104, 4, AccessType::Other, 0);
+    tb.load(1, 1, 0x104, 4, AccessType::Other, 0);
+    auto traces = tb.take();
+    EXPECT_FALSE(traces[0].accesses[0].hasBarrier());
+    EXPECT_TRUE(traces[0].accesses[1].hasBarrier());
+    EXPECT_TRUE(traces[1].accesses[1].hasBarrier());
+}
+
+TEST(TraceBuilderDeath, DanglingBarrierPanics)
+{
+    TraceBuilder tb(1);
+    tb.load(0, 1, 0x100, 4, AccessType::Other, 0);
+    tb.barrier();
+    EXPECT_DEATH(tb.take(), "barrier");
+}
+
+TEST(TraceBuilder, PutArrayLandsInFuncMem)
+{
+    TraceBuilder tb(1);
+    std::vector<std::uint32_t> data{10, 20, 30};
+    Addr base = tb.putArray("d", data);
+    EXPECT_EQ(tb.mem().load<std::uint32_t>(base + 4), 20u);
+}
+
+/** Per-app structural checks, parameterised over the suite. */
+class AppSweep : public ::testing::TestWithParam<AppId>
+{
+  protected:
+    Workload
+    make(bool swpf = false)
+    {
+        WorkloadParams p;
+        p.numCores = 4;
+        p.scale = 0.05; // Tiny inputs: structure only.
+        p.swPrefetch = swpf;
+        return makeWorkload(GetParam(), p);
+    }
+};
+
+TEST_P(AppSweep, TracesForEveryCore)
+{
+    Workload w = make();
+    ASSERT_EQ(w.traces.size(), 4u);
+    for (const auto &t : w.traces)
+        EXPECT_FALSE(t.accesses.empty());
+}
+
+TEST_P(AppSweep, BarrierCountsMatchAcrossCores)
+{
+    Workload w = make();
+    std::uint64_t expect = w.traces[0].barrierCount();
+    for (const auto &t : w.traces)
+        EXPECT_EQ(t.barrierCount(), expect);
+}
+
+TEST_P(AppSweep, DependenceLinksAreValid)
+{
+    Workload w = make();
+    for (const auto &t : w.traces) {
+        for (std::size_t i = 0; i < t.accesses.size(); ++i)
+            EXPECT_LE(t.accesses[i].dep, i);
+    }
+}
+
+TEST_P(AppSweep, Deterministic)
+{
+    Workload a = make();
+    Workload b = make();
+    ASSERT_EQ(a.traces.size(), b.traces.size());
+    for (std::size_t c = 0; c < a.traces.size(); ++c) {
+        ASSERT_EQ(a.traces[c].accesses.size(),
+                  b.traces[c].accesses.size());
+        for (std::size_t i = 0; i < a.traces[c].accesses.size(); ++i) {
+            EXPECT_EQ(a.traces[c].accesses[i].addr,
+                      b.traces[c].accesses[i].addr);
+        }
+    }
+}
+
+TEST_P(AppSweep, SwPrefetchVariantAddsPrefetches)
+{
+    if (GetParam() == AppId::Streaming)
+        GTEST_SKIP() << "no indirect accesses to prefetch";
+    Workload plain = make(false);
+    Workload sw = make(true);
+    auto count_pf = [](const Workload &w) {
+        std::uint64_t n = 0;
+        for (const auto &t : w.traces)
+            for (const auto &a : t.accesses)
+                n += a.isSwPrefetch() ? 1 : 0;
+        return n;
+    };
+    EXPECT_EQ(count_pf(plain), 0u);
+    EXPECT_GT(count_pf(sw), 0u);
+    EXPECT_GT(sw.totalInstructions(), plain.totalInstructions());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppSweep,
+    ::testing::Values(AppId::Pagerank, AppId::TriCount, AppId::Graph500,
+                      AppId::Sgd, AppId::Lsh, AppId::Spmv, AppId::Symgs,
+                      AppId::Streaming),
+    [](const ::testing::TestParamInfo<AppId> &info) {
+        return appName(info.param);
+    });
+
+TEST(Workloads, IndirectFractionIsHighForPaperApps)
+{
+    // Fig 1's premise: indirect accesses dominate the suite.
+    for (AppId app : {AppId::Spmv, AppId::Pagerank, AppId::Sgd}) {
+        WorkloadParams p;
+        p.numCores = 4;
+        p.scale = 0.05;
+        Workload w = makeWorkload(app, p);
+        std::uint64_t ind = 0, total = 0;
+        for (const auto &t : w.traces) {
+            for (const auto &a : t.accesses) {
+                ++total;
+                ind += a.type == AccessType::Indirect ? 1 : 0;
+            }
+        }
+        EXPECT_GT(static_cast<double>(ind) / total, 0.2)
+            << appName(app);
+    }
+}
+
+TEST(Workloads, SpmvIndirectAddressesMatchMemoryImage)
+{
+    // The functional memory must hold exactly the index values the
+    // trace's indirect addresses were computed from — what IMP reads.
+    WorkloadParams p;
+    p.numCores = 1;
+    p.scale = 0.05;
+    Workload w = makeWorkload(AppId::Spmv, p);
+    const auto &acc = w.traces[0].accesses;
+    int checked = 0;
+    for (std::size_t i = 0; i + 1 < acc.size() && checked < 200; ++i) {
+        // Pattern: col load (Stream, 4B) directly followed by val +
+        // x[col] (Indirect, 8B, dep pointing at the col load).
+        if (acc[i].type != AccessType::Stream || acc[i].size != 4)
+            continue;
+        for (std::size_t j = i + 1; j < std::min(acc.size(), i + 4);
+             ++j) {
+            if (acc[j].type == AccessType::Indirect &&
+                acc[j].dep == j - i) {
+                std::uint64_t col =
+                    w.mem->load<std::uint32_t>(acc[i].addr);
+                // x base is constant: addr - 8*col must be invariant.
+                static Addr base = acc[j].addr - col * 8;
+                EXPECT_EQ(acc[j].addr, base + col * 8);
+                ++checked;
+            }
+        }
+    }
+    EXPECT_GT(checked, 50);
+}
+
+TEST(Workloads, StreamingHasNoIndirect)
+{
+    WorkloadParams p;
+    p.numCores = 4;
+    p.scale = 0.05;
+    Workload w = makeWorkload(AppId::Streaming, p);
+    for (const auto &t : w.traces)
+        for (const auto &a : t.accesses)
+            EXPECT_NE(a.type, AccessType::Indirect);
+}
+
+TEST(Workloads, NamesRoundTrip)
+{
+    EXPECT_STREQ(appName(AppId::Pagerank), "pagerank");
+    EXPECT_STREQ(appName(AppId::TriCount), "tri_count");
+    EXPECT_STREQ(appName(AppId::Graph500), "graph500");
+    EXPECT_STREQ(appName(AppId::Symgs), "symgs");
+    EXPECT_EQ(kPaperApps.size(), 7u);
+}
+
+} // namespace
+} // namespace impsim

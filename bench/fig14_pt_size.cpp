@@ -10,12 +10,18 @@ using namespace impsim::bench;
 
 namespace {
 
-const SimStats &
-runPt(AppId app, std::uint32_t pt)
+SystemConfig
+ptConfig(std::uint32_t pt)
 {
     SystemConfig cfg = makePreset(ConfigPreset::Imp, 64);
     cfg.imp.ptEntries = pt;
-    return runCustom("pt" + std::to_string(pt), app, cfg);
+    return cfg;
+}
+
+const SimStats &
+runPt(AppId app, std::uint32_t pt)
+{
+    return runCustom("pt" + std::to_string(pt), app, ptConfig(pt));
 }
 
 } // namespace
@@ -24,6 +30,16 @@ int
 main(int argc, char **argv)
 {
     const std::uint32_t kSizes[] = {8, 16, 32};
+
+    // One SweepRunner batch over the whole app x PT-size grid.
+    std::vector<SweepPoint> points;
+    for (AppId app : paperApps()) {
+        for (std::uint32_t pt : kSizes)
+            points.push_back(SweepPoint{"pt" + std::to_string(pt), app,
+                                        ptConfig(pt), false});
+    }
+    prewarm(points);
+
     for (AppId app : paperApps()) {
         for (std::uint32_t pt : kSizes) {
             registerRun(std::string("fig14/") + appName(app) + "/pt" +

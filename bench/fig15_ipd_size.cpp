@@ -10,12 +10,18 @@ using namespace impsim::bench;
 
 namespace {
 
-const SimStats &
-runIpd(AppId app, std::uint32_t n)
+SystemConfig
+ipdConfig(std::uint32_t n)
 {
     SystemConfig cfg = makePreset(ConfigPreset::Imp, 64);
     cfg.imp.ipdEntries = n;
-    return runCustom("ipd" + std::to_string(n), app, cfg);
+    return cfg;
+}
+
+const SimStats &
+runIpd(AppId app, std::uint32_t n)
+{
+    return runCustom("ipd" + std::to_string(n), app, ipdConfig(n));
 }
 
 } // namespace
@@ -24,6 +30,16 @@ int
 main(int argc, char **argv)
 {
     const std::uint32_t kSizes[] = {2, 4, 8};
+
+    // One SweepRunner batch over the whole app x IPD-size grid.
+    std::vector<SweepPoint> points;
+    for (AppId app : paperApps()) {
+        for (std::uint32_t n : kSizes)
+            points.push_back(SweepPoint{"ipd" + std::to_string(n), app,
+                                        ipdConfig(n), false});
+    }
+    prewarm(points);
+
     for (AppId app : paperApps()) {
         for (std::uint32_t n : kSizes) {
             registerRun(std::string("fig15/") + appName(app) + "/ipd" +

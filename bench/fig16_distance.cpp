@@ -10,12 +10,18 @@ using namespace impsim::bench;
 
 namespace {
 
-const SimStats &
-runDist(AppId app, std::uint32_t d)
+SystemConfig
+distConfig(std::uint32_t d)
 {
     SystemConfig cfg = makePreset(ConfigPreset::Imp, 64);
     cfg.imp.maxPrefetchDistance = d;
-    return runCustom("dist" + std::to_string(d), app, cfg);
+    return cfg;
+}
+
+const SimStats &
+runDist(AppId app, std::uint32_t d)
+{
+    return runCustom("dist" + std::to_string(d), app, distConfig(d));
 }
 
 } // namespace
@@ -24,6 +30,16 @@ int
 main(int argc, char **argv)
 {
     const std::uint32_t kDists[] = {4, 8, 16, 32};
+
+    // One SweepRunner batch over the whole app x distance grid.
+    std::vector<SweepPoint> points;
+    for (AppId app : paperApps()) {
+        for (std::uint32_t d : kDists)
+            points.push_back(SweepPoint{"dist" + std::to_string(d), app,
+                                        distConfig(d), false});
+    }
+    prewarm(points);
+
     for (AppId app : paperApps()) {
         for (std::uint32_t d : kDists) {
             registerRun(std::string("fig16/") + appName(app) + "/d" +

@@ -8,9 +8,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <map>
 #include <memory>
 
+#include "sim/sweep_runner.hpp"
 #include "sim/system.hpp"
 
 namespace impsim::bench {
@@ -63,18 +66,30 @@ cachedWorkload(AppId app, std::uint32_t cores, bool swpf)
     return *slot;
 }
 
+std::map<std::string, std::unique_ptr<SimStats>> &
+simCache()
+{
+    static std::map<std::string, std::unique_ptr<SimStats>> cache;
+    return cache;
+}
+
 const SimStats &
 cachedSim(const std::string &key, AppId app, const SystemConfig &cfg,
           bool swpf)
 {
-    static std::map<std::string, std::unique_ptr<SimStats>> cache;
-    auto &slot = cache[key];
+    auto &slot = simCache()[key];
     if (!slot) {
         const Workload &w = cachedWorkload(app, cfg.numCores, swpf);
         System sys(cfg, w.traces, *w.mem);
         slot = std::make_unique<SimStats>(sys.run());
     }
     return *slot;
+}
+
+std::string
+customKey(AppId app, const std::string &tag)
+{
+    return std::string(appName(app)) + "/custom/" + tag;
 }
 
 } // namespace
@@ -94,8 +109,54 @@ const SimStats &
 runCustom(const std::string &tag, AppId app, const SystemConfig &cfg,
           bool swpf)
 {
-    std::string key = std::string(appName(app)) + "/custom/" + tag;
-    return cachedSim(key, app, cfg, swpf);
+    return cachedSim(customKey(app, tag), app, cfg, swpf);
+}
+
+void
+prewarm(const std::vector<SweepPoint> &points)
+{
+    // Workload generation shares a cache; do it on this thread, then
+    // fan the independent simulations out.
+    std::vector<SweepJob> jobs;
+    std::vector<std::string> keys;
+    for (const SweepPoint &p : points) {
+        std::string key = customKey(p.app, p.tag);
+        if (simCache().count(key) != 0)
+            continue;
+        const Workload &w = cachedWorkload(p.app, p.cfg.numCores, p.swpf);
+        jobs.push_back(SweepJob{key, p.cfg, &w.traces, w.mem.get()});
+        keys.push_back(std::move(key));
+    }
+    if (jobs.empty())
+        return;
+
+    unsigned workers = 0;
+    if (const char *env = std::getenv("IMPSIM_BENCH_JOBS")) {
+        std::string v = env;
+        bool ok = !v.empty() &&
+                  v.find_first_not_of("0123456789") == std::string::npos;
+        if (ok) {
+            try {
+                unsigned long ul = std::stoul(v);
+                ok = ul <= std::numeric_limits<unsigned>::max();
+                if (ok)
+                    workers = static_cast<unsigned>(ul);
+            } catch (const std::exception &) {
+                ok = false;
+            }
+        }
+        if (!ok) {
+            std::fprintf(stderr,
+                         "IMPSIM_BENCH_JOBS must be a non-negative "
+                         "integer (<= %u), got '%s'\n",
+                         std::numeric_limits<unsigned>::max(), env);
+            std::exit(1);
+        }
+    }
+    std::vector<SweepResult> results = SweepRunner(workers).run(jobs);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        simCache()[keys[i]] =
+            std::make_unique<SimStats>(std::move(results[i].stats));
 }
 
 double

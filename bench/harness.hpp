@@ -37,6 +37,24 @@ const SimStats &run(AppId app, ConfigPreset preset, std::uint32_t cores,
 const SimStats &runCustom(const std::string &tag, AppId app,
                           const SystemConfig &cfg, bool swpf = false);
 
+/** One point of a sweep, keyed exactly like runCustom(tag, app, ...). */
+struct SweepPoint
+{
+    std::string tag;
+    AppId app;
+    SystemConfig cfg;
+    bool swpf = false;
+};
+
+/**
+ * Simulates every not-yet-memoised point in parallel on a SweepRunner
+ * (IMPSIM_BENCH_JOBS workers, default hardware concurrency) and
+ * memoises the results, so subsequent run()/runCustom() calls for the
+ * same points return instantly. Stats are identical to serial runs —
+ * jobs share nothing but const workloads.
+ */
+void prewarm(const std::vector<SweepPoint> &points);
+
 /** cycles(PerfPref) / cycles(preset): Fig 9/11's normalisation. */
 double normThroughput(AppId app, ConfigPreset preset,
                       std::uint32_t cores,

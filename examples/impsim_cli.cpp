@@ -1,24 +1,42 @@
 /**
  * @file
- * Command-line runner: one simulation, full report or CSV row.
+ * Command-line runner: one simulation (full report) or a parallel
+ * sweep over several presets (CSV, one row per preset).
  *
  * Usage:
- *   impsim_cli [--app NAME] [--preset NAME] [--cores N] [--scale F]
- *              [--ooo] [--csv] [--pt N] [--ipd N] [--distance N]
- *              [--seed N]
+ *   impsim_cli [--app NAME] [--preset NAME[,NAME...]] [--cores N]
+ *              [--scale F] [--ooo] [--csv] [--pt N] [--ipd N]
+ *              [--distance N] [--seed N] [--jobs N]
+ *              [--prefetcher SPEC[,SPEC...]]
+ *
+ * Flags accept both "--flag value" and "--flag=value".
+ *
+ * --prefetcher overrides the preset's engine with a registry spec:
+ *   stack := name ('+' name)*       e.g. "imp", "stream+ghb"
+ * A comma-separated list assigns stacks to cores round-robin
+ * (heterogeneous machines): "imp,stream" alternates IMP and stream
+ * across the tiles.
+ *
+ * A comma-separated --preset list runs every preset through the
+ * parallel SweepRunner and prints one CSV row each.
  *
  * Examples:
  *   impsim_cli --app spmv --preset IMP --cores 64
- *   impsim_cli --app pagerank --preset Base --cores 16 --csv
- *   impsim_cli --app lsh --preset IMP --distance 32
+ *   impsim_cli --app pagerank --preset Base,IMP,GHB --cores 16
+ *   impsim_cli --app lsh --preset IMP --prefetcher=stream+ghb
+ *   impsim_cli --app spmv --prefetcher=imp,stream --cores 16
  */
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <limits>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/presets.hpp"
 #include "sim/report.hpp"
+#include "sim/sweep_runner.hpp"
 #include "sim/system.hpp"
 #include "workloads/workload.hpp"
 
@@ -58,23 +76,127 @@ parsePreset(const std::string &name)
     std::exit(1);
 }
 
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t comma = s.find(',', start);
+        out.push_back(s.substr(start, comma - start));
+        if (comma == std::string::npos)
+            return out;
+        start = comma + 1;
+    }
+}
+
+std::uint64_t
+parseUint(const std::string &flag, const std::string &value,
+          std::uint64_t max = std::numeric_limits<std::uint64_t>::max())
+{
+    // stoull would wrap "-4" to a huge value; reject signs up front.
+    if (!value.empty() && value.find_first_not_of("0123456789") ==
+                              std::string::npos) {
+        try {
+            std::uint64_t v = std::stoull(value);
+            if (v <= max)
+                return v;
+            std::fprintf(stderr, "%s value '%s' is out of range (max %llu)\n",
+                         flag.c_str(), value.c_str(),
+                         static_cast<unsigned long long>(max));
+            std::exit(1);
+        } catch (const std::exception &) {
+        }
+    }
+    std::fprintf(stderr, "%s needs a non-negative integer, got '%s'\n",
+                 flag.c_str(), value.c_str());
+    std::exit(1);
+}
+
+std::uint32_t
+parseU32(const std::string &flag, const std::string &value)
+{
+    return static_cast<std::uint32_t>(parseUint(
+        flag, value, std::numeric_limits<std::uint32_t>::max()));
+}
+
+double
+parseDouble(const std::string &flag, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        double v = std::stod(value, &used);
+        if (used == value.size())
+            return v;
+    } catch (const std::exception &) {
+    }
+    std::fprintf(stderr, "%s needs a number, got '%s'\n", flag.c_str(),
+                 value.c_str());
+    std::exit(1);
+}
+
+/** Applies CLI overrides shared by single runs and sweep rows. */
+void
+applyOverrides(SystemConfig &cfg, std::uint32_t pt, std::uint32_t ipd,
+               std::uint32_t distance, const std::string &prefetcher,
+               std::uint32_t cores)
+{
+    if (pt)
+        cfg.imp.ptEntries = pt;
+    if (ipd)
+        cfg.imp.ipdEntries = ipd;
+    if (distance)
+        cfg.imp.maxPrefetchDistance = distance;
+    if (!prefetcher.empty()) {
+        std::vector<std::string> stacks = splitCommas(prefetcher);
+        for (const std::string &s : stacks) {
+            if (s.empty()) {
+                std::fprintf(stderr,
+                             "--prefetcher has an empty stack in '%s'\n",
+                             prefetcher.c_str());
+                std::exit(1);
+            }
+        }
+        if (stacks.size() == 1) {
+            cfg.prefetcherSpec = stacks[0];
+        } else {
+            // Heterogeneous: assign stacks round-robin across cores.
+            cfg.corePrefetcherSpecs.resize(cores);
+            for (std::uint32_t c = 0; c < cores; ++c)
+                cfg.corePrefetcherSpecs[c] = stacks[c % stacks.size()];
+        }
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     AppId app = AppId::Spmv;
-    ConfigPreset preset = ConfigPreset::Imp;
+    std::string presets = "IMP";
     std::uint32_t cores = 64;
     double scale = 1.0;
     bool ooo = false;
     bool csv = false;
     std::uint32_t pt = 0, ipd = 0, distance = 0;
     std::uint64_t seed = 42;
+    std::string prefetcher;
+    unsigned jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
-        auto next = [&]() -> const char * {
+        std::string inline_val;
+        bool has_inline = false;
+        if (std::size_t eq = a.find('=');
+            a.rfind("--", 0) == 0 && eq != std::string::npos) {
+            inline_val = a.substr(eq + 1);
+            a = a.substr(0, eq);
+            has_inline = true;
+        }
+        auto next = [&]() -> std::string {
+            if (has_inline)
+                return inline_val;
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s needs a value\n", a.c_str());
                 std::exit(1);
@@ -84,56 +206,104 @@ main(int argc, char **argv)
         if (a == "--app")
             app = parseApp(next());
         else if (a == "--preset")
-            preset = parsePreset(next());
+            presets = next();
         else if (a == "--cores")
-            cores = static_cast<std::uint32_t>(std::atoi(next()));
+            cores = parseU32(a, next());
         else if (a == "--scale")
-            scale = std::atof(next());
-        else if (a == "--ooo")
-            ooo = true;
-        else if (a == "--csv")
-            csv = true;
+            scale = parseDouble(a, next());
+        else if (a == "--ooo" || a == "--csv") {
+            if (has_inline) {
+                std::fprintf(stderr, "%s takes no value\n", a.c_str());
+                return 1;
+            }
+            (a == "--ooo" ? ooo : csv) = true;
+        }
         else if (a == "--pt")
-            pt = static_cast<std::uint32_t>(std::atoi(next()));
+            pt = parseU32(a, next());
         else if (a == "--ipd")
-            ipd = static_cast<std::uint32_t>(std::atoi(next()));
+            ipd = parseU32(a, next());
         else if (a == "--distance")
-            distance = static_cast<std::uint32_t>(std::atoi(next()));
+            distance = parseU32(a, next());
         else if (a == "--seed")
-            seed = static_cast<std::uint64_t>(std::atoll(next()));
+            seed = parseUint(a, next());
+        else if (a == "--prefetcher")
+            prefetcher = next();
+        else if (a == "--jobs")
+            jobs = parseU32(a, next());
         else {
             std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
             return 1;
         }
     }
 
+    std::vector<ConfigPreset> preset_list;
+    for (const std::string &p : splitCommas(presets))
+        preset_list.push_back(parsePreset(p));
+    CoreModel model = ooo ? CoreModel::OutOfOrder : CoreModel::InOrder;
+
+    // Workloads, one per software-prefetch flavor any preset needs.
     WorkloadParams wp;
     wp.numCores = cores;
     wp.scale = scale;
     wp.seed = seed;
-    wp.swPrefetch = presetWantsSwPrefetch(preset);
-    Workload w = makeWorkload(app, wp);
+    std::unique_ptr<Workload> plain, swpf;
+    auto workloadFor = [&](ConfigPreset p) -> Workload & {
+        std::unique_ptr<Workload> &slot =
+            presetWantsSwPrefetch(p) ? swpf : plain;
+        if (!slot) {
+            WorkloadParams params = wp;
+            params.swPrefetch = presetWantsSwPrefetch(p);
+            slot = std::make_unique<Workload>(makeWorkload(app, params));
+        }
+        return *slot;
+    };
 
-    SystemConfig cfg = makePreset(
-        preset, cores, ooo ? CoreModel::OutOfOrder : CoreModel::InOrder);
-    if (pt)
-        cfg.imp.ptEntries = pt;
-    if (ipd)
-        cfg.imp.ipdEntries = ipd;
-    if (distance)
-        cfg.imp.maxPrefetchDistance = distance;
+    auto labelFor = [&](ConfigPreset p) {
+        std::string label = std::string(appName(app)) + "/" +
+                            presetName(p) + "/" + std::to_string(cores) +
+                            "c" + (ooo ? "/ooo" : "");
+        if (!prefetcher.empty()) {
+            // Commas would split the CSV label column; a per-core
+            // list reads as "imp|stream" instead.
+            std::string tag = prefetcher;
+            for (char &ch : tag) {
+                if (ch == ',')
+                    ch = '|';
+            }
+            label += "/" + tag;
+        }
+        return label;
+    };
 
-    System sys(cfg, w.traces, *w.mem);
-    SimStats s = sys.run();
+    if (preset_list.size() == 1) {
+        ConfigPreset preset = preset_list[0];
+        Workload &w = workloadFor(preset);
+        SystemConfig cfg = makePreset(preset, cores, model);
+        applyOverrides(cfg, pt, ipd, distance, prefetcher, cores);
 
-    std::string label = std::string(appName(app)) + "/" +
-                        presetName(preset) + "/" +
-                        std::to_string(cores) + "c" + (ooo ? "/ooo" : "");
-    if (csv) {
-        writeCsvHeader(std::cout);
-        writeCsvRow(std::cout, label, s);
-    } else {
-        writeReport(std::cout, label, s);
+        System sys(cfg, w.traces, *w.mem);
+        SimStats s = sys.run();
+        if (csv) {
+            writeCsvHeader(std::cout);
+            writeCsvRow(std::cout, labelFor(preset), s);
+        } else {
+            writeReport(std::cout, labelFor(preset), s);
+        }
+        return 0;
     }
+
+    // Several presets: run them in parallel, report CSV rows in order.
+    std::vector<SweepJob> sweep;
+    for (ConfigPreset preset : preset_list) {
+        Workload &w = workloadFor(preset);
+        SystemConfig cfg = makePreset(preset, cores, model);
+        applyOverrides(cfg, pt, ipd, distance, prefetcher, cores);
+        sweep.push_back(
+            SweepJob{labelFor(preset), cfg, &w.traces, w.mem.get()});
+    }
+    std::vector<SweepResult> results = SweepRunner(jobs).run(sweep);
+    writeCsvHeader(std::cout);
+    for (const SweepResult &r : results)
+        writeCsvRow(std::cout, r.name, r.stats);
     return 0;
 }

@@ -7,6 +7,8 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -24,7 +26,14 @@ enum class DramModelKind : std::uint8_t {
     Ddr3,   ///< DRAMSim-style 10-10-10-24 bank timing.
 };
 
-/** L1-attached prefetcher selection (paper §5.4). */
+/**
+ * L1-attached prefetcher selection (paper §5.4).
+ *
+ * @deprecated Kept as a shim for existing call sites. New code should
+ * set SystemConfig::prefetcherSpec (or corePrefetcherSpecs) to a
+ * registry spec string; the enum only feeds effectivePrefetcherSpec()
+ * when no spec string is set.
+ */
 enum class PrefetcherKind : std::uint8_t {
     None,    ///< No prefetching at all.
     Stream,  ///< Stream prefetcher only (the paper's Baseline).
@@ -32,6 +41,9 @@ enum class PrefetcherKind : std::uint8_t {
     Ghb,     ///< Stream prefetcher + GHB correlation prefetcher.
     Perfect, ///< Oracle: prefetches the future trace (PerfPref).
 };
+
+/** Registry spec string equivalent to a legacy PrefetcherKind. */
+const char *prefetcherKindSpec(PrefetcherKind kind);
 
 /** Where partial (sub-cacheline) accesses are allowed (paper §4). */
 enum class PartialMode : std::uint8_t {
@@ -149,7 +161,19 @@ struct SystemConfig
     std::uint32_t dramControllerCycles = 60;
 
     // --- Prefetching -------------------------------------------------
+    /** @deprecated Legacy selector; see effectivePrefetcherSpec(). */
     PrefetcherKind prefetcher = PrefetcherKind::Stream;
+    /**
+     * Registry spec applied to every core ("imp", "stream+ghb", ...).
+     * Empty means "fall back to the deprecated enum above".
+     */
+    std::string prefetcherSpec;
+    /**
+     * Per-core overrides for heterogeneous machines: core c uses
+     * corePrefetcherSpecs[c] when that entry exists and is non-empty.
+     * Shorter vectors leave the remaining cores on prefetcherSpec.
+     */
+    std::vector<std::string> corePrefetcherSpecs;
     ImpConfig imp;
     StreamConfig stream;
     GhbConfig ghb;
@@ -182,6 +206,12 @@ struct SystemConfig
     std::uint32_t l1Sectors() const { return kLineSize / gp.l1SectorBytes; }
     /** Sectors per L2 line under the current GP config. */
     std::uint32_t l2Sectors() const { return kLineSize / gp.l2SectorBytes; }
+
+    /**
+     * Registry spec for core @p c: per-core override, else the global
+     * spec string, else the deprecated enum's equivalent.
+     */
+    std::string effectivePrefetcherSpec(CoreId c) const;
 
     /** Terminates with a message if the configuration is inconsistent. */
     void validate() const;

@@ -39,6 +39,17 @@ constexpr std::uint64_t roundUp(std::uint64_t a, std::uint64_t align)
     return (a + align - 1) & ~(align - 1);
 }
 
+/** Number of set bits (C++17 stand-in for std::popcount). */
+constexpr int popcount(std::uint64_t v)
+{
+    int n = 0;
+    while (v != 0) {
+        v &= v - 1;
+        ++n;
+    }
+    return n;
+}
+
 /** Integer square root (exact for perfect squares, floor otherwise). */
 constexpr std::uint32_t isqrt(std::uint64_t v)
 {

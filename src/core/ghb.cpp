@@ -4,7 +4,17 @@
  */
 #include "core/ghb.hpp"
 
+#include "core/prefetcher_registry.hpp"
+
 namespace impsim {
+
+IMPSIM_REGISTER_PREFETCHER(ghb, "ghb",
+                           [](PrefetchHost &host,
+                              const PrefetcherContext &ctx)
+                               -> std::unique_ptr<Prefetcher> {
+                               return std::make_unique<GhbPrefetcher>(
+                                   host, ctx.cfg.ghb);
+                           });
 
 GhbPrefetcher::GhbPrefetcher(PrefetchHost &host, const GhbConfig &cfg)
     : host_(host), cfg_(cfg)

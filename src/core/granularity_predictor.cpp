@@ -4,9 +4,8 @@
  */
 #include "core/granularity_predictor.hpp"
 
-#include <bit>
-
 #include "cache/sector_cache.hpp"
+#include "common/intmath.hpp"
 #include "common/logging.hpp"
 
 namespace impsim {
@@ -123,7 +122,7 @@ GranularityPredictor::onEvict(Addr line_addr)
     std::uint32_t run = minConsecutiveRun(s.touchMask);
     if (run != 0 && run < e.minGranu)
         e.minGranu = run;
-    e.totSectors += std::popcount(s.touchMask);
+    e.totSectors += popcount(s.touchMask);
     e.evictions += 1;
     s = Entry::Sample{};
 

@@ -7,9 +7,20 @@
 #include <algorithm>
 
 #include "core/addr_gen.hpp"
+#include "core/prefetcher_registry.hpp"
 #include "core/stream_prefetcher.hpp"
 
 namespace impsim {
+
+IMPSIM_REGISTER_PREFETCHER(imp, "imp",
+                           [](PrefetchHost &host,
+                              const PrefetcherContext &ctx)
+                               -> std::unique_ptr<Prefetcher> {
+                               return std::make_unique<ImpPrefetcher>(
+                                   host, ctx.cfg.imp, ctx.cfg.stream,
+                                   ctx.cfg.gp,
+                                   ctx.cfg.partial != PartialMode::Off);
+                           });
 
 ImpPrefetcher::ImpPrefetcher(PrefetchHost &host, const ImpConfig &cfg,
                              const StreamConfig &stream_cfg,

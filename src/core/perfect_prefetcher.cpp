@@ -4,7 +4,22 @@
  */
 #include "core/perfect_prefetcher.hpp"
 
+#include "common/logging.hpp"
+#include "core/prefetcher_registry.hpp"
+
 namespace impsim {
+
+IMPSIM_REGISTER_PREFETCHER(
+    perfect, "perfect",
+    [](PrefetchHost &host, const PrefetcherContext &ctx)
+        -> std::unique_ptr<Prefetcher> {
+        IMPSIM_CHECK(ctx.trace != nullptr,
+                     "'perfect' prefetcher needs the core trace in its "
+                     "PrefetcherContext");
+        return std::make_unique<PerfectPrefetcher>(
+            host, *ctx.trace, ctx.cfg.perfectLookahead,
+            ctx.cfg.perfectMaxInflight);
+    });
 
 PerfectPrefetcher::PerfectPrefetcher(PrefetchHost &host,
                                      const CoreTrace &trace,

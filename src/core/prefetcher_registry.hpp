@@ -1,0 +1,108 @@
+/**
+ * @file
+ * String-keyed prefetcher factory registry.
+ *
+ * Every prefetcher engine registers itself under a short name
+ * ("stream", "imp", "ghb", "perfect", "none"); a spec string names one
+ * engine or stacks several with `+` ("stream+ghb"), which the registry
+ * composes behind a single CompositePrefetcher. Factories receive only
+ * the abstract PrefetchHost plus a PrefetcherContext, so any engine
+ * can be built against a fake host in tests or attached at any cache
+ * level — nothing here depends on the concrete L1 controller.
+ *
+ * Spec grammar (also in README.md):
+ *   stack := name ('+' name)*
+ * Unknown names fail fast with a message listing every known engine.
+ */
+#ifndef IMPSIM_CORE_PREFETCHER_REGISTRY_HPP
+#define IMPSIM_CORE_PREFETCHER_REGISTRY_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/prefetcher.hpp"
+
+namespace impsim {
+
+struct CoreTrace;
+
+/** Everything a factory may need besides the host itself. */
+struct PrefetcherContext
+{
+    /** Full machine configuration (engines pick out their knobs). */
+    const SystemConfig &cfg;
+    /** Which core this instance will serve. */
+    CoreId core = 0;
+    /** That core's trace — the "perfect" oracle needs it; may be null. */
+    const CoreTrace *trace = nullptr;
+};
+
+/** Builds one engine instance. May return nullptr ("none"). */
+using PrefetcherFactory = std::function<std::unique_ptr<Prefetcher>(
+    PrefetchHost &, const PrefetcherContext &)>;
+
+/** Process-wide name -> factory table. */
+class PrefetcherRegistry
+{
+  public:
+    static PrefetcherRegistry &instance();
+
+    /**
+     * Registers a factory. First registration of a name wins;
+     * @return false (and changes nothing) if the name is taken.
+     */
+    bool add(const std::string &name, PrefetcherFactory factory);
+
+    /**
+     * Builds the prefetcher stack for @p spec ("imp", "stream+ghb",
+     * ...). Engines producing nullptr ("none") are dropped; an empty
+     * resulting stack yields nullptr, a single engine is returned
+     * bare, several are wrapped in a CompositePrefetcher in spec
+     * order. Unknown names are fatal, with the known names listed.
+     */
+    std::unique_ptr<Prefetcher> make(const std::string &spec,
+                                     PrefetchHost &host,
+                                     const PrefetcherContext &ctx) const;
+
+    /** True if @p name (a single engine, not a spec) is registered. */
+    bool known(const std::string &name) const;
+
+    /** All registered engine names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    PrefetcherRegistry() = default;
+
+    std::map<std::string, PrefetcherFactory> factories_;
+};
+
+/**
+ * Splits "a+b+c" into {"a","b","c"}, trimming surrounding whitespace
+ * per component. Performs no name validation.
+ */
+std::vector<std::string> splitPrefetcherSpec(const std::string &spec);
+
+/**
+ * Self-registration hook: expands to an anchor function (so the
+ * defining object is pulled out of static archives) plus a static
+ * registrar that adds the factory before main(). Use at namespace
+ * scope inside `namespace impsim`:
+ *
+ *   IMPSIM_REGISTER_PREFETCHER(stream, "stream",
+ *       [](PrefetchHost &h, const PrefetcherContext &c) { ... });
+ */
+#define IMPSIM_REGISTER_PREFETCHER(token, key, ...)                         \
+    void impsimPrefetcherAnchor_##token() {}                                \
+    namespace {                                                             \
+    const bool impsim_registered_##token =                                  \
+        ::impsim::PrefetcherRegistry::instance().add(key, __VA_ARGS__);     \
+    }                                                                       \
+    static_assert(true, "require trailing semicolon")
+
+} // namespace impsim
+
+#endif // IMPSIM_CORE_PREFETCHER_REGISTRY_HPP

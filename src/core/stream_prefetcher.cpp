@@ -4,7 +4,17 @@
  */
 #include "core/stream_prefetcher.hpp"
 
+#include "core/prefetcher_registry.hpp"
+
 namespace impsim {
+
+IMPSIM_REGISTER_PREFETCHER(stream, "stream",
+                           [](PrefetchHost &host,
+                              const PrefetcherContext &ctx)
+                               -> std::unique_ptr<Prefetcher> {
+                               return std::make_unique<StreamPrefetcher>(
+                                   host, ctx.cfg.imp, ctx.cfg.stream);
+                           });
 
 void
 issueStreamPrefetches(PrefetchHost &host, PtEntry &e, std::int16_t entry_id,

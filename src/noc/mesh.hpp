@@ -27,7 +27,11 @@ struct MeshCoord
     std::uint32_t x = 0;
     std::uint32_t y = 0;
 
-    bool operator==(const MeshCoord &) const = default;
+    bool
+    operator==(const MeshCoord &o) const
+    {
+        return x == o.x && y == o.y;
+    }
 };
 
 /**

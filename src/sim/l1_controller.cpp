@@ -4,8 +4,7 @@
  */
 #include "sim/l1_controller.hpp"
 
-#include <bit>
-
+#include "common/intmath.hpp"
 #include "common/logging.hpp"
 
 namespace impsim {
@@ -385,7 +384,7 @@ L1Controller::evictFrame(CacheLine &frame)
         stats_.writebacks += 1;
         std::uint32_t bytes =
             cfg_.partial != PartialMode::Off
-                ? std::popcount(frame.dirtyMask) * cache_.sectorBytes()
+                ? popcount(frame.dirtyMask) * cache_.sectorBytes()
                 : kLineSize;
         Tick arr = noc_.send(core_, home, bytes, eq_.now());
         l2s_[home]->handleWriteback(line_addr, frame.dirtyMask, core_,

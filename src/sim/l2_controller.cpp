@@ -4,7 +4,6 @@
  */
 #include "sim/l2_controller.hpp"
 
-#include <bit>
 
 #include "common/intmath.hpp"
 #include "common/logging.hpp"
@@ -50,7 +49,7 @@ L2Controller::dramFetch(Addr line_addr, std::uint32_t l2_mask, Tick when)
     bool partial_dram = cfg_.partial == PartialMode::NocAndDram;
     std::uint32_t bytes;
     if (partial_dram) {
-        std::uint32_t sectors = std::popcount(l2_mask);
+        std::uint32_t sectors = popcount(l2_mask);
         bytes = sectors * cfg_.gp.l2SectorBytes;
         if (bytes < cfg_.gp.dramMinBytes)
             bytes = cfg_.gp.dramMinBytes;
@@ -80,7 +79,7 @@ L2Controller::evictFrame(CacheLine &frame, Tick when)
         std::uint32_t bytes =
             cfg_.partial == PartialMode::NocAndDram
                 ? std::max<std::uint32_t>(
-                      std::popcount(frame.dirtyMask) *
+                      popcount(frame.dirtyMask) *
                           cache_.sectorBytes(),
                       cfg_.gp.dramMinBytes)
                 : kLineSize;
@@ -182,7 +181,7 @@ L2Controller::handleFill(Addr line_addr, std::uint32_t l1_mask,
 
     std::uint32_t payload =
         partial_noc
-            ? std::popcount(l1_mask) * cfg_.gp.l1SectorBytes
+            ? popcount(l1_mask) * cfg_.gp.l1SectorBytes
             : (l1_mask == 0 ? 0 : kLineSize);
     return L2FillResult{t, payload, exclusive || act.grantExclusive};
 }
@@ -204,7 +203,7 @@ L2Controller::handleWriteback(Addr line_addr, std::uint32_t l1_dirty_mask,
     // Slice no longer holds the line: forward straight to DRAM.
     std::uint32_t bytes =
         cfg_.partial == PartialMode::NocAndDram
-            ? std::max<std::uint32_t>(std::popcount(l1_dirty_mask) *
+            ? std::max<std::uint32_t>(popcount(l1_dirty_mask) *
                                           cfg_.gp.l1SectorBytes,
                                       cfg_.gp.dramMinBytes)
             : kLineSize;

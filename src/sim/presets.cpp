@@ -40,6 +40,11 @@ makePreset(ConfigPreset p, std::uint32_t cores, CoreModel model)
     SystemConfig cfg;
     cfg.numCores = cores;
     cfg.coreModel = model;
+    // Presets express their engine through the deprecated enum and
+    // leave prefetcherSpec empty, so legacy callers that overwrite
+    // cfg.prefetcher after makePreset() keep working; construction
+    // still resolves through effectivePrefetcherSpec() and the
+    // registry, and explicit spec strings override the enum.
     switch (p) {
       case ConfigPreset::Ideal:
         cfg.magicMemory = true;

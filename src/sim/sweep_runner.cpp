@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SweepRunner implementation: atomic work-stealing over a job list.
+ */
+#include "sim/sweep_runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "sim/system.hpp"
+
+namespace impsim {
+
+SweepRunner::SweepRunner(unsigned workers) : workers_(workers)
+{
+    if (workers_ == 0) {
+        workers_ = std::thread::hardware_concurrency();
+        if (workers_ == 0)
+            workers_ = 1;
+    }
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<SweepJob> &jobs) const
+{
+    for (const SweepJob &job : jobs)
+        IMPSIM_CHECK(job.traces != nullptr && job.mem != nullptr,
+                     "SweepJob needs traces and a memory image");
+
+    std::vector<SweepResult> results(jobs.size());
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            const SweepJob &job = jobs[i];
+            System sys(job.cfg, *job.traces, *job.mem);
+            results[i] = SweepResult{job.name, sys.run(job.limit)};
+        }
+    };
+
+    unsigned n = workers_;
+    if (n > jobs.size())
+        n = static_cast<unsigned>(jobs.size());
+    if (n <= 1) {
+        worker();
+        return results;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace impsim

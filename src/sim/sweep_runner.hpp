@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Parallel experiment runner.
+ *
+ * A sweep is a list of named, independent simulations (different
+ * configs over shared read-only workloads). SweepRunner fans the jobs
+ * out over a pool of std::thread workers; each worker builds its own
+ * System, so no simulator state is shared between jobs — only the
+ * const traces and the functional memory image. Results come back in
+ * job order regardless of scheduling, so a parallel sweep is
+ * bit-identical to running the same jobs serially.
+ */
+#ifndef IMPSIM_SIM_SWEEP_RUNNER_HPP
+#define IMPSIM_SIM_SWEEP_RUNNER_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/func_mem.hpp"
+#include "common/stats.hpp"
+#include "cpu/trace.hpp"
+#include "sim/system.hpp"
+
+namespace impsim {
+
+/** One independent simulation in a sweep. */
+struct SweepJob
+{
+    /** Label carried through to the result (figure row, CSV tag). */
+    std::string name;
+    SystemConfig cfg;
+    /** Per-core traces; must outlive the run and match cfg.numCores. */
+    const std::vector<CoreTrace> *traces = nullptr;
+    /** Shared functional memory image; read-only during the run. */
+    const FuncMem *mem = nullptr;
+    /** Safety tick bound, as in System::run(). */
+    Tick limit = kDefaultRunLimit;
+};
+
+/** A finished job: the label plus its full statistics snapshot. */
+struct SweepResult
+{
+    std::string name;
+    SimStats stats;
+};
+
+/** Runs batches of SweepJobs across worker threads. */
+class SweepRunner
+{
+  public:
+    /** @param workers thread count; 0 means hardware concurrency. */
+    explicit SweepRunner(unsigned workers = 0);
+
+    /**
+     * Runs every job and returns results in job order. Blocks until
+     * the whole batch is done. Config or deadlock errors inside a job
+     * terminate the process, exactly as a serial run would.
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs) const;
+
+    unsigned workers() const { return workers_; }
+
+  private:
+    unsigned workers_;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_SIM_SWEEP_RUNNER_HPP

@@ -5,60 +5,11 @@
 #include "sim/system.hpp"
 
 #include "common/logging.hpp"
-#include "core/ghb.hpp"
-#include "core/imp.hpp"
-#include "core/perfect_prefetcher.hpp"
-#include "core/stream_prefetcher.hpp"
+#include "core/prefetcher_registry.hpp"
 #include "cpu/inorder_core.hpp"
 #include "cpu/ooo_core.hpp"
 
 namespace impsim {
-
-namespace {
-
-/** Forwards every hook to two children (stream + GHB stacking). */
-class CompositePrefetcher final : public Prefetcher
-{
-  public:
-    CompositePrefetcher(std::unique_ptr<Prefetcher> a,
-                        std::unique_ptr<Prefetcher> b)
-        : a_(std::move(a)), b_(std::move(b))
-    {}
-
-    void
-    onAccess(const AccessInfo &info) override
-    {
-        a_->onAccess(info);
-        b_->onAccess(info);
-    }
-
-    void
-    onMiss(const AccessInfo &info) override
-    {
-        a_->onMiss(info);
-        b_->onMiss(info);
-    }
-
-    void
-    onPrefetchFill(Addr line, std::uint16_t pattern) override
-    {
-        a_->onPrefetchFill(line, pattern);
-        b_->onPrefetchFill(line, pattern);
-    }
-
-    void
-    onEvict(Addr line) override
-    {
-        a_->onEvict(line);
-        b_->onEvict(line);
-    }
-
-  private:
-    std::unique_ptr<Prefetcher> a_;
-    std::unique_ptr<Prefetcher> b_;
-};
-
-} // namespace
 
 System::System(const SystemConfig &cfg,
                const std::vector<CoreTrace> &traces, const FuncMem &mem)
@@ -75,27 +26,9 @@ System::System(const SystemConfig &cfg,
 std::unique_ptr<Prefetcher>
 System::makePrefetcher(CoreId c)
 {
-    L1Controller &l1 = hier_->l1(c);
-    switch (cfg_.prefetcher) {
-      case PrefetcherKind::None:
-        return nullptr;
-      case PrefetcherKind::Stream:
-        return std::make_unique<StreamPrefetcher>(l1, cfg_.imp,
-                                                  cfg_.stream);
-      case PrefetcherKind::Imp:
-        return std::make_unique<ImpPrefetcher>(
-            l1, cfg_.imp, cfg_.stream, cfg_.gp,
-            cfg_.partial != PartialMode::Off);
-      case PrefetcherKind::Ghb:
-        return std::make_unique<CompositePrefetcher>(
-            std::make_unique<StreamPrefetcher>(l1, cfg_.imp, cfg_.stream),
-            std::make_unique<GhbPrefetcher>(l1, cfg_.ghb));
-      case PrefetcherKind::Perfect:
-        return std::make_unique<PerfectPrefetcher>(
-            l1, traces_[c], cfg_.perfectLookahead,
-            cfg_.perfectMaxInflight);
-    }
-    IMPSIM_PANIC("unknown prefetcher kind");
+    PrefetcherContext ctx{cfg_, c, &traces_[c]};
+    return PrefetcherRegistry::instance().make(
+        cfg_.effectivePrefetcherSpec(c), hier_->l1(c), ctx);
 }
 
 void

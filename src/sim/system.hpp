@@ -19,6 +19,9 @@
 
 namespace impsim {
 
+/** Default safety tick bound for System::run and SweepJob::limit. */
+inline constexpr Tick kDefaultRunLimit = Tick{4} * 1000 * 1000 * 1000;
+
 /**
  * A complete simulated machine bound to one set of per-core traces.
  *
@@ -42,7 +45,7 @@ class System
      * @param limit safety tick bound; exceeding it is a fatal error
      *        (deadlock in the modeled machine).
      */
-    SimStats run(Tick limit = Tick{4} * 1000 * 1000 * 1000);
+    SimStats run(Tick limit = kDefaultRunLimit);
 
     // ---- Component access for tests and examples ----
     EventQueue &eventQueue() { return eq_; }

@@ -95,10 +95,15 @@ TEST(Presets, ConfigurationsMatchPaper)
 
     SystemConfig base = makePreset(ConfigPreset::Baseline, 64);
     EXPECT_EQ(base.prefetcher, PrefetcherKind::Stream);
+    EXPECT_EQ(base.effectivePrefetcherSpec(0), "stream");
     EXPECT_EQ(base.partial, PartialMode::Off);
 
     SystemConfig imp = makePreset(ConfigPreset::Imp, 64);
     EXPECT_EQ(imp.prefetcher, PrefetcherKind::Imp);
+    EXPECT_EQ(imp.effectivePrefetcherSpec(0), "imp");
+
+    SystemConfig ghb = makePreset(ConfigPreset::Ghb, 64);
+    EXPECT_EQ(ghb.effectivePrefetcherSpec(0), "stream+ghb");
 
     SystemConfig pn = makePreset(ConfigPreset::ImpPartialNoc, 64);
     EXPECT_EQ(pn.partial, PartialMode::NocOnly);

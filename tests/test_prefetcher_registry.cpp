@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Prefetcher registry: name lookup, error reporting, `+`-composition,
+ * host decoupling (every engine builds against a FakeHost), the
+ * deprecated-enum shim, and per-core heterogeneous systems.
+ */
+#include <gtest/gtest.h>
+
+#include "core/composite_prefetcher.hpp"
+#include "core/ghb.hpp"
+#include "core/imp.hpp"
+#include "core/perfect_prefetcher.hpp"
+#include "core/prefetcher_registry.hpp"
+#include "core/stream_prefetcher.hpp"
+#include "fake_host.hpp"
+#include "sim/presets.hpp"
+#include "sim/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace impsim {
+namespace {
+
+SystemConfig
+testConfig()
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    return cfg;
+}
+
+TEST(Registry, KnowsEveryBuiltin)
+{
+    PrefetcherRegistry &reg = PrefetcherRegistry::instance();
+    for (const char *name : {"none", "stream", "imp", "ghb", "perfect"})
+        EXPECT_TRUE(reg.known(name)) << name;
+    EXPECT_FALSE(reg.known("bogus"));
+    EXPECT_FALSE(reg.known("stream+ghb")) << "specs are not names";
+}
+
+TEST(Registry, UnknownNameDiesListingKnownNames)
+{
+    FakeHost host;
+    SystemConfig cfg = testConfig();
+    PrefetcherContext ctx{cfg, 0, nullptr};
+    EXPECT_EXIT(PrefetcherRegistry::instance().make("bogus", host, ctx),
+                ::testing::ExitedWithCode(1),
+                "unknown prefetcher 'bogus'.*known prefetchers:"
+                ".*ghb.*imp.*none.*perfect.*stream");
+}
+
+TEST(Registry, UnknownComponentInsideSpecDies)
+{
+    FakeHost host;
+    SystemConfig cfg = testConfig();
+    PrefetcherContext ctx{cfg, 0, nullptr};
+    EXPECT_EXIT(
+        PrefetcherRegistry::instance().make("stream+bogus", host, ctx),
+        ::testing::ExitedWithCode(1),
+        "unknown prefetcher 'bogus' in spec 'stream\\+bogus'");
+}
+
+TEST(Registry, SplitSpecTrimsAndSplits)
+{
+    EXPECT_EQ(splitPrefetcherSpec("imp"),
+              (std::vector<std::string>{"imp"}));
+    EXPECT_EQ(splitPrefetcherSpec("stream+ghb"),
+              (std::vector<std::string>{"stream", "ghb"}));
+    EXPECT_EQ(splitPrefetcherSpec(" stream + ghb "),
+              (std::vector<std::string>{"stream", "ghb"}));
+}
+
+TEST(Registry, DuplicateRegistrationRefused)
+{
+    PrefetcherRegistry &reg = PrefetcherRegistry::instance();
+    EXPECT_FALSE(reg.add(
+        "stream", [](PrefetchHost &, const PrefetcherContext &)
+            -> std::unique_ptr<Prefetcher> { return nullptr; }));
+}
+
+TEST(Registry, EveryBuiltinConstructsAgainstAFakeHost)
+{
+    FakeHost host;
+    SystemConfig cfg = testConfig();
+    CoreTrace trace;
+    PrefetcherContext ctx{cfg, 0, &trace};
+    PrefetcherRegistry &reg = PrefetcherRegistry::instance();
+
+    EXPECT_EQ(reg.make("none", host, ctx), nullptr);
+    EXPECT_NE(dynamic_cast<StreamPrefetcher *>(
+                  reg.make("stream", host, ctx).get()),
+              nullptr);
+    EXPECT_NE(
+        dynamic_cast<ImpPrefetcher *>(reg.make("imp", host, ctx).get()),
+        nullptr);
+    EXPECT_NE(
+        dynamic_cast<GhbPrefetcher *>(reg.make("ghb", host, ctx).get()),
+        nullptr);
+    EXPECT_NE(dynamic_cast<PerfectPrefetcher *>(
+                  reg.make("perfect", host, ctx).get()),
+              nullptr);
+}
+
+TEST(Registry, NoneComponentsAreDroppedFromStacks)
+{
+    FakeHost host;
+    SystemConfig cfg = testConfig();
+    PrefetcherContext ctx{cfg, 0, nullptr};
+    PrefetcherRegistry &reg = PrefetcherRegistry::instance();
+
+    // A stack whose only survivor is stream comes back bare.
+    auto pf = reg.make("none+stream", host, ctx);
+    EXPECT_NE(dynamic_cast<StreamPrefetcher *>(pf.get()), nullptr);
+    EXPECT_EQ(dynamic_cast<CompositePrefetcher *>(pf.get()), nullptr);
+
+    EXPECT_EQ(reg.make("none+none", host, ctx), nullptr);
+}
+
+/** Appends its tag to a shared log on every hook (order probe). */
+class RecordingPrefetcher final : public Prefetcher
+{
+  public:
+    RecordingPrefetcher(std::vector<std::string> &log, std::string tag)
+        : log_(log), tag_(std::move(tag))
+    {}
+
+    void onAccess(const AccessInfo &) override { log_.push_back(tag_); }
+
+  private:
+    std::vector<std::string> &log_;
+    std::string tag_;
+};
+
+std::vector<std::string> &
+recorderLog()
+{
+    static std::vector<std::string> log;
+    return log;
+}
+
+TEST(Registry, CompositionPreservesSpecOrder)
+{
+    PrefetcherRegistry &reg = PrefetcherRegistry::instance();
+    for (const char *tag : {"rec_a", "rec_b"}) {
+        reg.add(tag, [tag](PrefetchHost &, const PrefetcherContext &)
+                    -> std::unique_ptr<Prefetcher> {
+            return std::make_unique<RecordingPrefetcher>(recorderLog(),
+                                                         tag);
+        });
+    }
+
+    FakeHost host;
+    SystemConfig cfg = testConfig();
+    PrefetcherContext ctx{cfg, 0, nullptr};
+
+    auto pf = reg.make("rec_b+rec_a", host, ctx);
+    auto *composite = dynamic_cast<CompositePrefetcher *>(pf.get());
+    ASSERT_NE(composite, nullptr);
+    EXPECT_EQ(composite->childCount(), 2u);
+
+    recorderLog().clear();
+    pf->onAccess(AccessInfo{});
+    EXPECT_EQ(recorderLog(),
+              (std::vector<std::string>{"rec_b", "rec_a"}));
+
+    recorderLog().clear();
+    reg.make("rec_a+rec_b", host, ctx)->onAccess(AccessInfo{});
+    EXPECT_EQ(recorderLog(),
+              (std::vector<std::string>{"rec_a", "rec_b"}));
+}
+
+TEST(Registry, EnumShimMapsToSpecs)
+{
+    EXPECT_STREQ(prefetcherKindSpec(PrefetcherKind::None), "none");
+    EXPECT_STREQ(prefetcherKindSpec(PrefetcherKind::Stream), "stream");
+    EXPECT_STREQ(prefetcherKindSpec(PrefetcherKind::Imp), "imp");
+    EXPECT_STREQ(prefetcherKindSpec(PrefetcherKind::Ghb), "stream+ghb");
+    EXPECT_STREQ(prefetcherKindSpec(PrefetcherKind::Perfect), "perfect");
+}
+
+TEST(Registry, EffectiveSpecPrecedence)
+{
+    SystemConfig cfg = testConfig();
+    cfg.prefetcher = PrefetcherKind::Ghb;
+    EXPECT_EQ(cfg.effectivePrefetcherSpec(0), "stream+ghb")
+        << "deprecated enum is the fallback";
+
+    cfg.prefetcherSpec = "imp";
+    EXPECT_EQ(cfg.effectivePrefetcherSpec(0), "imp")
+        << "global spec beats the enum";
+
+    cfg.corePrefetcherSpecs = {"", "stream"};
+    EXPECT_EQ(cfg.effectivePrefetcherSpec(0), "imp")
+        << "empty per-core entry falls through";
+    EXPECT_EQ(cfg.effectivePrefetcherSpec(1), "stream");
+    EXPECT_EQ(cfg.effectivePrefetcherSpec(2), "imp")
+        << "cores past the vector use the global spec";
+}
+
+TEST(Registry, HeterogeneousPerCoreSystemRuns)
+{
+    WorkloadParams wp;
+    wp.numCores = 4;
+    wp.scale = 0.05;
+    Workload w = makeWorkload(AppId::Spmv, wp);
+
+    SystemConfig cfg = makePreset(ConfigPreset::Baseline, 4);
+    cfg.corePrefetcherSpecs = {"imp", "stream", "none", "stream+ghb"};
+
+    System sys(cfg, w.traces, *w.mem);
+    SimStats s = sys.run();
+    EXPECT_GT(s.cycles, 0u);
+
+    EXPECT_NE(dynamic_cast<ImpPrefetcher *>(
+                  sys.hierarchy().l1(0).prefetcher()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<StreamPrefetcher *>(
+                  sys.hierarchy().l1(1).prefetcher()),
+              nullptr);
+    EXPECT_EQ(sys.hierarchy().l1(2).prefetcher(), nullptr);
+    EXPECT_NE(dynamic_cast<CompositePrefetcher *>(
+                  sys.hierarchy().l1(3).prefetcher()),
+              nullptr);
+}
+
+TEST(Registry, SpecStringMatchesLegacyEnumExactly)
+{
+    WorkloadParams wp;
+    wp.numCores = 4;
+    wp.scale = 0.05;
+    Workload w = makeWorkload(AppId::Pagerank, wp);
+
+    SystemConfig legacy = makePreset(ConfigPreset::Ghb, 4);
+    System legacy_sys(legacy, w.traces, *w.mem);
+    SimStats a = legacy_sys.run();
+
+    SystemConfig spec = makePreset(ConfigPreset::Ghb, 4);
+    spec.prefetcherSpec = "stream+ghb";
+    System spec_sys(spec, w.traces, *w.mem);
+    SimStats b = spec_sys.run();
+
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l1.hits, b.l1.hits);
+    EXPECT_EQ(a.l1.misses, b.l1.misses);
+    EXPECT_EQ(a.l1.prefIssued, b.l1.prefIssued);
+}
+
+} // namespace
+} // namespace impsim

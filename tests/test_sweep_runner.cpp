@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SweepRunner: parallel execution must be observably identical to
+ * serial execution, with results in job order.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+#include "sim/sweep_runner.hpp"
+#include "sim/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace impsim {
+namespace {
+
+const Workload &
+sweepWorkload()
+{
+    static const Workload w = [] {
+        WorkloadParams wp;
+        wp.numCores = 4;
+        wp.scale = 0.05;
+        return makeWorkload(AppId::Spmv, wp);
+    }();
+    return w;
+}
+
+std::vector<SweepJob>
+sweepJobs()
+{
+    const Workload &w = sweepWorkload();
+    std::vector<SweepJob> jobs;
+    for (ConfigPreset p :
+         {ConfigPreset::NoPrefetch, ConfigPreset::Baseline,
+          ConfigPreset::Imp, ConfigPreset::Ghb}) {
+        jobs.push_back(SweepJob{presetName(p), makePreset(p, 4),
+                                &w.traces, w.mem.get()});
+    }
+    return jobs;
+}
+
+void
+expectSameStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.core.instructions, b.core.instructions);
+    EXPECT_EQ(a.l1.hits, b.l1.hits);
+    EXPECT_EQ(a.l1.misses, b.l1.misses);
+    EXPECT_EQ(a.l1.prefIssued, b.l1.prefIssued);
+    EXPECT_EQ(a.l2.hits, b.l2.hits);
+    EXPECT_EQ(a.l2.misses, b.l2.misses);
+    EXPECT_EQ(a.noc.bytes, b.noc.bytes);
+    EXPECT_EQ(a.noc.queueCycles, b.noc.queueCycles);
+    EXPECT_EQ(a.dram.bytes(), b.dram.bytes());
+}
+
+TEST(SweepRunner, WorkerCountDefaultsToAtLeastOne)
+{
+    EXPECT_GE(SweepRunner(0).workers(), 1u);
+    EXPECT_EQ(SweepRunner(3).workers(), 3u);
+}
+
+TEST(SweepRunner, ResultsComeBackInJobOrder)
+{
+    std::vector<SweepJob> jobs = sweepJobs();
+    std::vector<SweepResult> results = SweepRunner(2).run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(results[i].name, jobs[i].name);
+}
+
+TEST(SweepRunner, ParallelIsIdenticalToSerial)
+{
+    std::vector<SweepJob> jobs = sweepJobs();
+
+    // Serial reference: one System per job on this thread.
+    std::vector<SimStats> serial;
+    for (const SweepJob &job : jobs) {
+        System sys(job.cfg, *job.traces, *job.mem);
+        serial.push_back(sys.run());
+    }
+
+    for (unsigned workers : {1u, 2u, 4u}) {
+        std::vector<SweepResult> par = SweepRunner(workers).run(jobs);
+        ASSERT_EQ(par.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            SCOPED_TRACE(jobs[i].name + " @" +
+                         std::to_string(workers) + " workers");
+            expectSameStats(par[i].stats, serial[i]);
+        }
+    }
+}
+
+TEST(SweepRunner, EmptyBatchIsFine)
+{
+    EXPECT_TRUE(SweepRunner(2).run({}).empty());
+}
+
+} // namespace
+} // namespace impsim

@@ -16,6 +16,16 @@ main(int argc, char **argv)
         ConfigPreset::PerfectPref, ConfigPreset::Baseline,
         ConfigPreset::Imp, ConfigPreset::SwPref};
 
+    // Simulate the whole cores x app x preset grid in parallel.
+    std::vector<PresetPoint> points;
+    for (std::uint32_t cores : kCores) {
+        for (AppId app : paperApps()) {
+            for (ConfigPreset p : kCfgs)
+                points.push_back(PresetPoint{app, p, cores});
+        }
+    }
+    prewarmPresets(points);
+
     for (std::uint32_t cores : kCores) {
         for (AppId app : paperApps()) {
             for (ConfigPreset p : kCfgs) {

@@ -11,6 +11,15 @@ using namespace impsim::bench;
 int
 main(int argc, char **argv)
 {
+    // Simulate the whole app x preset grid in parallel.
+    std::vector<PresetPoint> points;
+    for (AppId app : paperApps()) {
+        for (ConfigPreset p :
+             {ConfigPreset::Imp, ConfigPreset::ImpPartialNocDram})
+            points.push_back(PresetPoint{app, p, 64});
+    }
+    prewarmPresets(points);
+
     for (AppId app : paperApps()) {
         for (ConfigPreset p :
              {ConfigPreset::Imp, ConfigPreset::ImpPartialNocDram}) {

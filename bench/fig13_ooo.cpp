@@ -17,6 +17,17 @@ main(int argc, char **argv)
                                   ConfigPreset::Imp,
                                   ConfigPreset::ImpPartialNocDram};
 
+    // Simulate the whole app x preset x core-model grid in parallel.
+    std::vector<PresetPoint> points;
+    for (AppId app : kApps) {
+        for (ConfigPreset p : kCfgs) {
+            for (CoreModel m :
+                 {CoreModel::InOrder, CoreModel::OutOfOrder})
+                points.push_back(PresetPoint{app, p, 64, m});
+        }
+    }
+    prewarmPresets(points);
+
     for (AppId app : kApps) {
         for (ConfigPreset p : kCfgs) {
             for (CoreModel m :

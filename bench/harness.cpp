@@ -92,41 +92,20 @@ customKey(AppId app, const std::string &tag)
     return std::string(appName(app)) + "/custom/" + tag;
 }
 
-} // namespace
-
-const SimStats &
-run(AppId app, ConfigPreset preset, std::uint32_t cores, CoreModel model)
+std::string
+presetKey(AppId app, ConfigPreset preset, std::uint32_t cores,
+          CoreModel model)
 {
-    std::string key = std::string(appName(app)) + "/" +
-                      presetName(preset) + "/" +
-                      std::to_string(cores) +
-                      (model == CoreModel::OutOfOrder ? "/ooo" : "");
-    SystemConfig cfg = makePreset(preset, cores, model);
-    return cachedSim(key, app, cfg, presetWantsSwPrefetch(preset));
+    return std::string(appName(app)) + "/" + presetName(preset) + "/" +
+           std::to_string(cores) +
+           (model == CoreModel::OutOfOrder ? "/ooo" : "");
 }
 
-const SimStats &
-runCustom(const std::string &tag, AppId app, const SystemConfig &cfg,
-          bool swpf)
-{
-    return cachedSim(customKey(app, tag), app, cfg, swpf);
-}
-
+/** Parallel-runs @p jobs and memoises each result under @p keys. */
 void
-prewarm(const std::vector<SweepPoint> &points)
+runAndMemoise(std::vector<SweepJob> &&jobs,
+              std::vector<std::string> &&keys)
 {
-    // Workload generation shares a cache; do it on this thread, then
-    // fan the independent simulations out.
-    std::vector<SweepJob> jobs;
-    std::vector<std::string> keys;
-    for (const SweepPoint &p : points) {
-        std::string key = customKey(p.app, p.tag);
-        if (simCache().count(key) != 0)
-            continue;
-        const Workload &w = cachedWorkload(p.app, p.cfg.numCores, p.swpf);
-        jobs.push_back(SweepJob{key, p.cfg, &w.traces, w.mem.get()});
-        keys.push_back(std::move(key));
-    }
     if (jobs.empty())
         return;
 
@@ -157,6 +136,59 @@ prewarm(const std::vector<SweepPoint> &points)
     for (std::size_t i = 0; i < results.size(); ++i)
         simCache()[keys[i]] =
             std::make_unique<SimStats>(std::move(results[i].stats));
+}
+
+} // namespace
+
+const SimStats &
+run(AppId app, ConfigPreset preset, std::uint32_t cores, CoreModel model)
+{
+    SystemConfig cfg = makePreset(preset, cores, model);
+    return cachedSim(presetKey(app, preset, cores, model), app, cfg,
+                     presetWantsSwPrefetch(preset));
+}
+
+const SimStats &
+runCustom(const std::string &tag, AppId app, const SystemConfig &cfg,
+          bool swpf)
+{
+    return cachedSim(customKey(app, tag), app, cfg, swpf);
+}
+
+void
+prewarm(const std::vector<SweepPoint> &points)
+{
+    // Workload generation shares a cache; do it on this thread, then
+    // fan the independent simulations out.
+    std::vector<SweepJob> jobs;
+    std::vector<std::string> keys;
+    for (const SweepPoint &p : points) {
+        std::string key = customKey(p.app, p.tag);
+        if (simCache().count(key) != 0)
+            continue;
+        const Workload &w = cachedWorkload(p.app, p.cfg.numCores, p.swpf);
+        jobs.push_back(SweepJob{key, p.cfg, &w.traces, w.mem.get()});
+        keys.push_back(std::move(key));
+    }
+    runAndMemoise(std::move(jobs), std::move(keys));
+}
+
+void
+prewarmPresets(const std::vector<PresetPoint> &points)
+{
+    std::vector<SweepJob> jobs;
+    std::vector<std::string> keys;
+    for (const PresetPoint &p : points) {
+        std::string key = presetKey(p.app, p.preset, p.cores, p.model);
+        if (simCache().count(key) != 0)
+            continue;
+        bool swpf = presetWantsSwPrefetch(p.preset);
+        const Workload &w = cachedWorkload(p.app, p.cores, swpf);
+        jobs.push_back(SweepJob{key, makePreset(p.preset, p.cores, p.model),
+                                &w.traces, w.mem.get()});
+        keys.push_back(std::move(key));
+    }
+    runAndMemoise(std::move(jobs), std::move(keys));
 }
 
 double

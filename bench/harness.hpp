@@ -55,6 +55,22 @@ struct SweepPoint
  */
 void prewarm(const std::vector<SweepPoint> &points);
 
+/** One preset run, keyed exactly like run(app, preset, cores, model). */
+struct PresetPoint
+{
+    AppId app;
+    ConfigPreset preset;
+    std::uint32_t cores;
+    CoreModel model = CoreModel::InOrder;
+};
+
+/**
+ * prewarm() for preset-keyed runs: fills the cache run() reads, so the
+ * figure benches over preset grids (fig 9/11/12/13) simulate their
+ * whole grid in parallel instead of serially on first use.
+ */
+void prewarmPresets(const std::vector<PresetPoint> &points);
+
 /** cycles(PerfPref) / cycles(preset): Fig 9/11's normalisation. */
 double normThroughput(AppId app, ConfigPreset preset,
                       std::uint32_t cores,

@@ -8,14 +8,16 @@
  *              [--scale F] [--ooo] [--csv] [--pt N] [--ipd N]
  *              [--distance N] [--seed N] [--jobs N]
  *              [--prefetcher SPEC[,SPEC...]]
+ *              [--l2-prefetcher SPEC[,SPEC...]]
  *
  * Flags accept both "--flag value" and "--flag=value".
  *
- * --prefetcher overrides the preset's engine with a registry spec:
+ * --prefetcher overrides the preset's L1 engine with a registry spec:
  *   stack := name ('+' name)*       e.g. "imp", "stream+ghb"
  * A comma-separated list assigns stacks to cores round-robin
  * (heterogeneous machines): "imp,stream" alternates IMP and stream
- * across the tiles.
+ * across the tiles. --l2-prefetcher does the same for the L2-attached
+ * engines (per tile); the default is no L2 prefetching.
  *
  * A comma-separated --preset list runs every preset through the
  * parallel SweepRunner and prints one CSV row each.
@@ -25,6 +27,7 @@
  *   impsim_cli --app pagerank --preset Base,IMP,GHB --cores 16
  *   impsim_cli --app lsh --preset IMP --prefetcher=stream+ghb
  *   impsim_cli --app spmv --prefetcher=imp,stream --cores 16
+ *   impsim_cli --app graph500 --prefetcher=none --l2-prefetcher=imp
  */
 #include <cstdio>
 #include <cstring>
@@ -135,11 +138,35 @@ parseDouble(const std::string &flag, const std::string &value)
     std::exit(1);
 }
 
+/** Parses a SPEC[,SPEC...] flag into global + per-core spec fields. */
+void
+applySpecList(const std::string &flag, const std::string &value,
+              std::uint32_t cores, std::string &global,
+              std::vector<std::string> &per_core)
+{
+    std::vector<std::string> stacks = splitCommas(value);
+    for (const std::string &s : stacks) {
+        if (s.empty()) {
+            std::fprintf(stderr, "%s has an empty stack in '%s'\n",
+                         flag.c_str(), value.c_str());
+            std::exit(1);
+        }
+    }
+    if (stacks.size() == 1) {
+        global = stacks[0];
+        return;
+    }
+    // Heterogeneous: assign stacks round-robin across cores/tiles.
+    per_core.resize(cores);
+    for (std::uint32_t c = 0; c < cores; ++c)
+        per_core[c] = stacks[c % stacks.size()];
+}
+
 /** Applies CLI overrides shared by single runs and sweep rows. */
 void
 applyOverrides(SystemConfig &cfg, std::uint32_t pt, std::uint32_t ipd,
                std::uint32_t distance, const std::string &prefetcher,
-               std::uint32_t cores)
+               const std::string &l2_prefetcher, std::uint32_t cores)
 {
     if (pt)
         cfg.imp.ptEntries = pt;
@@ -148,23 +175,12 @@ applyOverrides(SystemConfig &cfg, std::uint32_t pt, std::uint32_t ipd,
     if (distance)
         cfg.imp.maxPrefetchDistance = distance;
     if (!prefetcher.empty()) {
-        std::vector<std::string> stacks = splitCommas(prefetcher);
-        for (const std::string &s : stacks) {
-            if (s.empty()) {
-                std::fprintf(stderr,
-                             "--prefetcher has an empty stack in '%s'\n",
-                             prefetcher.c_str());
-                std::exit(1);
-            }
-        }
-        if (stacks.size() == 1) {
-            cfg.prefetcherSpec = stacks[0];
-        } else {
-            // Heterogeneous: assign stacks round-robin across cores.
-            cfg.corePrefetcherSpecs.resize(cores);
-            for (std::uint32_t c = 0; c < cores; ++c)
-                cfg.corePrefetcherSpecs[c] = stacks[c % stacks.size()];
-        }
+        applySpecList("--prefetcher", prefetcher, cores,
+                      cfg.prefetcherSpec, cfg.corePrefetcherSpecs);
+    }
+    if (!l2_prefetcher.empty()) {
+        applySpecList("--l2-prefetcher", l2_prefetcher, cores,
+                      cfg.l2PrefetcherSpec, cfg.l2SlicePrefetcherSpecs);
     }
 }
 
@@ -182,6 +198,7 @@ main(int argc, char **argv)
     std::uint32_t pt = 0, ipd = 0, distance = 0;
     std::uint64_t seed = 42;
     std::string prefetcher;
+    std::string l2Prefetcher;
     unsigned jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
@@ -228,6 +245,8 @@ main(int argc, char **argv)
             seed = parseUint(a, next());
         else if (a == "--prefetcher")
             prefetcher = next();
+        else if (a == "--l2-prefetcher")
+            l2Prefetcher = next();
         else if (a == "--jobs")
             jobs = parseU32(a, next());
         else {
@@ -258,20 +277,24 @@ main(int argc, char **argv)
         return *slot;
     };
 
+    // Commas would split the CSV label column; a per-core list reads
+    // as "imp|stream" instead.
+    auto specTag = [](const std::string &spec) {
+        std::string tag = spec;
+        for (char &ch : tag) {
+            if (ch == ',')
+                ch = '|';
+        }
+        return tag;
+    };
     auto labelFor = [&](ConfigPreset p) {
         std::string label = std::string(appName(app)) + "/" +
                             presetName(p) + "/" + std::to_string(cores) +
                             "c" + (ooo ? "/ooo" : "");
-        if (!prefetcher.empty()) {
-            // Commas would split the CSV label column; a per-core
-            // list reads as "imp|stream" instead.
-            std::string tag = prefetcher;
-            for (char &ch : tag) {
-                if (ch == ',')
-                    ch = '|';
-            }
-            label += "/" + tag;
-        }
+        if (!prefetcher.empty())
+            label += "/" + specTag(prefetcher);
+        if (!l2Prefetcher.empty())
+            label += "/l2:" + specTag(l2Prefetcher);
         return label;
     };
 
@@ -279,7 +302,8 @@ main(int argc, char **argv)
         ConfigPreset preset = preset_list[0];
         Workload &w = workloadFor(preset);
         SystemConfig cfg = makePreset(preset, cores, model);
-        applyOverrides(cfg, pt, ipd, distance, prefetcher, cores);
+        applyOverrides(cfg, pt, ipd, distance, prefetcher, l2Prefetcher,
+                       cores);
 
         System sys(cfg, w.traces, *w.mem);
         SimStats s = sys.run();
@@ -297,7 +321,8 @@ main(int argc, char **argv)
     for (ConfigPreset preset : preset_list) {
         Workload &w = workloadFor(preset);
         SystemConfig cfg = makePreset(preset, cores, model);
-        applyOverrides(cfg, pt, ipd, distance, prefetcher, cores);
+        applyOverrides(cfg, pt, ipd, distance, prefetcher, l2Prefetcher,
+                       cores);
         sweep.push_back(
             SweepJob{labelFor(preset), cfg, &w.traces, w.mem.get()});
     }

@@ -47,6 +47,21 @@ struct CacheLine
 std::uint32_t sectorMask(Addr addr, std::uint32_t size,
                          std::uint32_t sector_bytes);
 
+/**
+ * sectorMask() with @p size first clipped to the end of addr's line
+ * (no split accesses) — the request-mask idiom both cache controllers
+ * use.
+ */
+inline std::uint32_t
+sectorMaskClipped(Addr addr, std::uint32_t size,
+                  std::uint32_t sector_bytes)
+{
+    std::uint32_t off = lineOffset(addr);
+    if (off + size > kLineSize)
+        size = kLineSize - off;
+    return sectorMask(addr, size, sector_bytes);
+}
+
 /** Mask with the low @p n bits set (n = sectors per line). */
 constexpr std::uint32_t
 fullMask(std::uint32_t n)

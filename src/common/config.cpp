@@ -11,32 +11,21 @@
 
 namespace impsim {
 
-const char *
-prefetcherKindSpec(PrefetcherKind kind)
-{
-    switch (kind) {
-      case PrefetcherKind::None:
-        return "none";
-      case PrefetcherKind::Stream:
-        return "stream";
-      case PrefetcherKind::Imp:
-        return "imp";
-      case PrefetcherKind::Ghb:
-        return "stream+ghb";
-      case PrefetcherKind::Perfect:
-        return "perfect";
-    }
-    IMPSIM_PANIC("unknown prefetcher kind");
-}
-
 std::string
 SystemConfig::effectivePrefetcherSpec(CoreId c) const
 {
     if (c < corePrefetcherSpecs.size() && !corePrefetcherSpecs[c].empty())
         return corePrefetcherSpecs[c];
-    if (!prefetcherSpec.empty())
-        return prefetcherSpec;
-    return prefetcherKindSpec(prefetcher);
+    return prefetcherSpec;
+}
+
+std::string
+SystemConfig::effectiveL2PrefetcherSpec(CoreId t) const
+{
+    if (t < l2SlicePrefetcherSpecs.size() &&
+        !l2SlicePrefetcherSpecs[t].empty())
+        return l2SlicePrefetcherSpecs[t];
+    return l2PrefetcherSpec;
 }
 
 std::uint32_t

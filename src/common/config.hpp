@@ -26,25 +26,6 @@ enum class DramModelKind : std::uint8_t {
     Ddr3,   ///< DRAMSim-style 10-10-10-24 bank timing.
 };
 
-/**
- * L1-attached prefetcher selection (paper §5.4).
- *
- * @deprecated Kept as a shim for existing call sites. New code should
- * set SystemConfig::prefetcherSpec (or corePrefetcherSpecs) to a
- * registry spec string; the enum only feeds effectivePrefetcherSpec()
- * when no spec string is set.
- */
-enum class PrefetcherKind : std::uint8_t {
-    None,    ///< No prefetching at all.
-    Stream,  ///< Stream prefetcher only (the paper's Baseline).
-    Imp,     ///< Stream prefetcher + IMP (the contribution).
-    Ghb,     ///< Stream prefetcher + GHB correlation prefetcher.
-    Perfect, ///< Oracle: prefetches the future trace (PerfPref).
-};
-
-/** Registry spec string equivalent to a legacy PrefetcherKind. */
-const char *prefetcherKindSpec(PrefetcherKind kind);
-
 /** Where partial (sub-cacheline) accesses are allowed (paper §4). */
 enum class PartialMode : std::uint8_t {
     Off,        ///< Full 64 B lines everywhere.
@@ -161,25 +142,40 @@ struct SystemConfig
     std::uint32_t dramControllerCycles = 60;
 
     // --- Prefetching -------------------------------------------------
-    /** @deprecated Legacy selector; see effectivePrefetcherSpec(). */
-    PrefetcherKind prefetcher = PrefetcherKind::Stream;
     /**
-     * Registry spec applied to every core ("imp", "stream+ghb", ...).
-     * Empty means "fall back to the deprecated enum above".
+     * Registry spec for the L1-attached engine on every core ("imp",
+     * "stream+ghb", "none", ...). Blank segments are ignored; a
+     * whole-blank spec means no engine, like "none".
      */
-    std::string prefetcherSpec;
+    std::string prefetcherSpec = "stream";
     /**
      * Per-core overrides for heterogeneous machines: core c uses
      * corePrefetcherSpecs[c] when that entry exists and is non-empty.
      * Shorter vectors leave the remaining cores on prefetcherSpec.
      */
     std::vector<std::string> corePrefetcherSpecs;
+    /**
+     * Registry spec for the L2-attached engine on every tile. The
+     * default "none" leaves the L2 unprefetched (the paper's setup).
+     */
+    std::string l2PrefetcherSpec = "none";
+    /**
+     * Per-tile L2 overrides, same fall-through semantics as
+     * corePrefetcherSpecs.
+     */
+    std::vector<std::string> l2SlicePrefetcherSpecs;
     ImpConfig imp;
     StreamConfig stream;
+    /**
+     * Stream knobs for L2-attached engines. The L2 trains on the L1
+     * miss stream, so a sequential scan appears once per line: strides
+     * are line-granular, not element-granular.
+     */
+    StreamConfig l2Stream{4, kLineSize};
     GhbConfig ghb;
     PartialMode partial = PartialMode::Off;
     GpConfig gp;
-    /** Oracle lead, in trace accesses (PrefetcherKind::Perfect). */
+    /** Oracle lead, in trace accesses (the "perfect" engine). */
     std::uint32_t perfectLookahead = 192;
     std::uint32_t perfectMaxInflight = 32;
 
@@ -208,10 +204,16 @@ struct SystemConfig
     std::uint32_t l2Sectors() const { return kLineSize / gp.l2SectorBytes; }
 
     /**
-     * Registry spec for core @p c: per-core override, else the global
-     * spec string, else the deprecated enum's equivalent.
+     * L1 registry spec for core @p c: per-core override, else the
+     * global spec string.
      */
     std::string effectivePrefetcherSpec(CoreId c) const;
+
+    /**
+     * L2 registry spec for tile @p t: per-tile override, else the
+     * global L2 spec string.
+     */
+    std::string effectiveL2PrefetcherSpec(CoreId t) const;
 
     /** Terminates with a message if the configuration is inconsistent. */
     void validate() const;

@@ -41,6 +41,7 @@ CacheStats::merge(const CacheStats &o)
     prefIssued += o.prefIssued;
     prefIssuedIndirect += o.prefIssuedIndirect;
     prefIssuedStream += o.prefIssuedStream;
+    prefUpgrades += o.prefUpgrades;
     prefUsefulFirstTouch += o.prefUsefulFirstTouch;
     prefLate += o.prefLate;
     prefUnused += o.prefUnused;

@@ -53,9 +53,12 @@ struct CacheStats
     std::array<std::uint64_t, kNumAccessTypes> accessesByType{};
 
     // Prefetch effectiveness (Table 3).
-    std::uint64_t prefIssued = 0;       ///< Prefetch fills requested.
+    std::uint64_t prefIssued = 0;       ///< Prefetch data fills requested.
     std::uint64_t prefIssuedIndirect = 0;
     std::uint64_t prefIssuedStream = 0;
+    /** Exclusivity-only upgrade prefetches: no data moved, so they
+     *  count neither as issues nor against coverage/accuracy. */
+    std::uint64_t prefUpgrades = 0;
     std::uint64_t prefUsefulFirstTouch = 0; ///< Demand hit a prefetched line.
     std::uint64_t prefLate = 0;         ///< Demand merged into inflight pf.
     std::uint64_t prefUnused = 0;       ///< Prefetched line evicted untouched.

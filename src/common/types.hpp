@@ -39,6 +39,16 @@ constexpr std::uint32_t lineOffset(Addr a)
     return static_cast<std::uint32_t>(a & (kLineSize - 1));
 }
 
+/**
+ * Home tile of a line under the machine's line-interleaved shared-L2
+ * mapping. The single definition both cache levels route by.
+ */
+constexpr CoreId
+homeTileOf(Addr line_addr, std::uint32_t num_tiles)
+{
+    return static_cast<CoreId>(lineOf(line_addr) % num_tiles);
+}
+
 /** An invalid / "no address" sentinel. */
 inline constexpr Addr kNoAddr = ~Addr{0};
 

@@ -16,18 +16,36 @@ IMPSIM_REGISTER_PREFETCHER(imp, "imp",
                            [](PrefetchHost &host,
                               const PrefetcherContext &ctx)
                                -> std::unique_ptr<Prefetcher> {
+                               bool at_l2 =
+                                   ctx.level == AttachLevel::L2;
                                return std::make_unique<ImpPrefetcher>(
-                                   host, ctx.cfg.imp, ctx.cfg.stream,
+                                   host, ctx.cfg.imp,
+                                   at_l2 ? ctx.cfg.l2Stream
+                                         : ctx.cfg.stream,
                                    ctx.cfg.gp,
-                                   ctx.cfg.partial != PartialMode::Off);
+                                   ctx.cfg.partial != PartialMode::Off,
+                                   at_l2);
                            });
 
 ImpPrefetcher::ImpPrefetcher(PrefetchHost &host, const ImpConfig &cfg,
                              const StreamConfig &stream_cfg,
-                             const GpConfig &gp_cfg, bool partial)
+                             const GpConfig &gp_cfg, bool partial,
+                             bool line_granular)
     : host_(host), cfg_(cfg), streamCfg_(stream_cfg), partial_(partial),
-      pt_(cfg, stream_cfg), ipd_(cfg), gp_(gp_cfg, cfg.ptEntries)
+      lineGranular_(line_granular), pt_(cfg, stream_cfg), ipd_(cfg),
+      gp_(gp_cfg, cfg.ptEntries)
 {}
+
+std::uint32_t
+ImpPrefetcher::indexBytes(const PtEntry &e) const
+{
+    // A line-granular host observes one access per index line, so the
+    // stride is the line pitch, not the element size; the access's own
+    // size (remembered in the entry) is the element size.
+    if (lineGranular_ && e.elemSize != 0)
+        return e.elemSize;
+    return e.elemBytes();
+}
 
 void
 ImpPrefetcher::onAccess(const AccessInfo &info)
@@ -102,7 +120,9 @@ void
 ImpPrefetcher::handleIndexAccess(std::int16_t id, const AccessInfo &info)
 {
     PtEntry &e = pt_.at(id);
-    std::uint64_t value = host_.readValue(info.addr, e.elemBytes());
+    if (lineGranular_)
+        e.elemSize = info.size > 8 ? 8 : info.size;
+    std::uint64_t value = host_.readValue(info.addr, indexBytes(e));
 
     if (e.backoffLeft > 0)
         --e.backoffLeft;
@@ -235,7 +255,7 @@ ImpPrefetcher::maybeIssueIndirect(std::int16_t id, Addr index_access_addr)
     Addr idx_line = lineAlign(target_idx);
 
     if (host_.linePresent(idx_line)) {
-        std::uint64_t value = host_.readValue(target_idx, e.elemBytes());
+        std::uint64_t value = host_.readValue(target_idx, indexBytes(e));
         issueIndirectFor(id, value);
         return;
     }
@@ -318,7 +338,8 @@ ImpPrefetcher::onPrefetchFill(Addr line_addr, std::uint16_t)
             PtEntry &e = pt_.at(id);
             if (!e.valid || !e.indEnable)
                 continue;
-            std::uint64_t value = host_.readValue(idx_addr, e.elemBytes());
+            std::uint64_t value =
+                host_.readValue(idx_addr, indexBytes(e));
             issueIndirectFor(id, value);
         }
     }

@@ -51,10 +51,14 @@ class ImpPrefetcher : public Prefetcher
     /**
      * @param partial enable Granularity-Predictor-sized footprints
      *                (the system must also run sectored caches).
+     * @param line_granular the host observes one access per line (an
+     *                L2-attached instance trains on the L1 miss
+     *                stream): index element sizes come from the access
+     *                size instead of the observed stride.
      */
     ImpPrefetcher(PrefetchHost &host, const ImpConfig &cfg,
                   const StreamConfig &stream_cfg, const GpConfig &gp_cfg,
-                  bool partial);
+                  bool partial, bool line_granular = false);
 
     void onAccess(const AccessInfo &info) override;
     void onMiss(const AccessInfo &info) override;
@@ -70,6 +74,7 @@ class ImpPrefetcher : public Prefetcher
   private:
     void confidenceCheck(const AccessInfo &info);
     void handleIndexAccess(std::int16_t id, const AccessInfo &info);
+    std::uint32_t indexBytes(const PtEntry &e) const;
     void installDetection(const IpdDetection &det);
     void maybeIssueIndirect(std::int16_t id, Addr index_access_addr);
     void issueIndirectFor(std::int16_t id, std::uint64_t value);
@@ -81,6 +86,7 @@ class ImpPrefetcher : public Prefetcher
     ImpConfig cfg_;
     StreamConfig streamCfg_;
     bool partial_;
+    bool lineGranular_;
     PrefetchTable pt_;
     Ipd ipd_;
     GranularityPredictor gp_;

@@ -53,6 +53,10 @@ struct PtEntry
     Addr indexAddr = 0;        ///< Where the index was read from.
     std::uint32_t indHits = 0; ///< Saturating confidence counter.
     std::uint32_t distance = 1;///< Current prefetch distance (ramps).
+    std::uint8_t elemSize = 0; ///< Index element size from the access
+                               ///< itself; line-granular hosts (L2
+                               ///< attach) cannot derive it from the
+                               ///< observed stride.
 
     // ---- Secondary indirection links (Fig 6) ----
     IndType indType = IndType::None;

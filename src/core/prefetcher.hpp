@@ -20,6 +20,17 @@ namespace impsim {
 /** Pattern id used when a prefetch has no owning PT entry. */
 inline constexpr std::uint16_t kNoPattern = 0xffff;
 
+/**
+ * Cache level a prefetcher instance is attached to. Engines see the
+ * same PrefetchHost interface at every level; the level only matters
+ * for picking level-appropriate knobs (an L2-attached engine trains on
+ * the L1 miss stream, so its strides are line-granular).
+ */
+enum class AttachLevel : std::uint8_t {
+    L1, ///< Snoops a core's full demand stream (paper default).
+    L2, ///< Snoops a tile's L1-miss stream, fills the shared L2.
+};
+
 /** A prefetch the L1 controller should perform. */
 struct PrefetchRequest
 {

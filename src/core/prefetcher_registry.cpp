@@ -80,6 +80,8 @@ PrefetcherRegistry::make(const std::string &spec, PrefetchHost &host,
 {
     std::vector<std::unique_ptr<Prefetcher>> stack;
     for (const std::string &name : splitPrefetcherSpec(spec)) {
+        if (name.empty())
+            continue; // Blank segment ("stream+", "", " + "): no engine.
         auto it = factories_.find(name);
         if (it == factories_.end()) {
             std::ostringstream msg;

@@ -12,7 +12,9 @@
  *
  * Spec grammar (also in README.md):
  *   stack := name ('+' name)*
- * Unknown names fail fast with a message listing every known engine.
+ * Blank segments are ignored ("stream+" builds a bare stream engine;
+ * a whole-blank spec builds nothing, like "none"). Unknown names fail
+ * fast with a message listing every known engine.
  */
 #ifndef IMPSIM_CORE_PREFETCHER_REGISTRY_HPP
 #define IMPSIM_CORE_PREFETCHER_REGISTRY_HPP
@@ -35,10 +37,12 @@ struct PrefetcherContext
 {
     /** Full machine configuration (engines pick out their knobs). */
     const SystemConfig &cfg;
-    /** Which core this instance will serve. */
+    /** Which core (or tile, for L2 attachment) this instance serves. */
     CoreId core = 0;
     /** That core's trace — the "perfect" oracle needs it; may be null. */
     const CoreTrace *trace = nullptr;
+    /** Cache level the instance is attached to. */
+    AttachLevel level = AttachLevel::L1;
 };
 
 /** Builds one engine instance. May return nullptr ("none"). */
@@ -59,10 +63,11 @@ class PrefetcherRegistry
 
     /**
      * Builds the prefetcher stack for @p spec ("imp", "stream+ghb",
-     * ...). Engines producing nullptr ("none") are dropped; an empty
-     * resulting stack yields nullptr, a single engine is returned
-     * bare, several are wrapped in a CompositePrefetcher in spec
-     * order. Unknown names are fatal, with the known names listed.
+     * ...). Blank segments are skipped and engines producing nullptr
+     * ("none") are dropped; an empty resulting stack yields nullptr, a
+     * single engine is returned bare, several are wrapped in a
+     * CompositePrefetcher in spec order. Unknown names are fatal, with
+     * the known names listed.
      */
     std::unique_ptr<Prefetcher> make(const std::string &spec,
                                      PrefetchHost &host,

@@ -13,7 +13,10 @@ IMPSIM_REGISTER_PREFETCHER(stream, "stream",
                               const PrefetcherContext &ctx)
                                -> std::unique_ptr<Prefetcher> {
                                return std::make_unique<StreamPrefetcher>(
-                                   host, ctx.cfg.imp, ctx.cfg.stream);
+                                   host, ctx.cfg.imp,
+                                   ctx.level == AttachLevel::L2
+                                       ? ctx.cfg.l2Stream
+                                       : ctx.cfg.stream);
                            });
 
 void

@@ -36,16 +36,13 @@ L1Controller::attachPrefetcher(std::unique_ptr<Prefetcher> pf)
 std::uint32_t
 L1Controller::maskFor(Addr addr, std::uint32_t size) const
 {
-    std::uint32_t off = lineOffset(addr);
-    if (off + size > kLineSize)
-        size = kLineSize - off; // Clip to the line (no split accesses).
-    return sectorMask(addr, size, cache_.sectorBytes());
+    return sectorMaskClipped(addr, size, cache_.sectorBytes());
 }
 
 CoreId
 L1Controller::homeOf(Addr line_addr) const
 {
-    return static_cast<CoreId>(lineOf(line_addr) % cfg_.numCores);
+    return homeTileOf(line_addr, cfg_.numCores);
 }
 
 bool
@@ -82,8 +79,18 @@ L1Controller::finishDemand(const MemAccess &access, DemandDoneFn &done,
 void
 L1Controller::demandAccess(const MemAccess &access, DemandDoneFn done)
 {
+    // Counted here, outside the re-enterable body: retried and
+    // replayed demands pass through demandAccessImpl again but are
+    // still one architectural access.
+    stats_.accessesByType[static_cast<int>(access.type)] += 1;
+    demandAccessImpl(access, std::move(done));
+}
+
+void
+L1Controller::demandAccessImpl(const MemAccess &access, DemandDoneFn done,
+                               bool notify)
+{
     AccessType type = access.type;
-    stats_.accessesByType[static_cast<int>(type)] += 1;
 
     if (cfg_.magicMemory) {
         stats_.hits += 1;
@@ -120,7 +127,7 @@ L1Controller::demandAccess(const MemAccess &access, DemandDoneFn done)
         }
         if (access.isWrite())
             applyWrite(access.addr, access.size);
-        if (prefetcher_)
+        if (notify && prefetcher_)
             prefetcher_->onAccess(info);
         Tick when = eq_.now() + cfg_.l1LatencyCycles;
         eq_.schedule(when,
@@ -141,19 +148,20 @@ L1Controller::demandAccess(const MemAccess &access, DemandDoneFn done)
                 stats_.demandMerges += 1;
             pf.demandMerged = true;
             pf.waiters.push_back(Waiter{access, std::move(done)});
-            if (prefetcher_)
+            if (notify && prefetcher_)
                 prefetcher_->onAccess(info);
             return;
         }
         // Insufficient fill (e.g. needs exclusivity): retry after it.
+        // No prefetcher notification here — the retried demandAccess
+        // observes this access again, and notifying both times would
+        // train the engine twice per architectural access.
         stats_.retries += 1;
         Tick retry = pf.completion + 1;
         eq_.schedule(retry,
                      [this, access, done = std::move(done)]() mutable {
-                         demandAccess(access, std::move(done));
+                         demandAccessImpl(access, std::move(done));
                      });
-        if (prefetcher_)
-            prefetcher_->onAccess(info);
         return;
     }
 
@@ -178,12 +186,12 @@ L1Controller::demandAccess(const MemAccess &access, DemandDoneFn done)
         fetch = sectors_ok ? 0 : (cache_.allSectors() & ~line->validMask);
 
     launchFill(line_addr, fetch, access.isWrite(), false, false,
-               kNoPattern);
+               kNoPattern, notify ? &access : nullptr);
     auto &pf = pending_.at(line_addr);
     pf.demandMerged = true;
     pf.waiters.push_back(Waiter{access, std::move(done)});
 
-    if (prefetcher_) {
+    if (notify && prefetcher_) {
         prefetcher_->onAccess(info);
         if (!pure_upgrade)
             prefetcher_->onMiss(info);
@@ -220,7 +228,7 @@ L1Controller::perfectAccess(const MemAccess &access, DemandDoneFn done)
             line != nullptr ? (cache_.allSectors() & ~line->validMask)
                             : cache_.allSectors();
         launchFill(line_addr, fetch, access.isWrite(), false, false,
-                   kNoPattern);
+                   kNoPattern, &access);
         Tick completion = pending_.at(line_addr).completion;
         if (completion > eq_.now() + lead)
             ready = completion - lead;
@@ -259,11 +267,7 @@ L1Controller::issuePrefetch(const PrefetchRequest &req)
         return false;
 
     Addr line_addr = lineAlign(req.addr);
-    std::uint32_t off = lineOffset(req.addr);
-    std::uint32_t size = req.bytes;
-    if (off + size > kLineSize)
-        size = kLineSize - off;
-    std::uint32_t mask = sectorMask(req.addr, size, cache_.sectorBytes());
+    std::uint32_t mask = maskFor(req.addr, req.bytes);
 
     const CacheLine *line = cache_.find(line_addr);
     if (line != nullptr && (line->validMask & mask) == mask &&
@@ -282,6 +286,13 @@ L1Controller::issuePrefetch(const PrefetchRequest &req)
                     req.patternId))
         return false;
     ++prefetchesInFlight_;
+    if (fetch == 0) {
+        // Exclusivity-only upgrade of a fully valid line: no data
+        // moves, so counting it as an issued prefetch would skew the
+        // paper's coverage/accuracy stats.
+        stats_.prefUpgrades += 1;
+        return true;
+    }
     stats_.prefIssued += 1;
     if (req.indirect)
         stats_.prefIssuedIndirect += 1;
@@ -293,7 +304,8 @@ L1Controller::issuePrefetch(const PrefetchRequest &req)
 bool
 L1Controller::launchFill(Addr line_addr, std::uint32_t mask,
                          bool exclusive, bool is_prefetch, bool indirect,
-                         std::uint16_t pattern_id)
+                         std::uint16_t pattern_id,
+                         const MemAccess *origin)
 {
     if (pending_.count(line_addr))
         return false;
@@ -301,8 +313,15 @@ L1Controller::launchFill(Addr line_addr, std::uint32_t mask,
     Tick t0 = eq_.now() + cfg_.l1LatencyCycles;
     CoreId home = homeOf(line_addr);
     Tick at_home = noc_.send(core_, home, 0, t0);
-    L2FillResult res =
-        l2s_[home]->handleFill(line_addr, mask, exclusive, core_, at_home);
+    L2DemandHint hint;
+    const L2DemandHint *hp = nullptr;
+    if (origin != nullptr) {
+        hint = L2DemandHint{origin->addr, origin->pc, origin->size,
+                            origin->isWrite()};
+        hp = &hint;
+    }
+    L2FillResult res = l2s_[home]->handleFill(line_addr, mask, exclusive,
+                                              core_, at_home, hp);
     Tick done = noc_.send(home, core_, res.payloadBytes, res.ready);
     if (done < eq_.now() + 2)
         done = eq_.now() + 2;
@@ -350,12 +369,14 @@ L1Controller::completeFill(Addr line_addr)
                 victim->touched = true; // Late coverage counted already.
         } else {
             // Upgrade raced with an eviction: the data is gone. Replay
-            // the waiting demands from scratch.
+            // the waiting demands from scratch — silently: their first
+            // pass already notified the prefetchers.
             for (auto &w : pf.waiters) {
                 eq_.schedule(now + 1,
                              [this, access = w.access,
                               done = std::move(w.done)]() mutable {
-                                 demandAccess(access, std::move(done));
+                                 demandAccessImpl(access, std::move(done),
+                                                  false);
                              });
             }
             pf.waiters.clear();

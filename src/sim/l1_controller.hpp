@@ -82,16 +82,33 @@ class L1Controller final : public MemPort,
         std::vector<Waiter> waiters;
     };
 
+    /**
+     * demandAccess body, re-entered by retries and replays: everything
+     * counted once per architectural access lives in demandAccess.
+     * @param notify whether this pass may notify the prefetchers —
+     *        false for replays whose first pass already observed the
+     *        access (retries pass true: their first pass stayed
+     *        silent)
+     */
+    void demandAccessImpl(const MemAccess &access, DemandDoneFn done,
+                          bool notify = true);
+
     /** Requested-sector mask for an access, clipped to its line. */
     std::uint32_t maskFor(Addr addr, std::uint32_t size) const;
 
     /** Home tile of a line (line-interleaved L2 slices). */
     CoreId homeOf(Addr line_addr) const;
 
-    /** Starts a fill transaction; returns false if one is in flight. */
+    /**
+     * Starts a fill transaction; returns false if one is in flight.
+     * @param origin demand access behind the fill (forwarded to the L2
+     *               for L2-level prefetcher training); null for
+     *               prefetch fills
+     */
     bool launchFill(Addr line_addr, std::uint32_t mask, bool exclusive,
                     bool is_prefetch, bool indirect,
-                    std::uint16_t pattern_id);
+                    std::uint16_t pattern_id,
+                    const MemAccess *origin = nullptr);
 
     void completeFill(Addr line_addr);
     void perfectAccess(const MemAccess &access, DemandDoneFn done);

@@ -10,10 +10,18 @@
 
 namespace impsim {
 
+namespace {
+
+/** Outstanding prefetch fills allowed per tile engine (MSHR-style). */
+constexpr std::uint32_t kMaxL2PrefetchFills = 32;
+
+} // namespace
+
 L2Controller::L2Controller(CoreId tile, const SystemConfig &cfg,
-                           MeshNoc &noc, DramModel &dram,
-                           const McMap &mc_map)
-    : tile_(tile), cfg_(cfg), noc_(noc), dram_(dram), mcMap_(mc_map),
+                           EventQueue &eq, MeshNoc &noc, DramModel &dram,
+                           const McMap &mc_map, const FuncMem &mem)
+    : tile_(tile), cfg_(cfg), eq_(eq), noc_(noc), dram_(dram),
+      mcMap_(mc_map), mem_(mem),
       cache_(cfg.l2SliceBytes(), cfg.l2Ways,
              cfg.partial != PartialMode::Off ? cfg.gp.l2SectorBytes
                                              : kLineSize),
@@ -24,6 +32,133 @@ void
 L2Controller::connectL1s(std::vector<L1Backdoor *> l1s)
 {
     l1s_ = std::move(l1s);
+}
+
+void
+L2Controller::connectPeers(std::vector<L2Controller *> l2s)
+{
+    peers_ = std::move(l2s);
+}
+
+void
+L2Controller::attachPrefetcher(std::unique_ptr<Prefetcher> pf)
+{
+    prefetcher_ = std::move(pf);
+}
+
+CoreId
+L2Controller::homeOf(Addr line_addr) const
+{
+    return homeTileOf(line_addr, cfg_.numCores);
+}
+
+bool
+L2Controller::linePresent(Addr addr) const
+{
+    Addr line_addr = lineAlign(addr);
+    const L2Controller &home =
+        peers_.empty() ? *this : *peers_[homeOf(line_addr)];
+    // A line whose prefetch data is still in flight from DRAM is not
+    // readable yet: engines chaining on its value (IMP's index lines)
+    // must wait for onPrefetchFill, which serialises dependent
+    // prefetches behind the DRAM round trip.
+    if (home.prefetchReady_.count(line_addr) != 0)
+        return false;
+    return home.cache_.find(line_addr) != nullptr;
+}
+
+std::uint64_t
+L2Controller::readValue(Addr addr, std::uint32_t bytes) const
+{
+    return mem_.loadIndex(addr, bytes);
+}
+
+void
+L2Controller::notifyDemand(const AccessInfo &info, bool l2_miss,
+                           Tick when)
+{
+    if (prefetcher_ == nullptr)
+        return;
+    // Prefetches the hooks trigger start when the training demand was
+    // observed at its home slice, not at the L1's (earlier) issue tick.
+    trainTick_ = when;
+    prefetcher_->onAccess(info);
+    if (l2_miss)
+        prefetcher_->onMiss(info);
+    trainTick_ = 0;
+}
+
+bool
+L2Controller::issuePrefetch(const PrefetchRequest &req)
+{
+    if (cfg_.magicMemory || peers_.empty())
+        return false;
+
+    Addr line_addr = lineAlign(req.addr);
+    std::uint32_t mask =
+        sectorMaskClipped(req.addr, req.bytes, cache_.sectorBytes());
+
+    // Exclusivity is an L1 notion: below the directory every slice
+    // line is plain shared data, so req.exclusive is ignored here.
+    L2Controller &home = *peers_[homeOf(line_addr)];
+    const CacheLine *line = home.cache_.find(line_addr);
+    if (line != nullptr && (line->validMask & mask) == mask)
+        return false; // Already resident in the home slice.
+    if (home.prefetchReady_.count(line_addr) != 0)
+        return false; // Already in flight.
+    if (prefetchesInFlight_ >= kMaxL2PrefetchFills)
+        return false;
+
+    std::uint32_t fetch =
+        line != nullptr ? (mask & ~line->validMask) : mask;
+    Tick start = trainTick_ > eq_.now() ? trainTick_ : eq_.now();
+    Tick ready = home.prefetchFill(line_addr, fetch, start);
+    home.prefetchReady_[line_addr] = PendingPrefetch{ready, false};
+    ++prefetchesInFlight_;
+    stats_.prefIssued += 1;
+    if (req.indirect)
+        stats_.prefIssuedIndirect += 1;
+    else
+        stats_.prefIssuedStream += 1;
+
+    std::uint16_t pattern = req.patternId;
+    eq_.schedule(ready, [this, line_addr, pattern, ready] {
+        if (prefetchesInFlight_ > 0)
+            --prefetchesInFlight_;
+        // The line may have been evicted and re-prefetched since: only
+        // clear the in-flight record this prefetch created.
+        auto &map = peers_[homeOf(line_addr)]->prefetchReady_;
+        if (auto it = map.find(line_addr);
+            it != map.end() && it->second.ready == ready)
+            map.erase(it);
+        if (prefetcher_)
+            prefetcher_->onPrefetchFill(line_addr, pattern);
+    });
+    return true;
+}
+
+Tick
+L2Controller::prefetchFill(Addr line_addr, std::uint32_t l2_mask,
+                           Tick when)
+{
+    Tick t = when + cfg_.l2LatencyCycles;
+    CacheLine *line = cache_.find(line_addr);
+    if (line != nullptr) {
+        std::uint32_t fetch = l2_mask & ~line->validMask;
+        if (fetch == 0)
+            return t; // Raced with a demand fill: nothing to do.
+        Tick data = dramFetch(line_addr, fetch, t);
+        line->validMask |= fetch;
+        cache_.touch(*line);
+        return data;
+    }
+    std::uint32_t fetch = l2_mask != 0 ? l2_mask : cache_.allSectors();
+    Tick data = dramFetch(line_addr, fetch, t);
+    CacheLine *victim = cache_.victim(line_addr);
+    if (victim->valid())
+        evictFrame(*victim, t);
+    cache_.fill(*victim, line_addr, CState::S, fetch, true);
+    return data;
 }
 
 std::uint32_t
@@ -70,6 +205,14 @@ void
 L2Controller::evictFrame(CacheLine &frame, Tick when)
 {
     stats_.evictions += 1;
+    if (frame.prefetched && !frame.touched)
+        stats_.prefUnused += 1;
+    if (prefetcher_)
+        prefetcher_->onEvict(frame.lineAddr);
+    // If the prefetch was still in flight its data target is gone;
+    // drop the lateness record (the issuer's completion event tolerates
+    // the double erase).
+    prefetchReady_.erase(frame.lineAddr);
 
     // The L2 is non-inclusive (Graphite-style): the ACKwise directory
     // is standalone, so evicting an L2 data line leaves L1 copies and
@@ -93,7 +236,8 @@ L2Controller::evictFrame(CacheLine &frame, Tick when)
 
 L2FillResult
 L2Controller::handleFill(Addr line_addr, std::uint32_t l1_mask,
-                         bool exclusive, CoreId requester, Tick when)
+                         bool exclusive, CoreId requester, Tick when,
+                         const L2DemandHint *demand)
 {
     line_addr = lineAlign(line_addr);
     Tick t = when + cfg_.l2LatencyCycles + cfg_.directoryLatencyCycles;
@@ -145,16 +289,52 @@ L2Controller::handleFill(Addr line_addr, std::uint32_t l1_mask,
                          : partial_noc ? toL2Mask(l1_mask)
                                        : cache_.allSectors();
 
+    // The tick this request was observed at the slice — what triggered
+    // prefetches may start from (not the data-ready tick below).
+    Tick observed = t;
+    bool l2_hit = false;
     CacheLine *line = cache_.find(line_addr);
+
+    // A prefetch still fetching (part of) this line from DRAM: any
+    // fill waits for the data. The first demand counts the prefetch
+    // late and claims the first touch, so the same covered demand is
+    // not also credited useful below (the categories are mutually
+    // exclusive, as at the L1). The record stays until the completion
+    // event so later fills keep waiting too.
+    if (line != nullptr) {
+        if (auto it = prefetchReady_.find(line_addr);
+            it != prefetchReady_.end() && it->second.ready > t) {
+            if (demand != nullptr && !it->second.lateCounted) {
+                stats_.prefLate += 1;
+                it->second.lateCounted = true;
+                line->touched = true;
+            }
+            t = it->second.ready;
+        }
+    }
+
     if (line != nullptr &&
         (need & line->validMask) == need) {
         stats_.hits += 1;
+        l2_hit = true;
         cache_.touch(*line);
+        // Usefulness is a demand-side notion: L1 speculative fills
+        // consuming an L2-prefetched line neither touch it nor count.
+        if (demand != nullptr && line->prefetched && !line->touched) {
+            line->touched = true;
+            stats_.prefUsefulFirstTouch += 1;
+        }
     } else {
         stats_.misses += 1;
         std::uint32_t fetch = need;
-        if (line != nullptr)
+        if (line != nullptr) {
             fetch = need & ~line->validMask;
+            // The prefetch covered only part of what this fill needs:
+            // consuming its sectors is not "unused" (but not a covered
+            // miss either, so no useful credit).
+            if (demand != nullptr && line->prefetched)
+                line->touched = true;
+        }
         if (line == nullptr) {
             // Allocate a frame; full-line fetch unless partial DRAM
             // accessing narrows it.
@@ -175,8 +355,21 @@ L2Controller::handleFill(Addr line_addr, std::uint32_t l1_mask,
             } else {
                 stats_.misses -= 1; // Upgrade only: not a data miss.
                 stats_.hits += 1;
+                l2_hit = true;
             }
         }
+    }
+
+    // Train the requester tile's L2-level engine on the architectural
+    // access behind this fill. Done after the data lookup (so the
+    // hit/miss outcome is known) and before composing the reply; any
+    // prefetches the engine issues re-enter the slices through
+    // prefetchFill, which no longer touches `line`.
+    if (demand != nullptr && !peers_.empty()) {
+        peers_[requester]->notifyDemand(
+            AccessInfo{demand->addr, demand->pc, demand->size,
+                       demand->write, l2_hit},
+            !l2_hit, observed);
     }
 
     std::uint32_t payload =

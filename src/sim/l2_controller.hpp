@@ -13,12 +13,17 @@
 #define IMPSIM_SIM_L2_CONTROLLER_HPP
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/sector_cache.hpp"
 #include "coherence/directory.hpp"
 #include "common/config.hpp"
+#include "common/event_queue.hpp"
+#include "common/func_mem.hpp"
 #include "common/stats.hpp"
+#include "core/prefetcher.hpp"
 #include "dram/dram.hpp"
 #include "noc/mesh.hpp"
 
@@ -48,24 +53,59 @@ struct L2FillResult
     bool exclusiveGranted = false;  ///< Requester may install E/M.
 };
 
-/** One L2 slice + directory. */
-class L2Controller
+/**
+ * Demand-access context an L1 forwards with a fill so the L2-level
+ * prefetch engine can train on the architectural access behind it.
+ */
+struct L2DemandHint
+{
+    Addr addr = 0;         ///< Exact element address (not line-aligned).
+    std::uint32_t pc = 0;  ///< Static instruction site.
+    std::uint8_t size = 4; ///< Access size in bytes.
+    bool write = false;
+};
+
+/**
+ * One L2 slice + directory; also the PrefetchHost for the tile's
+ * L2-attached prefetch engine.
+ *
+ * The engine at tile t trains on the L1-miss stream of core t (the
+ * traffic visible at the tile's L1-to-NoC interface): the home slice
+ * serving a demand fill notifies the requester's tile, which keeps
+ * PC-keyed training coherent even though lines are home-interleaved
+ * across slices. Issued prefetches are routed to the target line's
+ * home slice and installed there, so later demand fills hit.
+ */
+class L2Controller final : public PrefetchHost
 {
   public:
-    L2Controller(CoreId tile, const SystemConfig &cfg, MeshNoc &noc,
-                 DramModel &dram, const McMap &mc_map);
+    L2Controller(CoreId tile, const SystemConfig &cfg, EventQueue &eq,
+                 MeshNoc &noc, DramModel &dram, const McMap &mc_map,
+                 const FuncMem &mem);
 
     /** Wires the per-core L1 backdoors (after all L1s exist). */
     void connectL1s(std::vector<L1Backdoor *> l1s);
+
+    /** Wires the slice peers (after all L2s exist); enables the
+     *  prefetch paths, which must reach a line's home slice. */
+    void connectPeers(std::vector<L2Controller *> l2s);
+
+    /** Attaches (or replaces) this tile's L2-level prefetcher. */
+    void attachPrefetcher(std::unique_ptr<Prefetcher> pf);
+
+    Prefetcher *prefetcher() { return prefetcher_.get(); }
 
     /**
      * Handles a fill request arriving at @p when.
      * @param l1_mask  requested sectors at L1 granularity (full-line
      *                 mask when partial accessing is off)
      * @param exclusive GetX (writes / exclusive prefetches)
+     * @param demand   architectural-access context for L2-level
+     *                 prefetcher training; null for non-demand fills
      */
     L2FillResult handleFill(Addr line_addr, std::uint32_t l1_mask,
-                            bool exclusive, CoreId requester, Tick when);
+                            bool exclusive, CoreId requester, Tick when,
+                            const L2DemandHint *demand = nullptr);
 
     /** Dirty L1 eviction data arriving at @p when. */
     void handleWriteback(Addr line_addr, std::uint32_t l1_dirty_mask,
@@ -79,24 +119,60 @@ class L2Controller
     const CacheStats &stats() const { return stats_; }
     SectorCache &cache() { return cache_; }
 
+    // ---- PrefetchHost (for the tile's L2-attached engine) ----
+    bool linePresent(Addr addr) const override;
+    bool issuePrefetch(const PrefetchRequest &req) override;
+    std::uint64_t readValue(Addr addr, std::uint32_t bytes) const override;
+    Tick now() const override { return eq_.now(); }
+
   private:
     /** Converts an L1 sector mask to this slice's sector mask. */
     std::uint32_t toL2Mask(std::uint32_t l1_mask) const;
 
+    /** Home slice of @p line_addr (line-interleaved, as the L1 maps). */
+    CoreId homeOf(Addr line_addr) const;
+
     /** Fetches @p l2_mask sectors from DRAM; returns data-ready tick. */
     Tick dramFetch(Addr line_addr, std::uint32_t l2_mask, Tick when);
+
+    /** Installs a prefetch fill into THIS slice; returns data-ready. */
+    Tick prefetchFill(Addr line_addr, std::uint32_t l2_mask, Tick when);
+
+    /** Demand access/miss notification for this tile's engine (called
+     *  by the home slice serving the fill); @p when is the tick the
+     *  demand was observed there, the base for triggered prefetches. */
+    void notifyDemand(const AccessInfo &info, bool l2_miss, Tick when);
 
     /** Evicts @p frame (writeback + back-invalidation). */
     void evictFrame(CacheLine &frame, Tick when);
 
     CoreId tile_;
     const SystemConfig &cfg_;
+    EventQueue &eq_;
     MeshNoc &noc_;
     DramModel &dram_;
     const McMap &mcMap_;
+    const FuncMem &mem_;
     SectorCache cache_;
     Directory dir_;
     std::vector<L1Backdoor *> l1s_;
+    std::vector<L2Controller *> peers_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    /** Outstanding prefetches issued by THIS tile's engine. */
+    std::uint32_t prefetchesInFlight_ = 0;
+    /** While the engine's training hooks run: the tick the triggering
+     *  demand was observed at its home slice (0 otherwise). */
+    Tick trainTick_ = 0;
+    /** An L2 prefetch whose DRAM data is still in flight. */
+    struct PendingPrefetch
+    {
+        Tick ready = 0;         ///< Data arrives at the slice then.
+        bool lateCounted = false; ///< A demand already counted it late.
+    };
+    /** Lines THIS slice is prefetching: every fill arriving before
+     *  `ready` waits for the data; the record lives until the issuing
+     *  tile's completion event (or an eviction) clears it. */
+    std::unordered_map<Addr, PendingPrefetch> prefetchReady_;
     CacheStats stats_;
 };
 

@@ -13,14 +13,16 @@ MemHierarchy::MemHierarchy(const SystemConfig &cfg, EventQueue &eq,
 {
     l2s_.reserve(cfg.numCores);
     for (CoreId t = 0; t < cfg.numCores; ++t) {
-        l2s_.push_back(std::make_unique<L2Controller>(t, cfg, noc_,
-                                                      *dram_, mcMap_));
+        l2s_.push_back(std::make_unique<L2Controller>(
+            t, cfg, eq, noc_, *dram_, mcMap_, mem));
     }
 
     std::vector<L2Controller *> l2_ptrs;
     l2_ptrs.reserve(l2s_.size());
     for (auto &l2 : l2s_)
         l2_ptrs.push_back(l2.get());
+    for (auto &l2 : l2s_)
+        l2->connectPeers(l2_ptrs);
 
     l1s_.reserve(cfg.numCores);
     for (CoreId c = 0; c < cfg.numCores; ++c) {

@@ -40,40 +40,38 @@ makePreset(ConfigPreset p, std::uint32_t cores, CoreModel model)
     SystemConfig cfg;
     cfg.numCores = cores;
     cfg.coreModel = model;
-    // Presets express their engine through the deprecated enum and
-    // leave prefetcherSpec empty, so legacy callers that overwrite
-    // cfg.prefetcher after makePreset() keep working; construction
-    // still resolves through effectivePrefetcherSpec() and the
-    // registry, and explicit spec strings override the enum.
+    // Presets express their engine as a registry spec string; callers
+    // may overwrite prefetcherSpec / l2PrefetcherSpec afterwards to
+    // re-aim any preset at a different engine or cache level.
     switch (p) {
       case ConfigPreset::Ideal:
         cfg.magicMemory = true;
-        cfg.prefetcher = PrefetcherKind::None;
+        cfg.prefetcherSpec = "none";
         break;
       case ConfigPreset::PerfectPref:
         cfg.perfectMemory = true;
-        cfg.prefetcher = PrefetcherKind::None;
+        cfg.prefetcherSpec = "none";
         break;
       case ConfigPreset::Baseline:
       case ConfigPreset::SwPref:
-        cfg.prefetcher = PrefetcherKind::Stream;
+        cfg.prefetcherSpec = "stream";
         break;
       case ConfigPreset::Imp:
-        cfg.prefetcher = PrefetcherKind::Imp;
+        cfg.prefetcherSpec = "imp";
         break;
       case ConfigPreset::ImpPartialNoc:
-        cfg.prefetcher = PrefetcherKind::Imp;
+        cfg.prefetcherSpec = "imp";
         cfg.partial = PartialMode::NocOnly;
         break;
       case ConfigPreset::ImpPartialNocDram:
-        cfg.prefetcher = PrefetcherKind::Imp;
+        cfg.prefetcherSpec = "imp";
         cfg.partial = PartialMode::NocAndDram;
         break;
       case ConfigPreset::Ghb:
-        cfg.prefetcher = PrefetcherKind::Ghb;
+        cfg.prefetcherSpec = "stream+ghb";
         break;
       case ConfigPreset::NoPrefetch:
-        cfg.prefetcher = PrefetcherKind::None;
+        cfg.prefetcherSpec = "none";
         break;
     }
     cfg.validate();

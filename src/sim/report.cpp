@@ -44,10 +44,11 @@ writeReport(std::ostream &os, const std::string &label, const SimStats &s)
     os << "evictions/writebacks  " << s.l1.evictions << " / "
        << s.l1.writebacks << "\n";
 
-    os << "-- prefetching --\n";
+    os << "-- L1 prefetching --\n";
     os << "issued                " << s.l1.prefIssued << " (indirect "
        << s.l1.prefIssuedIndirect << ", stream "
-       << s.l1.prefIssuedStream << ")\n";
+       << s.l1.prefIssuedStream << ", upgrades "
+       << s.l1.prefUpgrades << ")\n";
     os << "coverage / accuracy   " << s.l1.coverage() << " / "
        << s.l1.accuracy() << "\n";
     os << "useful/late/unused    " << s.l1.prefUsefulFirstTouch << " / "
@@ -56,6 +57,15 @@ writeReport(std::ostream &os, const std::string &label, const SimStats &s)
     os << "-- L2 --\n";
     os << "hits / misses         " << s.l2.hits << " / " << s.l2.misses
        << "\n";
+
+    os << "-- L2 prefetching --\n";
+    os << "issued                " << s.l2.prefIssued << " (indirect "
+       << s.l2.prefIssuedIndirect << ", stream "
+       << s.l2.prefIssuedStream << ")\n";
+    os << "coverage / accuracy   " << s.l2.coverage() << " / "
+       << s.l2.accuracy() << "\n";
+    os << "useful/late/unused    " << s.l2.prefUsefulFirstTouch << " / "
+       << s.l2.prefLate << " / " << s.l2.prefUnused << "\n";
 
     os << "-- NoC --\n";
     os << "messages / flit-hops  " << s.noc.messages << " / "
@@ -78,6 +88,7 @@ writeCsvHeader(std::ostream &os)
     os << "label,cycles,instructions,ipc,avg_load_latency,"
           "l1_hits,l1_misses,l1_miss_indirect,l1_miss_stream,"
           "l1_miss_other,pref_issued,pref_indirect,coverage,accuracy,"
+          "l2_pref_issued,l2_pref_useful,l2_coverage,"
           "noc_bytes,noc_queue_cycles,dram_bytes,dram_queue_cycles\n";
 }
 
@@ -93,6 +104,8 @@ writeCsvRow(std::ostream &os, const std::string &label, const SimStats &s)
        << s.l1.missesByType[static_cast<int>(AccessType::Other)] << ','
        << s.l1.prefIssued << ',' << s.l1.prefIssuedIndirect << ','
        << s.l1.coverage() << ',' << s.l1.accuracy() << ','
+       << s.l2.prefIssued << ',' << s.l2.prefUsefulFirstTouch << ','
+       << s.l2.coverage() << ','
        << s.noc.bytes << ',' << s.noc.queueCycles << ','
        << s.dram.bytes() << ',' << s.dram.queueCycles << "\n";
 }

@@ -20,15 +20,27 @@ System::System(const SystemConfig &cfg,
                  "trace count must match core count");
     hier_ = std::make_unique<MemHierarchy>(cfg_, eq_, mem);
     barrier_ = std::make_unique<Barrier>(eq_, cfg_.numCores);
+    attachL2Prefetchers();
     buildCores();
 }
 
 std::unique_ptr<Prefetcher>
 System::makePrefetcher(CoreId c)
 {
-    PrefetcherContext ctx{cfg_, c, &traces_[c]};
+    PrefetcherContext ctx{cfg_, c, &traces_[c], AttachLevel::L1};
     return PrefetcherRegistry::instance().make(
         cfg_.effectivePrefetcherSpec(c), hier_->l1(c), ctx);
+}
+
+void
+System::attachL2Prefetchers()
+{
+    for (CoreId t = 0; t < cfg_.numCores; ++t) {
+        PrefetcherContext ctx{cfg_, t, &traces_[t], AttachLevel::L2};
+        if (auto pf = PrefetcherRegistry::instance().make(
+                cfg_.effectiveL2PrefetcherSpec(t), hier_->l2(t), ctx))
+            hier_->l2(t).attachPrefetcher(std::move(pf));
+    }
 }
 
 void

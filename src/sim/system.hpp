@@ -55,6 +55,7 @@ class System
 
   private:
     void buildCores();
+    void attachL2Prefetchers();
     std::unique_ptr<Prefetcher> makePrefetcher(CoreId c);
 
     SystemConfig cfg_;

@@ -94,12 +94,12 @@ TEST(Presets, ConfigurationsMatchPaper)
     EXPECT_FALSE(pp.magicMemory);
 
     SystemConfig base = makePreset(ConfigPreset::Baseline, 64);
-    EXPECT_EQ(base.prefetcher, PrefetcherKind::Stream);
     EXPECT_EQ(base.effectivePrefetcherSpec(0), "stream");
+    EXPECT_EQ(base.effectiveL2PrefetcherSpec(0), "none")
+        << "the paper evaluates L1-attached prefetching only";
     EXPECT_EQ(base.partial, PartialMode::Off);
 
     SystemConfig imp = makePreset(ConfigPreset::Imp, 64);
-    EXPECT_EQ(imp.prefetcher, PrefetcherKind::Imp);
     EXPECT_EQ(imp.effectivePrefetcherSpec(0), "imp");
 
     SystemConfig ghb = makePreset(ConfigPreset::Ghb, 64);

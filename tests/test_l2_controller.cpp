@@ -39,6 +39,8 @@ class StubL1 final : public L1Backdoor
 struct L2Fixture : public ::testing::Test
 {
     SystemConfig cfg;
+    EventQueue eq;
+    FuncMem mem;
     std::unique_ptr<MeshNoc> noc;
     std::unique_ptr<McMap> mcmap;
     std::unique_ptr<SimpleDram> dram;
@@ -57,8 +59,8 @@ struct L2Fixture : public ::testing::Test
         dram = std::make_unique<SimpleDram>(cfg.numMemControllers(),
                                             cfg.dramLatencyCycles,
                                             cfg.dramBytesPerCycle);
-        l2 = std::make_unique<L2Controller>(0, cfg, *noc, *dram,
-                                            *mcmap);
+        l2 = std::make_unique<L2Controller>(0, cfg, eq, *noc, *dram,
+                                            *mcmap, mem);
         l1s.resize(4);
         std::vector<L1Backdoor *> ptrs;
         for (auto &s : l1s)

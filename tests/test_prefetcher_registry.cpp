@@ -1,8 +1,9 @@
 /**
  * @file
  * Prefetcher registry: name lookup, error reporting, `+`-composition,
- * host decoupling (every engine builds against a FakeHost), the
- * deprecated-enum shim, and per-core heterogeneous systems.
+ * blank-segment handling, host decoupling (every engine builds against
+ * a FakeHost), spec precedence per level, and per-core heterogeneous
+ * systems.
  */
 #include <gtest/gtest.h>
 
@@ -67,6 +68,27 @@ TEST(Registry, SplitSpecTrimsAndSplits)
               (std::vector<std::string>{"stream", "ghb"}));
     EXPECT_EQ(splitPrefetcherSpec(" stream + ghb "),
               (std::vector<std::string>{"stream", "ghb"}));
+    EXPECT_EQ(splitPrefetcherSpec("stream+"),
+              (std::vector<std::string>{"stream", ""}));
+    EXPECT_EQ(splitPrefetcherSpec(""),
+              (std::vector<std::string>{""}));
+}
+
+TEST(Registry, BlankSegmentsBuildNoEngineInsteadOfDying)
+{
+    // Regression: "stream+", " + " and "" used to die with the
+    // confusing fatal "unknown prefetcher ''".
+    FakeHost host;
+    SystemConfig cfg = testConfig();
+    PrefetcherContext ctx{cfg, 0, nullptr};
+    PrefetcherRegistry &reg = PrefetcherRegistry::instance();
+
+    auto pf = reg.make("stream+", host, ctx);
+    EXPECT_NE(dynamic_cast<StreamPrefetcher *>(pf.get()), nullptr);
+    EXPECT_EQ(dynamic_cast<CompositePrefetcher *>(pf.get()), nullptr);
+
+    EXPECT_EQ(reg.make(" + ", host, ctx), nullptr);
+    EXPECT_EQ(reg.make("", host, ctx), nullptr);
 }
 
 TEST(Registry, DuplicateRegistrationRefused)
@@ -168,25 +190,14 @@ TEST(Registry, CompositionPreservesSpecOrder)
               (std::vector<std::string>{"rec_a", "rec_b"}));
 }
 
-TEST(Registry, EnumShimMapsToSpecs)
-{
-    EXPECT_STREQ(prefetcherKindSpec(PrefetcherKind::None), "none");
-    EXPECT_STREQ(prefetcherKindSpec(PrefetcherKind::Stream), "stream");
-    EXPECT_STREQ(prefetcherKindSpec(PrefetcherKind::Imp), "imp");
-    EXPECT_STREQ(prefetcherKindSpec(PrefetcherKind::Ghb), "stream+ghb");
-    EXPECT_STREQ(prefetcherKindSpec(PrefetcherKind::Perfect), "perfect");
-}
-
 TEST(Registry, EffectiveSpecPrecedence)
 {
     SystemConfig cfg = testConfig();
-    cfg.prefetcher = PrefetcherKind::Ghb;
-    EXPECT_EQ(cfg.effectivePrefetcherSpec(0), "stream+ghb")
-        << "deprecated enum is the fallback";
+    EXPECT_EQ(cfg.effectivePrefetcherSpec(0), "stream")
+        << "the paper's Baseline engine is the default";
 
     cfg.prefetcherSpec = "imp";
-    EXPECT_EQ(cfg.effectivePrefetcherSpec(0), "imp")
-        << "global spec beats the enum";
+    EXPECT_EQ(cfg.effectivePrefetcherSpec(0), "imp");
 
     cfg.corePrefetcherSpecs = {"", "stream"};
     EXPECT_EQ(cfg.effectivePrefetcherSpec(0), "imp")
@@ -194,6 +205,21 @@ TEST(Registry, EffectiveSpecPrecedence)
     EXPECT_EQ(cfg.effectivePrefetcherSpec(1), "stream");
     EXPECT_EQ(cfg.effectivePrefetcherSpec(2), "imp")
         << "cores past the vector use the global spec";
+}
+
+TEST(Registry, EffectiveL2SpecPrecedence)
+{
+    SystemConfig cfg = testConfig();
+    EXPECT_EQ(cfg.effectiveL2PrefetcherSpec(0), "none")
+        << "the L2 is unprefetched by default";
+
+    cfg.l2PrefetcherSpec = "imp";
+    cfg.l2SlicePrefetcherSpecs = {"", "stream"};
+    EXPECT_EQ(cfg.effectiveL2PrefetcherSpec(0), "imp")
+        << "empty per-slice entry falls through";
+    EXPECT_EQ(cfg.effectiveL2PrefetcherSpec(1), "stream");
+    EXPECT_EQ(cfg.effectiveL2PrefetcherSpec(2), "imp")
+        << "tiles past the vector use the global L2 spec";
 }
 
 TEST(Registry, HeterogeneousPerCoreSystemRuns)
@@ -222,18 +248,18 @@ TEST(Registry, HeterogeneousPerCoreSystemRuns)
               nullptr);
 }
 
-TEST(Registry, SpecStringMatchesLegacyEnumExactly)
+TEST(Registry, PresetSpecMatchesExplicitSpecExactly)
 {
     WorkloadParams wp;
     wp.numCores = 4;
     wp.scale = 0.05;
     Workload w = makeWorkload(AppId::Pagerank, wp);
 
-    SystemConfig legacy = makePreset(ConfigPreset::Ghb, 4);
-    System legacy_sys(legacy, w.traces, *w.mem);
-    SimStats a = legacy_sys.run();
+    SystemConfig preset = makePreset(ConfigPreset::Ghb, 4);
+    System preset_sys(preset, w.traces, *w.mem);
+    SimStats a = preset_sys.run();
 
-    SystemConfig spec = makePreset(ConfigPreset::Ghb, 4);
+    SystemConfig spec = makePreset(ConfigPreset::NoPrefetch, 4);
     spec.prefetcherSpec = "stream+ghb";
     System spec_sys(spec, w.traces, *w.mem);
     SimStats b = spec_sys.run();

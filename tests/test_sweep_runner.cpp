@@ -96,5 +96,40 @@ TEST(SweepRunner, EmptyBatchIsFine)
     EXPECT_TRUE(SweepRunner(2).run({}).empty());
 }
 
+TEST(SweepRunner, Fig9PresetListBitIdenticalAtTwoJobs)
+{
+    // The fig9 grid sweeps {PerfPref, Base, IMP, SWPref}; SWPref runs
+    // the software-prefetch trace variant, the others the plain one.
+    WorkloadParams wp;
+    wp.numCores = 4;
+    wp.scale = 0.05;
+    const Workload plain = makeWorkload(AppId::Spmv, wp);
+    WorkloadParams swp = wp;
+    swp.swPrefetch = true;
+    const Workload sw = makeWorkload(AppId::Spmv, swp);
+
+    std::vector<SweepJob> jobs;
+    for (ConfigPreset p :
+         {ConfigPreset::PerfectPref, ConfigPreset::Baseline,
+          ConfigPreset::Imp, ConfigPreset::SwPref}) {
+        const Workload &w = presetWantsSwPrefetch(p) ? sw : plain;
+        jobs.push_back(SweepJob{presetName(p), makePreset(p, 4),
+                                &w.traces, w.mem.get()});
+    }
+
+    std::vector<SimStats> serial;
+    for (const SweepJob &job : jobs) {
+        System sys(job.cfg, *job.traces, *job.mem);
+        serial.push_back(sys.run());
+    }
+
+    std::vector<SweepResult> par = SweepRunner(2).run(jobs);
+    ASSERT_EQ(par.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(jobs[i].name);
+        expectSameStats(par[i].stats, serial[i]);
+    }
+}
+
 } // namespace
 } // namespace impsim

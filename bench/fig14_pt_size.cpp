@@ -1,27 +1,32 @@
 /**
  * @file
  * Fig 14: sensitivity to Prefetch Table size (8/16/32 entries) at 64
- * cores, normalised to the default of 16.
+ * cores, normalised to the default of 16. The grid is declared as
+ * data (examples/configs/fig14.imp.ini) and expanded by the config
+ * binder — this bench only formats the table.
  */
 #include "harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
 
 using namespace impsim;
 using namespace impsim::bench;
 
 namespace {
 
-SystemConfig
-ptConfig(std::uint32_t pt)
-{
-    SystemConfig cfg = makePreset(ConfigPreset::Imp, 64);
-    cfg.imp.ptEntries = pt;
-    return cfg;
-}
+std::vector<ExperimentRun> grid;
 
 const SimStats &
-runPt(AppId app, std::uint32_t pt)
+statsFor(AppId app, std::uint32_t pt)
 {
-    return runCustom("pt" + std::to_string(pt), app, ptConfig(pt));
+    for (const ExperimentRun &r : grid) {
+        if (r.app == app && r.cfg.imp.ptEntries == pt)
+            return runCustom(r.label, r.app, r.cfg, r.swPrefetch);
+    }
+    std::fprintf(stderr, "fig14 grid is missing %s at pt=%u\n",
+                 appName(app), pt);
+    std::exit(1);
 }
 
 } // namespace
@@ -29,25 +34,13 @@ runPt(AppId app, std::uint32_t pt)
 int
 main(int argc, char **argv)
 {
-    const std::uint32_t kSizes[] = {8, 16, 32};
+    // Simulate the whole app x PT-size grid in parallel.
+    grid = prewarmConfig(configPath("fig14.imp.ini"));
 
-    // One SweepRunner batch over the whole app x PT-size grid.
-    std::vector<SweepPoint> points;
-    for (AppId app : paperApps()) {
-        for (std::uint32_t pt : kSizes)
-            points.push_back(SweepPoint{"pt" + std::to_string(pt), app,
-                                        ptConfig(pt), false});
-    }
-    prewarm(points);
-
-    for (AppId app : paperApps()) {
-        for (std::uint32_t pt : kSizes) {
-            registerRun(std::string("fig14/") + appName(app) + "/pt" +
-                            std::to_string(pt),
-                        [app, pt]() -> const SimStats & {
-                            return runPt(app, pt);
-                        });
-        }
+    for (const ExperimentRun &r : grid) {
+        registerRun("fig14/" + r.label, [r]() -> const SimStats & {
+            return runCustom(r.label, r.app, r.cfg, r.swPrefetch);
+        });
     }
     runBenchmarks(argc, argv);
 
@@ -55,10 +48,10 @@ main(int argc, char **argv)
            "mostly flat; tri_count and lsh benefit from 16 over 8");
     header({"PT=8", "PT=16", "PT=32"});
     for (AppId app : paperApps()) {
-        double ref = static_cast<double>(runPt(app, 16).cycles);
+        double ref = static_cast<double>(statsFor(app, 16).cycles);
         row(appName(app),
-            {ref / static_cast<double>(runPt(app, 8).cycles), 1.0,
-             ref / static_cast<double>(runPt(app, 32).cycles)});
+            {ref / static_cast<double>(statsFor(app, 8).cycles), 1.0,
+             ref / static_cast<double>(statsFor(app, 32).cycles)});
     }
     return 0;
 }

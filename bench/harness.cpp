@@ -191,6 +191,32 @@ prewarmPresets(const std::vector<PresetPoint> &points)
     runAndMemoise(std::move(jobs), std::move(keys));
 }
 
+std::string
+configPath(const std::string &name)
+{
+    std::string dir = IMPSIM_SOURCE_DIR "/examples/configs";
+    if (const char *env = std::getenv("IMPSIM_BENCH_CONFIG_DIR"))
+        dir = env;
+    return dir + "/" + name;
+}
+
+std::vector<ExperimentRun>
+prewarmConfig(const std::string &path)
+{
+    std::vector<ExperimentRun> runs;
+    try {
+        runs = bindExperiment(ConfigFile::parseFile(path)).runs;
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(1);
+    }
+    std::vector<SweepPoint> points;
+    for (const ExperimentRun &r : runs)
+        points.push_back(SweepPoint{r.label, r.app, r.cfg, r.swPrefetch});
+    prewarm(points);
+    return runs;
+}
+
 double
 normThroughput(AppId app, ConfigPreset preset, std::uint32_t cores,
                CoreModel model)

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config_file.hpp"
 #include "common/stats.hpp"
 #include "sim/presets.hpp"
 #include "workloads/workload.hpp"
@@ -70,6 +71,24 @@ struct PresetPoint
  * whole grid in parallel instead of serially on first use.
  */
 void prewarmPresets(const std::vector<PresetPoint> &points);
+
+/**
+ * Source-tree path of a shipped experiment config
+ * ("fig14.imp.ini" -> <source>/examples/configs/fig14.imp.ini).
+ * IMPSIM_BENCH_CONFIG_DIR overrides the directory.
+ */
+std::string configPath(const std::string &name);
+
+/**
+ * Loads a declarative experiment config (docs/config_format.md),
+ * expands its sweep and prewarms every run, memoised under
+ * runCustom(run.label, ...). The harness's workload cache supplies
+ * the inputs, so IMPSIM_BENCH_SCALE supersedes the file's scale and
+ * seed (smoke runs shrink config-driven grids too). Config errors
+ * terminate with the file:line diagnostic. Returns the expanded runs
+ * (labels + configs) for the bench's table code to iterate.
+ */
+std::vector<ExperimentRun> prewarmConfig(const std::string &path);
 
 /** cycles(PerfPref) / cycles(preset): Fig 9/11's normalisation. */
 double normThroughput(AppId app, ConfigPreset preset,

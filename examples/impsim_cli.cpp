@@ -1,42 +1,63 @@
 /**
  * @file
- * Command-line runner: one simulation (full report) or a parallel
- * sweep over several presets (CSV, one row per preset).
+ * Command-line runner: one simulation (full report), a parallel sweep
+ * over several presets (CSV, one row per preset), or a declarative
+ * experiment loaded from a config file (--config).
  *
  * Usage:
- *   impsim_cli [--app NAME] [--preset NAME[,NAME...]] [--cores N]
- *              [--scale F] [--ooo] [--csv] [--pt N] [--ipd N]
- *              [--distance N] [--seed N] [--jobs N]
- *              [--prefetcher SPEC[,SPEC...]]
+ *   impsim_cli [--config FILE] [--check] [--app NAME]
+ *              [--preset NAME[,NAME...]] [--cores N] [--scale F]
+ *              [--ooo] [--csv] [--pt N] [--ipd N] [--distance N]
+ *              [--seed N] [--jobs N] [--prefetcher SPEC[,SPEC...]]
  *              [--l2-prefetcher SPEC[,SPEC...]]
  *
  * Flags accept both "--flag value" and "--flag=value".
  *
- * --prefetcher overrides the preset's L1 engine with a registry spec:
+ * --config FILE loads a declarative experiment (sections [system],
+ * [imp], [gp], [stream], [ghb], [prefetch], [sweep]; reference in
+ * docs/config_format.md). Precedence, lowest to highest: the preset's
+ * defaults, then file keys, then CLI flags. A flag that overrides a
+ * swept key collapses that sweep axis — e.g. --app spmv on a config
+ * sweeping seven apps pins the app and keeps the other axes. With
+ * --config, --preset takes a single name (declare a preset axis in
+ * [sweep] for lists). --check parses, binds and expands the file,
+ * prints the run count and exits without simulating.
+ *
+ * --prefetcher overrides the L1 engine with a registry spec:
  *   stack := name ('+' name)*       e.g. "imp", "stream+ghb"
  * A comma-separated list assigns stacks to cores round-robin
  * (heterogeneous machines): "imp,stream" alternates IMP and stream
  * across the tiles. --l2-prefetcher does the same for the L2-attached
  * engines (per tile); the default is no L2 prefetching.
  *
- * A comma-separated --preset list runs every preset through the
- * parallel SweepRunner and prints one CSV row each.
+ * A comma-separated --preset list (without --config) runs every
+ * preset through the parallel SweepRunner and prints one CSV row
+ * each. Config-driven sweeps behave identically: one run prints the
+ * full report, several print CSV rows in sweep order, and
+ * single-preset-axis configs are bit-identical (labels included) to
+ * the equivalent --preset list.
  *
  * Examples:
+ *   impsim_cli --config examples/configs/fig09.imp.ini --csv
+ *   impsim_cli --config examples/configs/fig09.imp.ini \
+ *       --app spmv --cores 16 --scale 0.05 --csv
+ *   impsim_cli --config examples/configs/hetero.imp.ini --check
  *   impsim_cli --app spmv --preset IMP --cores 64
  *   impsim_cli --app pagerank --preset Base,IMP,GHB --cores 16
  *   impsim_cli --app lsh --preset IMP --prefetcher=stream+ghb
- *   impsim_cli --app spmv --prefetcher=imp,stream --cores 16
  *   impsim_cli --app graph500 --prefetcher=none --l2-prefetcher=imp
  */
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "common/config_file.hpp"
 #include "sim/presets.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep_runner.hpp"
@@ -50,12 +71,9 @@ namespace {
 AppId
 parseApp(const std::string &name)
 {
-    for (AppId a : {AppId::Pagerank, AppId::TriCount, AppId::Graph500,
-                    AppId::Sgd, AppId::Lsh, AppId::Spmv, AppId::Symgs,
-                    AppId::Streaming}) {
-        if (name == appName(a))
-            return a;
-    }
+    AppId app;
+    if (parseAppName(name, app))
+        return app;
     std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
     std::exit(1);
 }
@@ -63,34 +81,15 @@ parseApp(const std::string &name)
 ConfigPreset
 parsePreset(const std::string &name)
 {
-    for (ConfigPreset p :
-         {ConfigPreset::Ideal, ConfigPreset::PerfectPref,
-          ConfigPreset::Baseline, ConfigPreset::SwPref, ConfigPreset::Imp,
-          ConfigPreset::ImpPartialNoc, ConfigPreset::ImpPartialNocDram,
-          ConfigPreset::Ghb, ConfigPreset::NoPrefetch}) {
-        if (name == presetName(p))
-            return p;
-    }
+    ConfigPreset preset;
+    if (parsePresetName(name, preset))
+        return preset;
     std::fprintf(stderr,
                  "unknown preset '%s' (try Ideal, PerfPref, Base, "
                  "SWPref, IMP, Partial-NoC, Partial-NoC+DRAM, GHB, "
                  "NoPref)\n",
                  name.c_str());
     std::exit(1);
-}
-
-std::vector<std::string>
-splitCommas(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::size_t start = 0;
-    for (;;) {
-        std::size_t comma = s.find(',', start);
-        out.push_back(s.substr(start, comma - start));
-        if (comma == std::string::npos)
-            return out;
-        start = comma + 1;
-    }
 }
 
 std::uint64_t
@@ -144,7 +143,7 @@ applySpecList(const std::string &flag, const std::string &value,
               std::uint32_t cores, std::string &global,
               std::vector<std::string> &per_core)
 {
-    std::vector<std::string> stacks = splitCommas(value);
+    std::vector<std::string> stacks = splitCommaList(value);
     for (const std::string &s : stacks) {
         if (s.empty()) {
             std::fprintf(stderr, "%s has an empty stack in '%s'\n",
@@ -184,19 +183,83 @@ applyOverrides(SystemConfig &cfg, std::uint32_t pt, std::uint32_t ipd,
     }
 }
 
+/**
+ * Runs a config-driven experiment: one run prints the full report
+ * (unless --csv), several fan out over the SweepRunner and print CSV.
+ */
+int
+runConfigExperiment(const std::string &path, const CliOverrides &cli,
+                    bool check, bool csv, unsigned jobs)
+{
+    Experiment exp;
+    try {
+        exp = bindExperiment(ConfigFile::parseFile(path), cli);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    if (check) {
+        std::printf("%s: OK (%zu run%s)\n", path.c_str(),
+                    exp.runs.size(), exp.runs.size() == 1 ? "" : "s");
+        return 0;
+    }
+
+    // One workload per distinct (app, cores, swpf, scale, seed).
+    using WorkloadKey =
+        std::tuple<AppId, std::uint32_t, bool, double, std::uint64_t>;
+    std::map<WorkloadKey, std::unique_ptr<Workload>> workloads;
+    auto workloadFor = [&](const ExperimentRun &r) -> Workload & {
+        auto &slot = workloads[WorkloadKey{r.app, r.cfg.numCores,
+                                           r.swPrefetch, r.scale, r.seed}];
+        if (!slot) {
+            WorkloadParams params;
+            params.numCores = r.cfg.numCores;
+            params.swPrefetch = r.swPrefetch;
+            params.scale = r.scale;
+            params.seed = r.seed;
+            slot = std::make_unique<Workload>(makeWorkload(r.app, params));
+        }
+        return *slot;
+    };
+
+    if (exp.runs.size() == 1 && !csv) {
+        const ExperimentRun &r = exp.runs[0];
+        Workload &w = workloadFor(r);
+        System sys(r.cfg, w.traces, *w.mem);
+        SimStats s = sys.run();
+        writeReport(std::cout, r.label, s);
+        return 0;
+    }
+
+    std::vector<SweepJob> sweep;
+    for (const ExperimentRun &r : exp.runs) {
+        Workload &w = workloadFor(r);
+        sweep.push_back(SweepJob{r.label, r.cfg, &w.traces, w.mem.get()});
+    }
+    std::vector<SweepResult> results = SweepRunner(jobs).run(sweep);
+    writeCsvHeader(std::cout);
+    for (const SweepResult &r : results)
+        writeCsvRow(std::cout, r.name, r.stats);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    AppId app = AppId::Spmv;
-    std::string presets = "IMP";
-    std::uint32_t cores = 64;
-    double scale = 1.0;
+    std::string config;
+    bool check = false;
+    std::string appName_;
+    std::string presets;
+    std::uint32_t cores = 0;
+    double scale = 0.0;
+    bool has_scale = false;
     bool ooo = false;
     bool csv = false;
     std::uint32_t pt = 0, ipd = 0, distance = 0;
-    std::uint64_t seed = 42;
+    std::uint64_t seed = 0;
+    bool has_seed = false;
     std::string prefetcher;
     std::string l2Prefetcher;
     unsigned jobs = 0;
@@ -220,20 +283,29 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
-        if (a == "--app")
-            app = parseApp(next());
+        if (a == "--config")
+            config = next();
+        else if (a == "--app")
+            appName_ = next();
         else if (a == "--preset")
             presets = next();
-        else if (a == "--cores")
+        else if (a == "--cores") {
             cores = parseU32(a, next());
-        else if (a == "--scale")
+            if (cores == 0) {
+                std::fprintf(stderr, "--cores must be positive\n");
+                return 1;
+            }
+        }
+        else if (a == "--scale") {
             scale = parseDouble(a, next());
-        else if (a == "--ooo" || a == "--csv") {
+            has_scale = true;
+        }
+        else if (a == "--ooo" || a == "--csv" || a == "--check") {
             if (has_inline) {
                 std::fprintf(stderr, "%s takes no value\n", a.c_str());
                 return 1;
             }
-            (a == "--ooo" ? ooo : csv) = true;
+            (a == "--ooo" ? ooo : a == "--csv" ? csv : check) = true;
         }
         else if (a == "--pt")
             pt = parseU32(a, next());
@@ -241,8 +313,10 @@ main(int argc, char **argv)
             ipd = parseU32(a, next());
         else if (a == "--distance")
             distance = parseU32(a, next());
-        else if (a == "--seed")
+        else if (a == "--seed") {
             seed = parseUint(a, next());
+            has_seed = true;
+        }
         else if (a == "--prefetcher")
             prefetcher = next();
         else if (a == "--l2-prefetcher")
@@ -255,8 +329,58 @@ main(int argc, char **argv)
         }
     }
 
+    if (check && config.empty()) {
+        std::fprintf(stderr, "--check needs --config FILE\n");
+        return 1;
+    }
+
+    if (!config.empty()) {
+        // Declarative mode: flags become overrides on the file.
+        if (presets.find(',') != std::string::npos) {
+            std::fprintf(stderr,
+                         "--preset takes a single name with --config; "
+                         "sweep presets via the file's [sweep] section\n");
+            return 1;
+        }
+        CliOverrides cli;
+        if (!appName_.empty())
+            cli.app = appName_;
+        if (!presets.empty())
+            cli.preset = presets;
+        if (cores)
+            cli.cores = cores;
+        if (has_scale)
+            cli.scale = scale;
+        if (has_seed)
+            cli.seed = seed;
+        if (ooo)
+            cli.outOfOrder = true;
+        if (pt)
+            cli.pt = pt;
+        if (ipd)
+            cli.ipd = ipd;
+        if (distance)
+            cli.distance = distance;
+        if (!prefetcher.empty())
+            cli.l1Prefetcher = prefetcher;
+        if (!l2Prefetcher.empty())
+            cli.l2Prefetcher = l2Prefetcher;
+        return runConfigExperiment(config, cli, check, csv, jobs);
+    }
+
+    // Flag mode: the pre-config behavior, defaults included.
+    AppId app = appName_.empty() ? AppId::Spmv : parseApp(appName_);
+    if (presets.empty())
+        presets = "IMP";
+    if (!cores)
+        cores = 64;
+    if (!has_scale)
+        scale = 1.0;
+    if (!has_seed)
+        seed = 42;
+
     std::vector<ConfigPreset> preset_list;
-    for (const std::string &p : splitCommas(presets))
+    for (const std::string &p : splitCommaList(presets))
         preset_list.push_back(parsePreset(p));
     CoreModel model = ooo ? CoreModel::OutOfOrder : CoreModel::InOrder;
 

@@ -1,0 +1,1189 @@
+/**
+ * @file
+ * Config-file parsing and experiment binding.
+ */
+#include "common/config_file.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/intmath.hpp"
+#include "core/prefetcher_registry.hpp"
+#include "sim/presets.hpp"
+
+namespace impsim {
+
+namespace {
+
+/** Origin used for diagnostics on CLI-provided override values. */
+const char *const kCliOrigin = "<command line>";
+
+/** Hard cap on sweep expansion, so a typo can't allocate forever. */
+constexpr std::size_t kMaxRuns = 65536;
+
+std::string
+formatError(const std::string &origin, int line, int column,
+            const std::string &message)
+{
+    std::ostringstream os;
+    os << origin;
+    if (line > 0) {
+        os << ':' << line;
+        if (column > 0)
+            os << ':' << column;
+    }
+    os << ": " << message;
+    return os.str();
+}
+
+std::string
+join(const std::vector<std::string> &parts, const char *sep = ", ")
+{
+    std::string out;
+    for (const std::string &p : parts) {
+        if (!out.empty())
+            out += sep;
+        out += p;
+    }
+    return out;
+}
+
+} // namespace
+
+ConfigError::ConfigError(const std::string &origin, int line, int column,
+                         const std::string &message)
+    : std::runtime_error(formatError(origin, line, column, message)),
+      origin_(origin), line_(line), column_(column), message_(message)
+{
+}
+
+const char *
+ConfigValue::kindName() const
+{
+    switch (kind) {
+      case Kind::Bool:
+        return "bool";
+      case Kind::Int:
+        return "int";
+      case Kind::Float:
+        return "float";
+      case Kind::String:
+        return "string";
+      case Kind::List:
+        return "list";
+    }
+    return "?";
+}
+
+std::string
+ConfigValue::toString() const
+{
+    switch (kind) {
+      case Kind::Bool:
+        return boolean ? "true" : "false";
+      case Kind::Int:
+        return std::to_string(integer);
+      case Kind::Float: {
+        std::ostringstream os;
+        os << real;
+        return os.str();
+      }
+      case Kind::String:
+        return text;
+      case Kind::List: {
+        std::string out = "[";
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += items[i].toString();
+        }
+        return out + "]";
+      }
+    }
+    return "?";
+}
+
+const ConfigValue *
+ConfigSection::find(const std::string &key) const
+{
+    for (const ConfigEntry &e : entries) {
+        if (e.key == key)
+            return &e.value;
+    }
+    return nullptr;
+}
+
+const ConfigSection *
+ConfigFile::find(const std::string &name) const
+{
+    for (const ConfigSection &s : sections_) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+// ---- Parser -----------------------------------------------------------
+
+namespace {
+
+bool
+isIdentChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-' ||
+           c == '+';
+}
+
+bool
+isCommentChar(char c)
+{
+    return c == '#' || c == ';';
+}
+
+/** One source line being parsed. */
+struct LineCursor
+{
+    const std::string &origin;
+    const std::string &text;
+    int lineno;
+    std::size_t i = 0;
+
+    bool done() const { return i >= text.size(); }
+    char peek() const { return text[i]; }
+    int column() const { return static_cast<int>(i) + 1; }
+
+    void
+    skipWs()
+    {
+        while (!done() && (text[i] == ' ' || text[i] == '\t'))
+            ++i;
+    }
+
+    /** True once only whitespace / a comment remains. */
+    bool
+    atEnd()
+    {
+        skipWs();
+        return done() || isCommentChar(text[i]);
+    }
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw ConfigError(origin, lineno, column(), message);
+    }
+};
+
+/** Classifies a bare (unquoted) token into bool / int / float / string. */
+ConfigValue
+classifyBare(LineCursor &c, const std::string &token, int line, int col)
+{
+    ConfigValue v;
+    v.line = line;
+    v.column = col;
+    if (token == "true" || token == "false") {
+        v.kind = ConfigValue::Kind::Bool;
+        v.boolean = (token == "true");
+        return v;
+    }
+    std::size_t digits = (token[0] == '+' || token[0] == '-') ? 1 : 0;
+    if (digits < token.size() &&
+        token.find_first_not_of("0123456789", digits) == std::string::npos) {
+        try {
+            v.kind = ConfigValue::Kind::Int;
+            v.integer = std::stoll(token);
+            return v;
+        } catch (const std::exception &) {
+            throw ConfigError(c.origin, line, col,
+                              "integer '" + token + "' is out of range");
+        }
+    }
+    try {
+        std::size_t used = 0;
+        double d = std::stod(token, &used);
+        if (used == token.size()) {
+            v.kind = ConfigValue::Kind::Float;
+            v.real = d;
+            return v;
+        }
+    } catch (const std::exception &) {
+    }
+    v.kind = ConfigValue::Kind::String;
+    v.text = token;
+    return v;
+}
+
+ConfigValue parseValue(LineCursor &c, bool in_list);
+
+ConfigValue
+parseQuoted(LineCursor &c)
+{
+    ConfigValue v;
+    v.kind = ConfigValue::Kind::String;
+    v.line = c.lineno;
+    v.column = c.column();
+    ++c.i; // opening quote
+    while (!c.done()) {
+        char ch = c.text[c.i];
+        if (ch == '"') {
+            ++c.i;
+            return v;
+        }
+        if (ch == '\\') {
+            ++c.i;
+            if (c.done())
+                break;
+            char esc = c.text[c.i];
+            if (esc == '"' || esc == '\\')
+                v.text += esc;
+            else if (esc == 'n')
+                v.text += '\n';
+            else if (esc == 't')
+                v.text += '\t';
+            else
+                c.fail(std::string("unknown escape '\\") + esc +
+                       "' in string");
+            ++c.i;
+            continue;
+        }
+        v.text += ch;
+        ++c.i;
+    }
+    throw ConfigError(c.origin, v.line, v.column, "unterminated string");
+}
+
+ConfigValue
+parseList(LineCursor &c)
+{
+    ConfigValue v;
+    v.kind = ConfigValue::Kind::List;
+    v.line = c.lineno;
+    v.column = c.column();
+    ++c.i; // opening bracket
+    for (;;) {
+        c.skipWs();
+        if (c.done() || isCommentChar(c.peek()))
+            throw ConfigError(c.origin, v.line, v.column,
+                              "unterminated list (lists are single-line)");
+        if (c.peek() == ']') {
+            ++c.i;
+            return v;
+        }
+        v.items.push_back(parseValue(c, /*in_list=*/true));
+        c.skipWs();
+        if (c.done() || isCommentChar(c.peek()))
+            throw ConfigError(c.origin, v.line, v.column,
+                              "unterminated list (lists are single-line)");
+        if (c.peek() == ',') {
+            ++c.i;
+            continue;
+        }
+        if (c.peek() != ']')
+            c.fail("expected ',' or ']' in list");
+    }
+}
+
+ConfigValue
+parseValue(LineCursor &c, bool in_list)
+{
+    c.skipWs();
+    if (c.done() || isCommentChar(c.peek()))
+        c.fail("missing value");
+    if (c.peek() == '"')
+        return parseQuoted(c);
+    if (c.peek() == '[')
+        return parseList(c);
+
+    // Bare token: one whitespace-free word (quote values that need
+    // spaces); inside a list it also stops at ',' and ']'.
+    int col = c.column();
+    std::size_t start = c.i;
+    while (!c.done()) {
+        char ch = c.text[c.i];
+        if (ch == ' ' || ch == '\t' || isCommentChar(ch) ||
+            (in_list && (ch == ',' || ch == ']')))
+            break;
+        ++c.i;
+    }
+    std::string token = c.text.substr(start, c.i - start);
+    if (token.empty())
+        throw ConfigError(c.origin, c.lineno, col, "missing value");
+    return classifyBare(c, token, c.lineno, col);
+}
+
+} // namespace
+
+ConfigFile
+ConfigFile::parseString(const std::string &text, const std::string &origin)
+{
+    ConfigFile file;
+    file.origin_ = origin;
+
+    std::istringstream in(text);
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        if (!raw.empty() && raw.back() == '\r')
+            raw.pop_back();
+        LineCursor c{origin, raw, lineno};
+        if (c.atEnd())
+            continue;
+
+        if (c.peek() == '[') {
+            int col = c.column();
+            std::size_t close = raw.find(']', c.i);
+            if (close == std::string::npos)
+                c.fail("unterminated section header");
+            std::string name = raw.substr(c.i + 1, close - c.i - 1);
+            if (name.empty() ||
+                !std::all_of(name.begin(), name.end(), isIdentChar))
+                throw ConfigError(origin, lineno, col,
+                                  "bad section name '" + name + "'");
+            for (const ConfigSection &s : file.sections_) {
+                if (s.name == name)
+                    throw ConfigError(
+                        origin, lineno, col,
+                        "duplicate section [" + name + "] (first at line " +
+                            std::to_string(s.line) + ")");
+            }
+            c.i = close + 1;
+            if (!c.atEnd())
+                c.fail("trailing characters after section header");
+            ConfigSection sec;
+            sec.name = name;
+            sec.line = lineno;
+            file.sections_.push_back(std::move(sec));
+            continue;
+        }
+
+        // key = value
+        int key_col = c.column();
+        std::size_t start = c.i;
+        while (!c.done() && isIdentChar(c.peek()))
+            ++c.i;
+        std::string key = raw.substr(start, c.i - start);
+        if (key.empty())
+            c.fail("expected a section header or 'key = value'");
+        c.skipWs();
+        if (c.done() || c.peek() != '=')
+            c.fail("expected '=' after key '" + key + "'");
+        ++c.i;
+        if (file.sections_.empty())
+            throw ConfigError(origin, lineno, key_col,
+                              "key '" + key +
+                                  "' appears before any [section]");
+        ConfigSection &sec = file.sections_.back();
+        for (const ConfigEntry &e : sec.entries) {
+            if (e.key == key)
+                throw ConfigError(origin, lineno, key_col,
+                                  "duplicate key '" + key + "' in [" +
+                                      sec.name + "] (first at line " +
+                                      std::to_string(e.value.line) + ")");
+        }
+        ConfigValue value = parseValue(c, /*in_list=*/false);
+        if (!c.atEnd())
+            c.fail("trailing characters after value");
+        sec.entries.push_back(ConfigEntry{key, std::move(value)});
+    }
+    return file;
+}
+
+ConfigFile
+ConfigFile::parseFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw ConfigError(path, 0, 0, "cannot open config file");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseString(buf.str(), path);
+}
+
+// ---- Binder -----------------------------------------------------------
+
+namespace {
+
+/** A (section, key) target inside the schema. */
+struct Path
+{
+    std::string section;
+    std::string key;
+
+    bool
+    operator==(const Path &o) const
+    {
+        return section == o.section && key == o.key;
+    }
+};
+
+/** One value to apply, with the origin its diagnostics should cite. */
+struct Setting
+{
+    std::string origin;
+    Path path;
+    ConfigValue value;
+};
+
+/** One [sweep] axis. */
+struct Axis
+{
+    std::string displayKey; ///< As written in the file (label suffix).
+    Path path;
+    ConfigValue values; ///< Kind::List, non-empty.
+};
+
+/** The scalar experiment state a file binds onto. */
+struct Bound
+{
+    SystemConfig cfg;
+    AppId app = AppId::Spmv;
+    double scale = 1.0;
+    std::uint64_t seed = 42;
+};
+
+const std::vector<std::pair<std::string, std::vector<std::string>>> &
+schema()
+{
+    static const std::vector<std::pair<std::string, std::vector<std::string>>>
+        s{
+            {"system",
+             {"preset", "app", "cores", "scale", "seed", "core_model",
+              "dram_model", "partial"}},
+            {"imp",
+             {"pt_entries", "ipd_entries", "base_addr_slots", "shifts",
+              "max_prefetch_distance", "max_indirect_ways",
+              "max_indirect_levels", "stream_threshold",
+              "indirect_threshold", "indirect_counter_max",
+              "backoff_initial", "backoff_max", "pc_resync",
+              "secondary_indirection"}},
+            {"gp",
+             {"samples", "l1_sector_bytes", "l2_sector_bytes",
+              "dram_min_bytes"}},
+            {"stream",
+             {"degree", "max_stride_bytes", "l2_degree",
+              "l2_max_stride_bytes"}},
+            {"ghb", {"history_entries", "index_entries", "degree"}},
+            {"prefetch", {"l1", "l2"}},
+        };
+    return s;
+}
+
+/** Bare sweep-axis names mirroring the CLI flags. */
+const std::vector<std::pair<std::string, Path>> &
+sweepAliases()
+{
+    static const std::vector<std::pair<std::string, Path>> a{
+        {"app", {"system", "app"}},
+        {"cores", {"system", "cores"}},
+        {"distance", {"imp", "max_prefetch_distance"}},
+        {"ipd", {"imp", "ipd_entries"}},
+        {"l1", {"prefetch", "l1"}},
+        {"l2", {"prefetch", "l2"}},
+        {"preset", {"system", "preset"}},
+        {"pt", {"imp", "pt_entries"}},
+        {"scale", {"system", "scale"}},
+        {"seed", {"system", "seed"}},
+    };
+    return a;
+}
+
+/** True if @p key is the N of a "core.N" / "l2slice.N" prefetch key. */
+bool
+parseIndexedKey(const std::string &key, const char *prefix,
+                std::uint32_t &index)
+{
+    std::size_t plen = std::strlen(prefix);
+    if (key.compare(0, plen, prefix) != 0 || key.size() == plen)
+        return false;
+    std::string digits = key.substr(plen);
+    if (digits.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    try {
+        unsigned long v = std::stoul(digits);
+        if (v > std::numeric_limits<std::uint32_t>::max())
+            return false;
+        index = static_cast<std::uint32_t>(v);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+knownKey(const Path &p)
+{
+    if (p.section == "prefetch") {
+        std::uint32_t n = 0;
+        if (parseIndexedKey(p.key, "core.", n) ||
+            parseIndexedKey(p.key, "l2slice.", n))
+            return true;
+    }
+    for (const auto &sec : schema()) {
+        if (sec.first != p.section)
+            continue;
+        return std::find(sec.second.begin(), sec.second.end(), p.key) !=
+               sec.second.end();
+    }
+    return false;
+}
+
+[[noreturn]] void
+failAt(const Setting &s, const std::string &message)
+{
+    throw ConfigError(s.origin, s.value.line, s.value.column, message);
+}
+
+std::string
+describeKey(const Setting &s)
+{
+    return "[" + s.path.section + "] " + s.path.key;
+}
+
+std::int64_t
+asInt(const Setting &s)
+{
+    if (s.value.kind != ConfigValue::Kind::Int)
+        failAt(s, describeKey(s) + " needs an int, got " +
+                      s.value.kindName() + " '" + s.value.toString() + "'");
+    return s.value.integer;
+}
+
+std::uint32_t
+asU32(const Setting &s, std::uint32_t min = 0)
+{
+    std::int64_t v = asInt(s);
+    if (v < static_cast<std::int64_t>(min) ||
+        v > std::numeric_limits<std::uint32_t>::max())
+        failAt(s, describeKey(s) + " is out of range (" +
+                      std::to_string(min) + " .. 2^32-1), got " +
+                      std::to_string(v));
+    return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t
+asU64(const Setting &s)
+{
+    std::int64_t v = asInt(s);
+    if (v < 0)
+        failAt(s, describeKey(s) + " needs a non-negative int, got " +
+                      std::to_string(v));
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+asDouble(const Setting &s)
+{
+    if (s.value.kind == ConfigValue::Kind::Int)
+        return static_cast<double>(s.value.integer);
+    if (s.value.kind != ConfigValue::Kind::Float)
+        failAt(s, describeKey(s) + " needs a number, got " +
+                      s.value.kindName() + " '" + s.value.toString() + "'");
+    return s.value.real;
+}
+
+bool
+asBool(const Setting &s)
+{
+    if (s.value.kind != ConfigValue::Kind::Bool)
+        failAt(s, describeKey(s) + " needs true or false, got " +
+                      s.value.kindName() + " '" + s.value.toString() + "'");
+    return s.value.boolean;
+}
+
+std::string
+asString(const Setting &s)
+{
+    if (s.value.kind != ConfigValue::Kind::String)
+        failAt(s, describeKey(s) + " needs a string, got " +
+                      s.value.kindName() + " '" + s.value.toString() + "'");
+    return s.value.text;
+}
+
+AppId
+asApp(const Setting &s)
+{
+    std::string name = asString(s);
+    AppId app;
+    if (!parseAppName(name, app)) {
+        std::vector<std::string> known;
+        for (AppId a : kAllApps)
+            known.push_back(appName(a));
+        failAt(s, "unknown app '" + name + "' (known: " + join(known) + ")");
+    }
+    return app;
+}
+
+ConfigPreset
+asPreset(const Setting &s)
+{
+    std::string name = asString(s);
+    ConfigPreset preset;
+    if (!parsePresetName(name, preset)) {
+        std::vector<std::string> known;
+        for (ConfigPreset p : allPresets())
+            known.push_back(presetName(p));
+        failAt(s, "unknown preset '" + name + "' (known: " + join(known) +
+                      ")");
+    }
+    return preset;
+}
+
+/** Checks every engine name of a registry spec ("imp+stream"). */
+std::string
+asSpec(const Setting &s)
+{
+    std::string spec = asString(s);
+    for (const std::string &name : splitPrefetcherSpec(spec)) {
+        if (name.empty())
+            continue; // blank segments are ignored by the registry
+        if (!PrefetcherRegistry::instance().known(name))
+            failAt(s, "unknown prefetcher '" + name + "' in spec '" + spec +
+                          "' (known: " +
+                          join(PrefetcherRegistry::instance().names()) + ")");
+    }
+    return spec;
+}
+
+std::uint32_t
+asPow2Sector(const Setting &s)
+{
+    std::uint32_t v = asU32(s, 1);
+    if (!isPow2(v) || v > kLineSize)
+        failAt(s, describeKey(s) + " must be a power of two <= " +
+                      std::to_string(kLineSize) + ", got " +
+                      std::to_string(v));
+    return v;
+}
+
+void
+applyShifts(const Setting &s, ImpConfig &imp)
+{
+    if (s.value.kind != ConfigValue::Kind::List ||
+        s.value.items.size() != imp.shifts.size())
+        failAt(s, describeKey(s) + " needs a list of exactly " +
+                      std::to_string(imp.shifts.size()) +
+                      " ints (Table 2 shift candidates)");
+    for (std::size_t i = 0; i < s.value.items.size(); ++i) {
+        const ConfigValue &item = s.value.items[i];
+        if (item.kind != ConfigValue::Kind::Int || item.integer < -63 ||
+            item.integer > 63)
+            throw ConfigError(s.origin, item.line, item.column,
+                              "shift values must be ints in -63 .. 63 "
+                              "(negative = right shift)");
+        imp.shifts[i] = static_cast<std::int8_t>(item.integer);
+    }
+}
+
+void
+setPerCoreSpec(const Setting &s, std::vector<std::string> &specs,
+               std::uint32_t index, std::uint32_t cores)
+{
+    if (index >= cores)
+        failAt(s, describeKey(s) + " is out of range for a " +
+                      std::to_string(cores) + "-core machine");
+    if (specs.size() < index + 1)
+        specs.resize(index + 1);
+    specs[index] = asSpec(s);
+}
+
+/**
+ * Applies one non-structural setting. The structural keys
+ * (system.preset / cores / core_model) are resolved before the base
+ * SystemConfig exists and must be skipped by the caller.
+ */
+void
+applySetting(const Setting &s, Bound &b)
+{
+    const std::string &sec = s.path.section;
+    const std::string &key = s.path.key;
+    SystemConfig &cfg = b.cfg;
+
+    if (sec == "system") {
+        if (key == "app")
+            b.app = asApp(s);
+        else if (key == "scale") {
+            b.scale = asDouble(s);
+            if (b.scale <= 0.0)
+                failAt(s, "[system] scale must be positive");
+        } else if (key == "seed")
+            b.seed = asU64(s);
+        else if (key == "dram_model") {
+            std::string v = asString(s);
+            if (v == "simple")
+                cfg.dramModel = DramModelKind::Simple;
+            else if (v == "ddr3")
+                cfg.dramModel = DramModelKind::Ddr3;
+            else
+                failAt(s, "[system] dram_model must be simple or ddr3, "
+                          "got '" +
+                              v + "'");
+        } else if (key == "partial") {
+            std::string v = asString(s);
+            if (v == "off")
+                cfg.partial = PartialMode::Off;
+            else if (v == "noc")
+                cfg.partial = PartialMode::NocOnly;
+            else if (v == "noc+dram")
+                cfg.partial = PartialMode::NocAndDram;
+            else
+                failAt(s, "[system] partial must be off, noc or noc+dram, "
+                          "got '" +
+                              v + "'");
+        }
+        return;
+    }
+    if (sec == "imp") {
+        ImpConfig &imp = cfg.imp;
+        if (key == "pt_entries")
+            imp.ptEntries = asU32(s, 1);
+        else if (key == "ipd_entries")
+            imp.ipdEntries = asU32(s, 1);
+        else if (key == "base_addr_slots")
+            imp.baseAddrSlots = asU32(s, 1);
+        else if (key == "shifts")
+            applyShifts(s, imp);
+        else if (key == "max_prefetch_distance")
+            imp.maxPrefetchDistance = asU32(s, 1);
+        else if (key == "max_indirect_ways")
+            imp.maxIndirectWays = asU32(s);
+        else if (key == "max_indirect_levels")
+            imp.maxIndirectLevels = asU32(s);
+        else if (key == "stream_threshold")
+            imp.streamThreshold = asU32(s, 1);
+        else if (key == "indirect_threshold")
+            imp.indirectThreshold = asU32(s, 1);
+        else if (key == "indirect_counter_max")
+            imp.indirectCounterMax = asU32(s, 1);
+        else if (key == "backoff_initial")
+            imp.backoffInitial = asU32(s, 1);
+        else if (key == "backoff_max")
+            imp.backoffMax = asU32(s, 1);
+        else if (key == "pc_resync")
+            imp.pcResync = asBool(s);
+        else if (key == "secondary_indirection")
+            imp.secondaryIndirection = asBool(s);
+        return;
+    }
+    if (sec == "gp") {
+        if (key == "samples")
+            cfg.gp.samples = asU32(s, 1);
+        else if (key == "l1_sector_bytes")
+            cfg.gp.l1SectorBytes = asPow2Sector(s);
+        else if (key == "l2_sector_bytes")
+            cfg.gp.l2SectorBytes = asPow2Sector(s);
+        else if (key == "dram_min_bytes")
+            cfg.gp.dramMinBytes = asU32(s, 1);
+        return;
+    }
+    if (sec == "stream") {
+        if (key == "degree")
+            cfg.stream.prefetchDegree = asU32(s, 1);
+        else if (key == "max_stride_bytes")
+            cfg.stream.maxStrideBytes = asU32(s, 1);
+        else if (key == "l2_degree")
+            cfg.l2Stream.prefetchDegree = asU32(s, 1);
+        else if (key == "l2_max_stride_bytes")
+            cfg.l2Stream.maxStrideBytes = asU32(s, 1);
+        return;
+    }
+    if (sec == "ghb") {
+        if (key == "history_entries")
+            cfg.ghb.historyEntries = asU32(s, 1);
+        else if (key == "index_entries")
+            cfg.ghb.indexEntries = asU32(s, 1);
+        else if (key == "degree")
+            cfg.ghb.degree = asU32(s, 1);
+        return;
+    }
+    if (sec == "prefetch") {
+        std::uint32_t index = 0;
+        if (key == "l1")
+            cfg.prefetcherSpec = asSpec(s);
+        else if (key == "l2")
+            cfg.l2PrefetcherSpec = asSpec(s);
+        else if (parseIndexedKey(key, "core.", index))
+            setPerCoreSpec(s, cfg.corePrefetcherSpecs, index, cfg.numCores);
+        else if (parseIndexedKey(key, "l2slice.", index))
+            setPerCoreSpec(s, cfg.l2SlicePrefetcherSpecs, index,
+                           cfg.numCores);
+        return;
+    }
+}
+
+/**
+ * Applies a CLI SPEC[,SPEC...] override: one stack sets the global
+ * spec, several are assigned round-robin (the CLI's heterogeneous
+ * syntax). Any per-core/per-slice file overrides are cleared — a CLI
+ * override replaces the file's whole per-level assignment.
+ */
+void
+applyCliSpecList(const char *flag, const std::string &list,
+                 std::uint32_t cores, std::string &global,
+                 std::vector<std::string> &per_core)
+{
+    std::vector<std::string> stacks = splitCommaList(list);
+    for (const std::string &stack : stacks) {
+        if (stack.empty())
+            throw ConfigError(kCliOrigin, 0, 0,
+                              std::string(flag) +
+                                  " has an empty stack in '" + list + "'");
+        Setting probe{kCliOrigin, {"prefetch", flag}, ConfigValue{}};
+        probe.value.kind = ConfigValue::Kind::String;
+        probe.value.text = stack;
+        asSpec(probe);
+    }
+    per_core.clear();
+    if (stacks.size() == 1) {
+        global = stacks[0];
+        return;
+    }
+    per_core.resize(cores);
+    for (std::uint32_t c = 0; c < cores; ++c)
+        per_core[c] = stacks[c % stacks.size()];
+}
+
+/** Makes a synthetic Setting carrying a CLI override value. */
+Setting
+cliSetting(const Path &path, ConfigValue value)
+{
+    value.line = 0;
+    value.column = 0;
+    return Setting{kCliOrigin, path, std::move(value)};
+}
+
+ConfigValue
+intValue(std::int64_t v)
+{
+    ConfigValue cv;
+    cv.kind = ConfigValue::Kind::Int;
+    cv.integer = v;
+    return cv;
+}
+
+ConfigValue
+stringValue(std::string v)
+{
+    ConfigValue cv;
+    cv.kind = ConfigValue::Kind::String;
+    cv.text = std::move(v);
+    return cv;
+}
+
+ConfigValue
+floatValue(double v)
+{
+    ConfigValue cv;
+    cv.kind = ConfigValue::Kind::Float;
+    cv.real = v;
+    return cv;
+}
+
+bool
+isStructural(const Path &p)
+{
+    return p.section == "system" &&
+           (p.key == "preset" || p.key == "cores" || p.key == "core_model");
+}
+
+} // namespace
+
+std::vector<std::string>
+splitCommaList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t comma = s.find(',', start);
+        out.push_back(s.substr(start, comma - start));
+        if (comma == std::string::npos)
+            return out;
+        start = comma + 1;
+    }
+}
+
+Experiment
+bindExperiment(const ConfigFile &file, const CliOverrides &cli)
+{
+    const std::string &origin = file.origin();
+
+    // 1. Reject unknown sections and keys up front, with locations.
+    for (const ConfigSection &sec : file.sections()) {
+        bool known_section = sec.name == "sweep";
+        for (const auto &entry : schema())
+            known_section = known_section || entry.first == sec.name;
+        if (!known_section) {
+            std::vector<std::string> known;
+            for (const auto &entry : schema())
+                known.push_back(entry.first);
+            known.push_back("sweep");
+            throw ConfigError(origin, sec.line, 0,
+                              "unknown section [" + sec.name +
+                                  "] (known: " + join(known) + ")");
+        }
+        if (sec.name == "sweep")
+            continue; // axis keys are validated below
+        for (const ConfigEntry &e : sec.entries) {
+            if (!knownKey(Path{sec.name, e.key}))
+                throw ConfigError(origin, e.value.line, 0,
+                                  "unknown key '" + e.key + "' in [" +
+                                      sec.name + "]");
+        }
+    }
+
+    // 2. Resolve the sweep axes.
+    std::vector<Axis> axes;
+    if (const ConfigSection *sweep = file.find("sweep")) {
+        for (const ConfigEntry &e : sweep->entries) {
+            Axis axis;
+            axis.displayKey = e.key;
+            std::size_t dot = e.key.find('.');
+            if (dot != std::string::npos) {
+                axis.path = Path{e.key.substr(0, dot),
+                                 e.key.substr(dot + 1)};
+            } else {
+                bool found = false;
+                for (const auto &alias : sweepAliases()) {
+                    if (alias.first == e.key) {
+                        axis.path = alias.second;
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found) {
+                    std::vector<std::string> names;
+                    for (const auto &alias : sweepAliases())
+                        names.push_back(alias.first);
+                    throw ConfigError(
+                        origin, e.value.line, 0,
+                        "unknown sweep axis '" + e.key +
+                            "' (use section.key or one of: " + join(names) +
+                            ")");
+                }
+            }
+            if (!knownKey(axis.path))
+                throw ConfigError(origin, e.value.line, 0,
+                                  "sweep axis '" + e.key +
+                                      "' names no known knob");
+            if (e.value.kind != ConfigValue::Kind::List ||
+                e.value.items.empty())
+                throw ConfigError(origin, e.value.line, 0,
+                                  "sweep axis '" + e.key +
+                                      "' needs a non-empty list");
+            for (const Axis &prev : axes) {
+                if (prev.path == axis.path)
+                    throw ConfigError(origin, e.value.line, 0,
+                                      "sweep axis '" + e.key +
+                                          "' repeats axis '" +
+                                          prev.displayKey + "'");
+            }
+            axis.values = e.value;
+            axes.push_back(std::move(axis));
+        }
+    }
+
+    // 3. CLI overrides as settings; any matching sweep axis collapses.
+    std::vector<Setting> cli_settings;
+    if (cli.app)
+        cli_settings.push_back(
+            cliSetting(Path{"system", "app"}, stringValue(*cli.app)));
+    if (cli.preset)
+        cli_settings.push_back(
+            cliSetting(Path{"system", "preset"}, stringValue(*cli.preset)));
+    if (cli.cores)
+        cli_settings.push_back(
+            cliSetting(Path{"system", "cores"}, intValue(*cli.cores)));
+    if (cli.scale)
+        cli_settings.push_back(
+            cliSetting(Path{"system", "scale"}, floatValue(*cli.scale)));
+    // --seed is applied directly below (a uint64 cannot round-trip
+    // through the parser's int64 values), but still collapses a
+    // swept seed axis like any other override.
+    if (cli.outOfOrder)
+        cli_settings.push_back(
+            cliSetting(Path{"system", "core_model"},
+                       stringValue(*cli.outOfOrder ? "ooo" : "inorder")));
+    if (cli.pt)
+        cli_settings.push_back(
+            cliSetting(Path{"imp", "pt_entries"}, intValue(*cli.pt)));
+    if (cli.ipd)
+        cli_settings.push_back(
+            cliSetting(Path{"imp", "ipd_entries"}, intValue(*cli.ipd)));
+    if (cli.distance)
+        cli_settings.push_back(
+            cliSetting(Path{"imp", "max_prefetch_distance"},
+                       intValue(*cli.distance)));
+    if (cli.l1Prefetcher)
+        cli_settings.push_back(cliSetting(Path{"prefetch", "l1"},
+                                          stringValue(*cli.l1Prefetcher)));
+    if (cli.l2Prefetcher)
+        cli_settings.push_back(cliSetting(Path{"prefetch", "l2"},
+                                          stringValue(*cli.l2Prefetcher)));
+    axes.erase(std::remove_if(
+                   axes.begin(), axes.end(),
+                   [&](const Axis &axis) {
+                       if (cli.seed && axis.path == Path{"system", "seed"})
+                           return true;
+                       for (const Setting &s : cli_settings) {
+                           if (s.path == axis.path)
+                               return true;
+                       }
+                       return false;
+                   }),
+               axes.end());
+
+    // 4. File scalars, in file order.
+    std::vector<Setting> file_settings;
+    for (const ConfigSection &sec : file.sections()) {
+        if (sec.name == "sweep")
+            continue;
+        for (const ConfigEntry &e : sec.entries)
+            file_settings.push_back(
+                Setting{origin, Path{sec.name, e.key}, e.value});
+    }
+
+    std::size_t total = 1;
+    for (const Axis &axis : axes) {
+        std::size_t n = axis.values.items.size();
+        if (total > kMaxRuns / n)
+            throw ConfigError(origin, axis.values.line, 0,
+                              "sweep expands to more than " +
+                                  std::to_string(kMaxRuns) + " runs");
+        total *= n;
+    }
+
+    // 5. Expand: the first declared axis varies slowest.
+    Experiment exp;
+    std::vector<std::size_t> idx(axes.size(), 0);
+    for (std::size_t combo = 0; combo < total; ++combo) {
+        std::vector<Setting> axis_settings;
+        for (std::size_t a = 0; a < axes.size(); ++a)
+            axis_settings.push_back(Setting{origin, axes[a].path,
+                                            axes[a].values.items[idx[a]]});
+
+        // Structural resolution: CLI > this combination > file scalar.
+        auto structural = [&](const char *key) -> const Setting * {
+            Path p{"system", key};
+            for (const Setting &s : cli_settings)
+                if (s.path == p)
+                    return &s;
+            for (const Setting &s : axis_settings)
+                if (s.path == p)
+                    return &s;
+            for (const Setting &s : file_settings)
+                if (s.path == p)
+                    return &s;
+            return nullptr;
+        };
+
+        std::uint32_t cores = 64;
+        if (const Setting *s = structural("cores")) {
+            cores = asU32(*s, 1);
+            std::uint32_t d = isqrt(cores);
+            if (d * d != cores)
+                failAt(*s, "[system] cores must be a perfect square "
+                           "(mesh NoC), got " +
+                               std::to_string(cores));
+        }
+        CoreModel model = CoreModel::InOrder;
+        if (const Setting *s = structural("core_model")) {
+            std::string v = asString(*s);
+            if (v == "inorder")
+                model = CoreModel::InOrder;
+            else if (v == "ooo")
+                model = CoreModel::OutOfOrder;
+            else
+                failAt(*s, "[system] core_model must be inorder or ooo, "
+                           "got '" +
+                               v + "'");
+        }
+        bool has_preset = false;
+        ConfigPreset preset = ConfigPreset::Baseline;
+        if (const Setting *s = structural("preset")) {
+            preset = asPreset(*s);
+            has_preset = true;
+        }
+
+        Bound b;
+        if (has_preset) {
+            b.cfg = makePreset(preset, cores, model);
+        } else {
+            b.cfg.numCores = cores;
+            b.cfg.coreModel = model;
+        }
+
+        for (const Setting &s : file_settings) {
+            if (!isStructural(s.path))
+                applySetting(s, b);
+        }
+        for (const Setting &s : axis_settings) {
+            if (!isStructural(s.path))
+                applySetting(s, b);
+        }
+        for (const Setting &s : cli_settings) {
+            if (isStructural(s.path))
+                continue;
+            if (s.path == Path{"prefetch", "l1"}) {
+                applyCliSpecList("--prefetcher", s.value.text, cores,
+                                 b.cfg.prefetcherSpec,
+                                 b.cfg.corePrefetcherSpecs);
+            } else if (s.path == Path{"prefetch", "l2"}) {
+                applyCliSpecList("--l2-prefetcher", s.value.text, cores,
+                                 b.cfg.l2PrefetcherSpec,
+                                 b.cfg.l2SlicePrefetcherSpecs);
+            } else {
+                applySetting(s, b);
+            }
+        }
+        if (cli.seed)
+            b.seed = *cli.seed;
+
+        ExperimentRun run;
+        run.cfg = b.cfg;
+        run.app = b.app;
+        run.scale = b.scale;
+        run.seed = b.seed;
+        run.swPrefetch = has_preset && presetWantsSwPrefetch(preset);
+        run.label = std::string(appName(b.app)) + "/" +
+                    (has_preset ? presetName(preset) : "custom") + "/" +
+                    std::to_string(cores) + "c" +
+                    (model == CoreModel::OutOfOrder ? "/ooo" : "");
+        for (std::size_t a = 0; a < axes.size(); ++a) {
+            const Path &p = axes[a].path;
+            if (p.section == "system" &&
+                (p.key == "app" || p.key == "preset" || p.key == "cores" ||
+                 p.key == "core_model"))
+                continue; // already part of the base label
+            run.label += "/" + axes[a].displayKey + "=" +
+                         axes[a].values.items[idx[a]].toString();
+        }
+        // Tag CLI engine overrides like flag mode does; commas would
+        // split the CSV label column, so lists read as "imp|stream".
+        auto specTag = [](std::string tag) {
+            for (char &ch : tag) {
+                if (ch == ',')
+                    ch = '|';
+            }
+            return tag;
+        };
+        if (cli.l1Prefetcher)
+            run.label += "/" + specTag(*cli.l1Prefetcher);
+        if (cli.l2Prefetcher)
+            run.label += "/l2:" + specTag(*cli.l2Prefetcher);
+        exp.runs.push_back(std::move(run));
+
+        // Odometer step, last axis fastest.
+        for (std::size_t a = axes.size(); a-- > 0;) {
+            if (++idx[a] < axes[a].values.items.size())
+                break;
+            idx[a] = 0;
+        }
+    }
+    return exp;
+}
+
+} // namespace impsim

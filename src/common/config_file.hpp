@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Declarative experiment configs: an INI/TOML-subset parser plus a
+ * binder that maps parsed files onto SystemConfig sweeps.
+ *
+ * A config file describes a whole experiment as data — the machine
+ * ([system], [imp], [gp], [stream], [ghb]), the prefetcher attachment
+ * ([prefetch]) and an optional grid of sweep axes ([sweep]) that
+ * expands into one run per combination. The full file-format
+ * reference with a worked example per section is docs/config_format.md;
+ * the prefetcher spec grammar is docs/prefetcher_specs.md.
+ *
+ * Precedence, lowest to highest: preset defaults < file keys < CLI
+ * flags (CliOverrides). A CLI override of a swept key collapses that
+ * sweep axis to the single overridden value.
+ */
+#ifndef IMPSIM_COMMON_CONFIG_FILE_HPP
+#define IMPSIM_COMMON_CONFIG_FILE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "workloads/workload.hpp"
+
+namespace impsim {
+
+/**
+ * A parse or binding failure with its source location. what() is
+ * preformatted as "origin:line:column: message" (column 0 for
+ * whole-line or command-line diagnostics).
+ */
+class ConfigError : public std::runtime_error
+{
+  public:
+    ConfigError(const std::string &origin, int line, int column,
+                const std::string &message);
+
+    const std::string &origin() const { return origin_; }
+    int line() const { return line_; }
+    int column() const { return column_; }
+    /** The message without the location prefix. */
+    const std::string &message() const { return message_; }
+
+  private:
+    std::string origin_;
+    int line_;
+    int column_;
+    std::string message_;
+};
+
+/** One parsed value with its source location. */
+struct ConfigValue
+{
+    enum class Kind { Bool, Int, Float, String, List };
+
+    Kind kind = Kind::String;
+    bool boolean = false;       ///< Kind::Bool payload.
+    std::int64_t integer = 0;   ///< Kind::Int payload.
+    double real = 0.0;          ///< Kind::Float payload.
+    std::string text;           ///< Kind::String payload.
+    std::vector<ConfigValue> items; ///< Kind::List payload.
+    int line = 0;
+    int column = 0;
+
+    /** "bool", "int", "float", "string" or "list" (diagnostics). */
+    const char *kindName() const;
+    /** Value rendered back to config-file syntax (labels, errors). */
+    std::string toString() const;
+};
+
+/** One `key = value` entry. */
+struct ConfigEntry
+{
+    std::string key;
+    ConfigValue value;
+};
+
+/** One `[section]` and its entries, in file order. */
+struct ConfigSection
+{
+    std::string name;
+    int line = 0;
+    std::vector<ConfigEntry> entries;
+
+    /** The value of @p key, or nullptr if absent. */
+    const ConfigValue *find(const std::string &key) const;
+};
+
+/**
+ * A parsed config file. Parsing is purely syntactic; bindExperiment()
+ * interprets sections and keys and rejects unknown ones.
+ */
+class ConfigFile
+{
+  public:
+    /**
+     * Parses config text. @p origin names the source in diagnostics.
+     * @throws ConfigError on any syntax error.
+     */
+    static ConfigFile parseString(const std::string &text,
+                                  const std::string &origin = "<string>");
+
+    /** Reads and parses @p path. @throws ConfigError (also on I/O). */
+    static ConfigFile parseFile(const std::string &path);
+
+    const std::string &origin() const { return origin_; }
+    const std::vector<ConfigSection> &sections() const { return sections_; }
+
+    /** The section named @p name, or nullptr if absent. */
+    const ConfigSection *find(const std::string &name) const;
+
+  private:
+    std::string origin_;
+    std::vector<ConfigSection> sections_;
+};
+
+/**
+ * Values given on the command line, which override file keys (and
+ * collapse matching sweep axes). Fields left unset defer to the file.
+ */
+struct CliOverrides
+{
+    std::optional<std::string> app;          ///< --app
+    std::optional<std::string> preset;       ///< --preset (single name)
+    std::optional<std::uint32_t> cores;      ///< --cores
+    std::optional<double> scale;             ///< --scale
+    std::optional<std::uint64_t> seed;       ///< --seed
+    std::optional<bool> outOfOrder;          ///< --ooo
+    std::optional<std::uint32_t> pt;         ///< --pt
+    std::optional<std::uint32_t> ipd;        ///< --ipd
+    std::optional<std::uint32_t> distance;   ///< --distance
+    /** --prefetcher; a comma list assigns stacks round-robin. */
+    std::optional<std::string> l1Prefetcher;
+    /** --l2-prefetcher; same comma-list semantics, per tile. */
+    std::optional<std::string> l2Prefetcher;
+};
+
+/** One expanded run of an experiment. */
+struct ExperimentRun
+{
+    /**
+     * "app/preset/Nc[/ooo]" plus one "/axis=value" segment per sweep
+     * axis not already covered by the base label — matching the CLI's
+     * flag-mode labels, so a single-axis preset sweep is labelled
+     * exactly like the equivalent --preset list.
+     */
+    std::string label;
+    SystemConfig cfg;
+    AppId app = AppId::Spmv;
+    double scale = 1.0;
+    std::uint64_t seed = 42;
+    /** Run the software-prefetch trace variant (SWPref preset). */
+    bool swPrefetch = false;
+};
+
+/** A bound experiment: every sweep combination, in axis order. */
+struct Experiment
+{
+    /** First declared sweep axis varies slowest. */
+    std::vector<ExperimentRun> runs;
+};
+
+/**
+ * Interprets @p file against the config schema and expands its sweep
+ * axes. @throws ConfigError citing the offending line for unknown
+ * sections or keys, type mismatches, out-of-range values, unknown
+ * app/preset/engine names, and malformed sweep axes.
+ */
+Experiment bindExperiment(const ConfigFile &file,
+                          const CliOverrides &cli = {});
+
+/** Splits "a,b,c" at commas; no trimming, empty segments kept. */
+std::vector<std::string> splitCommaList(const std::string &s);
+
+} // namespace impsim
+
+#endif // IMPSIM_COMMON_CONFIG_FILE_HPP

@@ -34,6 +34,31 @@ presetName(ConfigPreset p)
     IMPSIM_PANIC("unknown preset");
 }
 
+const std::vector<ConfigPreset> &
+allPresets()
+{
+    static const std::vector<ConfigPreset> presets{
+        ConfigPreset::Ideal,         ConfigPreset::PerfectPref,
+        ConfigPreset::Baseline,      ConfigPreset::SwPref,
+        ConfigPreset::Imp,           ConfigPreset::ImpPartialNoc,
+        ConfigPreset::ImpPartialNocDram, ConfigPreset::Ghb,
+        ConfigPreset::NoPrefetch,
+    };
+    return presets;
+}
+
+bool
+parsePresetName(const std::string &name, ConfigPreset &out)
+{
+    for (ConfigPreset p : allPresets()) {
+        if (name == presetName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
 SystemConfig
 makePreset(ConfigPreset p, std::uint32_t cores, CoreModel model)
 {

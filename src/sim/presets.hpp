@@ -5,6 +5,9 @@
 #ifndef IMPSIM_SIM_PRESETS_HPP
 #define IMPSIM_SIM_PRESETS_HPP
 
+#include <string>
+#include <vector>
+
 #include "common/config.hpp"
 
 namespace impsim {
@@ -24,6 +27,15 @@ enum class ConfigPreset {
 
 /** Human-readable preset name (bench table headers). */
 const char *presetName(ConfigPreset p);
+
+/** Every preset, in §5.4 order (CLI listings, config binding). */
+const std::vector<ConfigPreset> &allPresets();
+
+/**
+ * Parses a preset name ("IMP", "Partial-NoC", ...).
+ * @return false if @p name matches no preset; @p out is untouched.
+ */
+bool parsePresetName(const std::string &name, ConfigPreset &out);
 
 /** Builds the SystemConfig for a preset at @p cores. */
 SystemConfig makePreset(ConfigPreset p, std::uint32_t cores,

@@ -32,6 +32,18 @@ appName(AppId app)
     IMPSIM_PANIC("unknown app");
 }
 
+bool
+parseAppName(const std::string &name, AppId &out)
+{
+    for (AppId a : kAllApps) {
+        if (name == appName(a)) {
+            out = a;
+            return true;
+        }
+    }
+    return false;
+}
+
 Workload
 makeWorkload(AppId app, const WorkloadParams &params)
 {

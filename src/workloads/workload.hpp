@@ -33,8 +33,20 @@ inline constexpr std::array<AppId, 7> kPaperApps{
     AppId::Lsh,      AppId::Spmv,     AppId::Symgs,
 };
 
+/** Every application, including the dense control. */
+inline constexpr std::array<AppId, 8> kAllApps{
+    AppId::Pagerank, AppId::TriCount, AppId::Graph500, AppId::Sgd,
+    AppId::Lsh,      AppId::Spmv,     AppId::Symgs,    AppId::Streaming,
+};
+
 /** Short name as used in the paper's figures. */
 const char *appName(AppId app);
+
+/**
+ * Parses a figure-style app name ("spmv", "tri_count", ...).
+ * @return false if @p name matches no app; @p out is untouched.
+ */
+bool parseAppName(const std::string &name, AppId &out);
 
 /** Generation parameters. */
 struct WorkloadParams

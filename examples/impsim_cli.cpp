@@ -1,8 +1,9 @@
 /**
  * @file
  * Command-line runner: one simulation (full report), a parallel sweep
- * over several presets (CSV, one row per preset), or a declarative
- * experiment loaded from a config file (--config).
+ * over several presets (CSV, one row per preset), a declarative
+ * experiment loaded from a config file (--config), or the same config
+ * submitted to a running job server (--submit).
  *
  * Usage:
  *   impsim_cli [--config FILE] [--check] [--app NAME]
@@ -10,8 +11,16 @@
  *              [--ooo] [--csv] [--pt N] [--ipd N] [--distance N]
  *              [--seed N] [--jobs N] [--prefetcher SPEC[,SPEC...]]
  *              [--l2-prefetcher SPEC[,SPEC...]]
+ *   impsim_cli --submit FILE --server ADDR [override flags as above]
  *
  * Flags accept both "--flag value" and "--flag=value".
+ *
+ * --submit FILE sends the config to an `impsim_serve` instance at
+ * --server ADDR (a Unix socket path, or "tcp:HOST:PORT") and streams
+ * the result back; the output is bit-identical to running
+ * `impsim_cli --config FILE` in-process with the same flags, because
+ * both ends execute the same experiment runner. Override flags are
+ * forwarded with the submission (docs/job_server.md).
  *
  * --config FILE loads a declarative experiment (sections [system],
  * [imp], [gp], [stream], [ghb], [prefetch], [sweep]; reference in
@@ -48,16 +57,15 @@
  *   impsim_cli --app graph500 --prefetcher=none --l2-prefetcher=imp
  */
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <limits>
-#include <map>
 #include <memory>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #include "common/config_file.hpp"
+#include "server/client.hpp"
+#include "sim/experiment_runner.hpp"
 #include "sim/presets.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep_runner.hpp"
@@ -186,6 +194,8 @@ applyOverrides(SystemConfig &cfg, std::uint32_t pt, std::uint32_t ipd,
 /**
  * Runs a config-driven experiment: one run prints the full report
  * (unless --csv), several fan out over the SweepRunner and print CSV.
+ * The execution itself lives in runExperiment() — the exact code the
+ * job server runs, which is what makes `--submit` bit-identical.
  */
 int
 runConfigExperiment(const std::string &path, const CliOverrides &cli,
@@ -204,42 +214,10 @@ runConfigExperiment(const std::string &path, const CliOverrides &cli,
         return 0;
     }
 
-    // One workload per distinct (app, cores, swpf, scale, seed).
-    using WorkloadKey =
-        std::tuple<AppId, std::uint32_t, bool, double, std::uint64_t>;
-    std::map<WorkloadKey, std::unique_ptr<Workload>> workloads;
-    auto workloadFor = [&](const ExperimentRun &r) -> Workload & {
-        auto &slot = workloads[WorkloadKey{r.app, r.cfg.numCores,
-                                           r.swPrefetch, r.scale, r.seed}];
-        if (!slot) {
-            WorkloadParams params;
-            params.numCores = r.cfg.numCores;
-            params.swPrefetch = r.swPrefetch;
-            params.scale = r.scale;
-            params.seed = r.seed;
-            slot = std::make_unique<Workload>(makeWorkload(r.app, params));
-        }
-        return *slot;
-    };
-
-    if (exp.runs.size() == 1 && !csv) {
-        const ExperimentRun &r = exp.runs[0];
-        Workload &w = workloadFor(r);
-        System sys(r.cfg, w.traces, *w.mem);
-        SimStats s = sys.run();
-        writeReport(std::cout, r.label, s);
-        return 0;
-    }
-
-    std::vector<SweepJob> sweep;
-    for (const ExperimentRun &r : exp.runs) {
-        Workload &w = workloadFor(r);
-        sweep.push_back(SweepJob{r.label, r.cfg, &w.traces, w.mem.get()});
-    }
-    std::vector<SweepResult> results = SweepRunner(jobs).run(sweep);
-    writeCsvHeader(std::cout);
-    for (const SweepResult &r : results)
-        writeCsvRow(std::cout, r.name, r.stats);
+    ExperimentRunOptions opt;
+    opt.csv = csv;
+    opt.jobs = jobs;
+    runExperiment(exp, std::cout, opt);
     return 0;
 }
 
@@ -249,6 +227,8 @@ int
 main(int argc, char **argv)
 {
     std::string config;
+    std::string submit;
+    std::string serverAddr;
     bool check = false;
     std::string appName_;
     std::string presets;
@@ -285,6 +265,10 @@ main(int argc, char **argv)
         };
         if (a == "--config")
             config = next();
+        else if (a == "--submit")
+            submit = next();
+        else if (a == "--server")
+            serverAddr = next();
         else if (a == "--app")
             appName_ = next();
         else if (a == "--preset")
@@ -333,13 +317,26 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--check needs --config FILE\n");
         return 1;
     }
+    if (submit.empty() != serverAddr.empty()) {
+        std::fprintf(stderr,
+                     "--submit FILE and --server ADDR go together\n");
+        return 1;
+    }
+    if (!submit.empty() && !config.empty()) {
+        std::fprintf(stderr, "--submit and --config are exclusive\n");
+        return 1;
+    }
 
-    if (!config.empty()) {
-        // Declarative mode: flags become overrides on the file.
+    if (!submit.empty() || !config.empty()) {
+        // Declarative mode, local (--config) or remote (--submit):
+        // flags become overrides on the file. One shared mapping, so
+        // the two paths cannot drift apart — drift would silently
+        // break the submitted-equals-in-process invariant.
         if (presets.find(',') != std::string::npos) {
             std::fprintf(stderr,
-                         "--preset takes a single name with --config; "
-                         "sweep presets via the file's [sweep] section\n");
+                         "--preset takes a single name with %s; "
+                         "sweep presets via the file's [sweep] section\n",
+                         submit.empty() ? "--config" : "--submit");
             return 1;
         }
         CliOverrides cli;
@@ -365,6 +362,14 @@ main(int argc, char **argv)
             cli.l1Prefetcher = prefetcher;
         if (!l2Prefetcher.empty())
             cli.l2Prefetcher = l2Prefetcher;
+
+        if (!submit.empty()) {
+            server::SubmitRequest req;
+            req.csv = csv;
+            req.cli = cli;
+            return server::submitAndWait(serverAddr, submit, req,
+                                         std::cout, std::cerr);
+        }
         return runConfigExperiment(config, cli, check, csv, jobs);
     }
 

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Sweep job server: accepts experiment configs over a socket and
+ * batches them through a shared SweepRunner pool.
+ *
+ * Usage:
+ *   impsim_serve --socket PATH [--tcp PORT] [--jobs N] [--queue N]
+ *
+ * --socket PATH   Unix-domain socket to listen on (created, and
+ *                 removed again on shutdown)
+ * --tcp PORT      additionally listen on 127.0.0.1:PORT (0 picks an
+ *                 ephemeral port, printed on startup)
+ * --jobs N        SweepRunner worker threads (0 = hardware)
+ * --queue N       queued-job capacity before SUBMITs are refused
+ *                 (default 16)
+ *
+ * Clients speak the line protocol in docs/job_server.md; the
+ * matching client is `impsim_cli --submit FILE --server PATH`, whose
+ * output is bit-identical to running the same config in-process.
+ * Stop with SIGINT/SIGTERM; outstanding jobs are cancelled at the
+ * next simulation boundary.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/job_server.hpp"
+
+using namespace impsim;
+
+int
+main(int argc, char **argv)
+{
+    server::JobServerConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        std::string inline_val;
+        bool has_inline = false;
+        if (std::size_t eq = a.find('=');
+            a.rfind("--", 0) == 0 && eq != std::string::npos) {
+            inline_val = a.substr(eq + 1);
+            a = a.substr(0, eq);
+            has_inline = true;
+        }
+        auto next = [&]() -> std::string {
+            if (has_inline)
+                return inline_val;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        auto parseInt = [&](const std::string &value, long min,
+                            long max) -> long {
+            char *end = nullptr;
+            long v = std::strtol(value.c_str(), &end, 10);
+            if (value.empty() || end == nullptr || *end != '\0' ||
+                v < min || v > max) {
+                std::fprintf(stderr, "%s needs an integer in [%ld, %ld], "
+                             "got '%s'\n",
+                             a.c_str(), min, max, value.c_str());
+                std::exit(1);
+            }
+            return v;
+        };
+        if (a == "--socket") {
+            cfg.socketPath = next();
+        } else if (a == "--tcp") {
+            cfg.tcpPort = static_cast<int>(parseInt(next(), 0, 65535));
+        } else if (a == "--jobs") {
+            cfg.workers =
+                static_cast<unsigned>(parseInt(next(), 0, 1 << 20));
+        } else if (a == "--queue") {
+            cfg.queueCapacity =
+                static_cast<std::size_t>(parseInt(next(), 1, 1 << 20));
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+            return 1;
+        }
+    }
+    if (cfg.socketPath.empty() && cfg.tcpPort < 0) {
+        std::fprintf(stderr,
+                     "usage: impsim_serve --socket PATH [--tcp PORT] "
+                     "[--jobs N] [--queue N]\n");
+        return 1;
+    }
+
+    // Handle shutdown signals synchronously via sigwait: block them
+    // everywhere (server threads inherit the mask), then park here.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+    server::JobServer srv(cfg);
+    try {
+        srv.start();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "impsim_serve: %s\n", e.what());
+        return 1;
+    }
+    if (!cfg.socketPath.empty())
+        std::fprintf(stderr, "impsim_serve: listening on %s\n",
+                     cfg.socketPath.c_str());
+    if (cfg.tcpPort >= 0)
+        std::fprintf(stderr, "impsim_serve: listening on tcp:127.0.0.1:%u\n",
+                     srv.tcpPort());
+
+    int sig = 0;
+    sigwait(&set, &sig);
+    std::fprintf(stderr, "impsim_serve: %s, shutting down\n",
+                 strsignal(sig));
+    srv.stop();
+    return 0;
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Job-server client implementation.
+ */
+#include "server/client.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace impsim {
+namespace server {
+
+int
+connectToServer(const std::string &address, std::string &error)
+{
+    if (address.rfind("tcp:", 0) == 0) {
+        std::string hostport = address.substr(4);
+        std::size_t colon = hostport.rfind(':');
+        if (colon == std::string::npos) {
+            error = "tcp address needs tcp:HOST:PORT, got '" + address +
+                    "'";
+            return -1;
+        }
+        std::string host = hostport.substr(0, colon);
+        if (host == "localhost")
+            host = "127.0.0.1";
+        int port = std::atoi(hostport.substr(colon + 1).c_str());
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        if (port <= 0 || port > 65535 ||
+            ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+            error = "bad tcp address '" + address + "'";
+            return -1;
+        }
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0 ||
+            ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) < 0) {
+            error = "cannot connect to " + address + ": " +
+                    std::strerror(errno);
+            if (fd >= 0)
+                ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    if (address.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        error = "socket path too long: " + address;
+        return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, address.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)) < 0) {
+        error = "cannot connect to " + address + ": " +
+                std::strerror(errno);
+        if (fd >= 0)
+            ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+submitAndWait(const std::string &address, const std::string &configPath,
+              SubmitRequest req, std::ostream &out, std::ostream &err)
+{
+    std::ifstream in(configPath, std::ios::binary);
+    if (!in) {
+        // Matches ConfigFile::parseFile's diagnostic for the same
+        // failure, so client and in-process error output agree.
+        err << ConfigError(configPath, 0, 0, "cannot open config file")
+                   .what()
+            << "\n";
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::string error;
+    int fd = connectToServer(address, error);
+    if (fd < 0) {
+        err << error << "\n";
+        return 1;
+    }
+
+    req.origin = configPath;
+    req.configBytes = text.size();
+
+    int code = 1;
+    LineReader reader(fd);
+    std::string line;
+    do {
+        if (!reader.readLine(line)) {
+            err << "server closed the connection before greeting\n";
+            break;
+        }
+        std::vector<std::string> greeting = splitTokens(line);
+        if (greeting.size() != 2 || greeting[0] != "IMPSIM") {
+            err << "not an impsim job server at " << address << "\n";
+            break;
+        }
+
+        if (!writeAll(fd, formatSubmitLine(req) + "\n") ||
+            !writeAll(fd, text)) {
+            err << "connection lost while submitting\n";
+            break;
+        }
+
+        bool finished = false;
+        std::uint64_t jobId = 0;
+        while (!finished && reader.readLine(line)) {
+            std::vector<std::string> tokens = splitTokens(line);
+            if (tokens.empty())
+                continue;
+            const std::string &head = tokens[0];
+            if (head == "QUEUED" && tokens.size() == 2) {
+                jobId = std::strtoull(tokens[1].c_str(), nullptr, 10);
+            } else if (head == "ERROR" && tokens.size() == 2) {
+                std::string payload;
+                std::size_t n = static_cast<std::size_t>(
+                    std::strtoull(tokens[1].c_str(), nullptr, 10));
+                if (reader.readBytes(payload, n))
+                    err << payload;
+                finished = true;
+            } else if (head == "RESULT" && tokens.size() == 3) {
+                std::string payload;
+                std::size_t n = static_cast<std::size_t>(
+                    std::strtoull(tokens[2].c_str(), nullptr, 10));
+                if (!reader.readBytes(payload, n)) {
+                    err << "connection lost mid-result\n";
+                    finished = true;
+                    continue;
+                }
+                out << payload;
+                code = 0;
+            } else if (head == "DONE") {
+                finished = true;
+            } else if (head == "CANCELLED") {
+                err << "job " << (jobId ? std::to_string(jobId) : "?")
+                    << " was cancelled\n";
+                finished = true;
+            }
+            // Unknown lines (future protocol additions) are skipped.
+        }
+        if (!finished && code != 0)
+            err << "server closed the connection mid-job\n";
+    } while (false);
+
+    ::close(fd);
+    return code;
+}
+
+} // namespace server
+} // namespace impsim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Job-server client: submit one experiment config and stream the
+ * result back. This is what `impsim_cli --submit FILE --server ADDR`
+ * runs; the streamed bytes are written to the output stream verbatim,
+ * so a submitted run is bit-identical to `impsim_cli --config FILE`
+ * with the same flags (both ends execute runExperiment()).
+ */
+#ifndef IMPSIM_SERVER_CLIENT_HPP
+#define IMPSIM_SERVER_CLIENT_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "server/protocol.hpp"
+
+namespace impsim {
+namespace server {
+
+/**
+ * Connects to @p address: either a Unix-domain socket path or
+ * "tcp:HOST:PORT" (IPv4 dotted quad or "localhost").
+ * @return the connected fd, or -1 with @p error set.
+ */
+int connectToServer(const std::string &address, std::string &error);
+
+/**
+ * Submits the config at @p configPath to the server at @p address
+ * and blocks until the job finishes. The RESULT payload (report or
+ * CSV) goes to @p out verbatim; diagnostics — the server's ERROR
+ * payloads, file:line:col config errors included — go to @p err.
+ *
+ * @p req carries the CLI overrides and csv flag; req.origin and
+ * req.configBytes are filled in here from @p configPath.
+ * @return a process exit code: 0 on a delivered result, 1 on any
+ *         rejection, cancellation or transport failure.
+ */
+int submitAndWait(const std::string &address,
+                  const std::string &configPath, SubmitRequest req,
+                  std::ostream &out, std::ostream &err);
+
+} // namespace server
+} // namespace impsim
+
+#endif // IMPSIM_SERVER_CLIENT_HPP

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bounded fair job queue.
+ */
+#include "server/job_queue.hpp"
+
+#include <algorithm>
+
+namespace impsim {
+namespace server {
+
+bool
+FairJobQueue::push(std::shared_ptr<ServerJob> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || count_ >= capacity_)
+            return false;
+        std::deque<std::shared_ptr<ServerJob>> &fifo =
+            perClient_[job->clientId];
+        if (fifo.empty())
+            rotation_.push_back(job->clientId);
+        fifo.push_back(std::move(job));
+        ++count_;
+    }
+    cv_.notify_one();
+    return true;
+}
+
+std::shared_ptr<ServerJob>
+FairJobQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0)
+        return nullptr;
+
+    std::uint64_t client = rotation_.front();
+    rotation_.pop_front();
+    std::deque<std::shared_ptr<ServerJob>> &fifo = perClient_[client];
+    std::shared_ptr<ServerJob> job = std::move(fifo.front());
+    fifo.pop_front();
+    if (fifo.empty())
+        perClient_.erase(client);
+    else
+        rotation_.push_back(client);
+    --count_;
+    return job;
+}
+
+std::shared_ptr<ServerJob>
+FairJobQueue::remove(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = perClient_.begin(); it != perClient_.end(); ++it) {
+        std::deque<std::shared_ptr<ServerJob>> &fifo = it->second;
+        auto jt = std::find_if(fifo.begin(), fifo.end(),
+                               [&](const std::shared_ptr<ServerJob> &j) {
+                                   return j->id == id;
+                               });
+        if (jt == fifo.end())
+            continue;
+        std::shared_ptr<ServerJob> job = std::move(*jt);
+        fifo.erase(jt);
+        if (fifo.empty()) {
+            rotation_.erase(std::find(rotation_.begin(), rotation_.end(),
+                                      it->first));
+            perClient_.erase(it);
+        }
+        --count_;
+        return job;
+    }
+    return nullptr;
+}
+
+void
+FairJobQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::size_t
+FairJobQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+} // namespace server
+} // namespace impsim

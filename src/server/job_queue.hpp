@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Server-side job bookkeeping: one submitted experiment, and a
+ * bounded queue of them with round-robin fairness across clients.
+ */
+#ifndef IMPSIM_SERVER_JOB_QUEUE_HPP
+#define IMPSIM_SERVER_JOB_QUEUE_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/config_file.hpp"
+#include "sim/sweep_runner.hpp"
+
+namespace impsim {
+namespace server {
+
+/**
+ * One accepted SUBMIT: the experiment was already parsed and bound
+ * (so a queued job cannot fail validation later), and runs through
+ * the scheduler exactly once. State only moves forward:
+ * Queued -> Running -> {Done, Cancelled}, or Queued -> Cancelled.
+ */
+struct ServerJob
+{
+    enum class State { Queued, Running, Done, Cancelled };
+
+    std::uint64_t id = 0;
+    /** Identifies the submitting connection (fairness + delivery). */
+    std::uint64_t clientId = 0;
+    /** Diagnostic origin, e.g. the client-side file path. */
+    std::string origin;
+    /** Bound experiment; cleared after the run to bound memory. */
+    Experiment exp;
+    /** Force CSV for single-run configs (the CLI's --csv). */
+    bool csv = false;
+
+    std::atomic<State> state{State::Queued};
+    /** Expanded runs finished so far / in total (STATUS). */
+    std::atomic<std::size_t> done{0};
+    std::size_t total = 0;
+    /** Cancellation + progress hooks wired into the sweep. */
+    SweepControl control;
+
+    const char *
+    stateName() const
+    {
+        switch (state.load()) {
+          case State::Queued: return "queued";
+          case State::Running: return "running";
+          case State::Done: return "done";
+          case State::Cancelled: return "cancelled";
+        }
+        return "?";
+    }
+};
+
+/**
+ * Bounded multi-producer single-consumer queue with per-client
+ * fairness: each client gets a FIFO of its own, and pop() drains the
+ * client FIFOs round-robin, so one client queueing N jobs cannot
+ * starve another's first job behind all N. Capacity bounds the total
+ * *queued* (not yet popped) jobs across clients — the server's
+ * backpressure: push() refuses instead of growing without bound.
+ */
+class FairJobQueue
+{
+  public:
+    explicit FairJobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /** Enqueues @p job. @return false if the queue is full or closed. */
+    bool push(std::shared_ptr<ServerJob> job);
+
+    /**
+     * Blocks for the next job, round-robin across clients.
+     * @return nullptr once the queue is closed and drained.
+     */
+    std::shared_ptr<ServerJob> pop();
+
+    /**
+     * Removes a still-queued job (CANCEL before it ran).
+     * @return the job, or nullptr if @p id was not queued here.
+     */
+    std::shared_ptr<ServerJob> remove(std::uint64_t id);
+
+    /** Wakes pop(); further push()es are refused. */
+    void close();
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t capacity_;
+    std::size_t count_ = 0;
+    bool closed_ = false;
+    /** Per-client FIFOs ... */
+    std::map<std::uint64_t, std::deque<std::shared_ptr<ServerJob>>>
+        perClient_;
+    /** ... drained in this rotating client order. */
+    std::deque<std::uint64_t> rotation_;
+};
+
+} // namespace server
+} // namespace impsim
+
+#endif // IMPSIM_SERVER_JOB_QUEUE_HPP

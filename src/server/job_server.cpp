@@ -1,0 +1,533 @@
+/**
+ * @file
+ * Job-server implementation: listeners, per-connection protocol
+ * loops, and the scheduler draining the fair queue.
+ */
+#include "server/job_server.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "sim/experiment_runner.hpp"
+
+namespace impsim {
+namespace server {
+
+namespace {
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+int
+listenUnix(const std::string &path)
+{
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+        throw std::runtime_error("socket path too long: " + path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error("socket(AF_UNIX) failed");
+    // A previous server instance leaves its socket file behind;
+    // binding over it is the conventional reclaim.
+    ::unlink(path.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) < 0 ||
+        ::listen(fd, 16) < 0) {
+        int e = errno;
+        ::close(fd);
+        throw std::runtime_error("cannot listen on " + path + ": " +
+                                 std::strerror(e));
+    }
+    return fd;
+}
+
+int
+listenTcp(int port, std::uint16_t &boundPort)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error("socket(AF_INET) failed");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    // Loopback only: the protocol has no authentication, so never
+    // expose it beyond the machine by default.
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    socklen_t len = sizeof(addr);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) < 0 ||
+        ::listen(fd, 16) < 0 ||
+        ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) < 0) {
+        int e = errno;
+        ::close(fd);
+        throw std::runtime_error("cannot listen on tcp:127.0.0.1:" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(e));
+    }
+    boundPort = ntohs(addr.sin_port);
+    return fd;
+}
+
+} // namespace
+
+bool
+JobServer::Connection::write(const std::string &s)
+{
+    std::lock_guard<std::mutex> lock(writeMutex);
+    int f = fd.load();
+    if (f < 0)
+        return false;
+    if (writeAll(f, s))
+        return true;
+    // A failed (or timed-out) write may have landed a partial frame;
+    // the stream is desynchronized, so the connection must die rather
+    // than feed the peer later replies inside that frame.
+    ::shutdown(f, SHUT_RDWR);
+    return false;
+}
+
+void
+JobServer::Connection::shutdownFd()
+{
+    int f = fd.load();
+    if (f >= 0)
+        ::shutdown(f, SHUT_RDWR);
+}
+
+void
+JobServer::Connection::closeFd()
+{
+    std::lock_guard<std::mutex> lock(writeMutex);
+    int f = fd.exchange(-1);
+    if (f >= 0)
+        ::close(f);
+}
+
+JobServer::JobServer(JobServerConfig cfg)
+    : cfg_(std::move(cfg)), runner_(cfg_.workers),
+      queue_(cfg_.queueCapacity)
+{
+}
+
+JobServer::~JobServer()
+{
+    stop();
+}
+
+void
+JobServer::start()
+{
+    if (running_.exchange(true))
+        return;
+    if (cfg_.socketPath.empty() && cfg_.tcpPort < 0)
+        throw std::runtime_error("job server needs a socket or TCP port");
+    if (::pipe(wakePipe_) < 0)
+        throw std::runtime_error("pipe() failed");
+
+    if (!cfg_.socketPath.empty())
+        listenFds_.push_back(listenUnix(cfg_.socketPath));
+    if (cfg_.tcpPort >= 0)
+        listenFds_.push_back(listenTcp(cfg_.tcpPort, tcpPort_));
+
+    schedulerThread_ = std::thread([this] { schedulerLoop(); });
+    for (int fd : listenFds_)
+        listenThreads_.emplace_back([this, fd] { listenLoop(fd); });
+}
+
+void
+JobServer::stop()
+{
+    if (!running_.load() || stopping_.exchange(true))
+        return;
+
+    // Wake and join the listeners first: no new connections.
+    char byte = 0;
+    (void)!::write(wakePipe_[1], &byte, 1);
+    for (std::thread &t : listenThreads_)
+        t.join();
+    listenThreads_.clear();
+    for (int fd : listenFds_)
+        ::close(fd);
+    listenFds_.clear();
+
+    // Shut the connection sockets down BEFORE joining the scheduler:
+    // a scheduler blocked in send() to a stalled client is unblocked
+    // by the shutdown, so stop() cannot deadlock behind it (which is
+    // also why this must not take the write mutexes). Readers wake
+    // too and their threads run out.
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (ConnSlot &slot : connections_)
+            slot.conn->shutdownFd();
+    }
+
+    // Cancel everything so the scheduler stops between simulations.
+    {
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        for (auto &entry : jobs_)
+            entry.second->control.cancel();
+    }
+    queue_.close();
+    if (schedulerThread_.joinable())
+        schedulerThread_.join();
+
+    std::vector<ConnSlot> slots;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        slots.swap(connections_);
+    }
+    for (ConnSlot &slot : slots) {
+        slot.thread.join();
+        slot.conn->closeFd();
+    }
+    slots.clear();
+
+    closeFd(wakePipe_[0]);
+    closeFd(wakePipe_[1]);
+    if (!cfg_.socketPath.empty())
+        ::unlink(cfg_.socketPath.c_str());
+    running_.store(false);
+    stopping_.store(false);
+}
+
+void
+JobServer::listenLoop(int listenFd)
+{
+    for (;;) {
+        pollfd fds[2] = {{listenFd, POLLIN, 0}, {wakePipe_[0], POLLIN, 0}};
+        int r = ::poll(fds, 2, -1);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (fds[1].revents)
+            return; // stop() woke us
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        // A client that stops reading mid-RESULT would otherwise park
+        // the scheduler in send() forever; after the timeout the
+        // delivery fails and the scheduler moves on (failure-modes
+        // table in docs/job_server.md).
+        timeval sndTimeout{};
+        sndTimeout.tv_sec = 30;
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &sndTimeout,
+                     sizeof(sndTimeout));
+
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        std::lock_guard<std::mutex> lock(connMutex_);
+        if (stopping_.load()) {
+            ::close(fd);
+            return;
+        }
+        // Reap connections whose reader already finished; their
+        // threads are done, so join() returns immediately.
+        for (std::size_t i = 0; i < connections_.size();) {
+            if (connections_[i].conn->done.load()) {
+                connections_[i].thread.join();
+                connections_[i].conn->closeFd();
+                connections_.erase(connections_.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+        conn->clientId = nextClientId_++;
+        ConnSlot slot;
+        slot.conn = conn;
+        slot.thread = std::thread([this, conn] { connectionLoop(conn); });
+        connections_.push_back(std::move(slot));
+    }
+}
+
+void
+JobServer::connectionLoop(std::shared_ptr<Connection> conn)
+{
+    conn->write("IMPSIM " + std::to_string(kProtocolVersion) + "\n");
+
+    LineReader reader(conn->fd.load());
+    std::string line;
+    while (reader.readLine(line)) {
+        std::vector<std::string> tokens = splitTokens(line);
+        if (tokens.empty())
+            continue;
+        const std::string &cmd = tokens[0];
+        if (cmd == "SUBMIT") {
+            handleSubmit(*conn, reader, tokens);
+        } else if (cmd == "STATUS") {
+            handleStatus(*conn, tokens);
+        } else if (cmd == "CANCEL") {
+            handleCancel(*conn, tokens);
+        } else if (cmd == "QUIT") {
+            break;
+        } else {
+            if (!conn->write(errorFrame("unknown command '" + cmd + "'")))
+                break;
+        }
+    }
+    // The peer is gone (or QUIT): its pending work is unwanted. Only
+    // shut the fd down — the close happens after this thread is
+    // joined (reaper or stop()), so the descriptor cannot be recycled
+    // under a concurrent RESULT write.
+    cancelClientJobs(conn->clientId);
+    conn->shutdownFd();
+    conn->done.store(true);
+}
+
+std::string
+JobServer::errorFrame(std::string message)
+{
+    if (message.empty() || message.back() != '\n')
+        message += '\n';
+    return "ERROR " + std::to_string(message.size()) + "\n" + message;
+}
+
+void
+JobServer::handleSubmit(Connection &conn, LineReader &reader,
+                        const std::vector<std::string> &tokens)
+{
+    SubmitRequest req;
+    std::string error;
+    if (!parseSubmitLine(tokens, req, error)) {
+        // The announced payload length is unreadable, so the stream
+        // is unframed from here; the reply is still well-formed and
+        // the loop ends at the next garbage line.
+        conn.write(errorFrame(error));
+        return;
+    }
+    std::string text;
+    if (!reader.readBytes(text, req.configBytes))
+        return;
+
+    auto job = std::make_shared<ServerJob>();
+    try {
+        job->exp = bindExperiment(
+            ConfigFile::parseString(text, req.origin), req.cli);
+    } catch (const ConfigError &e) {
+        conn.write(errorFrame(e.what()));
+        return;
+    }
+    job->clientId = conn.clientId;
+    job->origin = req.origin;
+    job->csv = req.csv;
+    job->total = job->exp.runs.size();
+    ServerJob *raw = job.get();
+    job->control.onProgress = [raw](std::size_t done, std::size_t) {
+        raw->done.store(done, std::memory_order_relaxed);
+    };
+
+    std::shared_ptr<Connection> self;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (const ConnSlot &slot : connections_) {
+            if (slot.conn.get() == &conn) {
+                self = slot.conn;
+                break;
+            }
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        job->id = nextJobId_++;
+        jobs_[job->id] = job;
+        if (self)
+            jobConns_[job->id] = self;
+    }
+
+    // Holding writeMutex across push + QUEUED pins the wire order:
+    // the scheduler cannot squeeze this job's RESULT in front of its
+    // QUEUED, because delivery takes the same mutex.
+    std::lock_guard<std::mutex> wlock(conn.writeMutex);
+    int fd = conn.fd.load();
+    auto writeOrKill = [fd](const std::string &frame) {
+        if (fd >= 0 && !writeAll(fd, frame))
+            ::shutdown(fd, SHUT_RDWR); // partial frame: stream is dead
+    };
+    if (!queue_.push(job)) {
+        {
+            std::lock_guard<std::mutex> lock(jobsMutex_);
+            jobs_.erase(job->id);
+            jobConns_.erase(job->id);
+        }
+        writeOrKill(errorFrame("queue full (" +
+                               std::to_string(queue_.capacity()) +
+                               " jobs queued); retry later"));
+        return;
+    }
+    writeOrKill("QUEUED " + std::to_string(job->id) + "\n");
+}
+
+std::shared_ptr<ServerJob>
+JobServer::findJob(const std::string &idToken)
+{
+    char *end = nullptr;
+    std::uint64_t id = std::strtoull(idToken.c_str(), &end, 10);
+    if (!end || *end != '\0' || idToken.empty())
+        return nullptr;
+    std::lock_guard<std::mutex> lock(jobsMutex_);
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<JobServer::Connection>
+JobServer::takeSubmitter(std::uint64_t jobId)
+{
+    std::lock_guard<std::mutex> lock(jobsMutex_);
+    auto it = jobConns_.find(jobId);
+    if (it == jobConns_.end())
+        return nullptr;
+    std::shared_ptr<Connection> conn = std::move(it->second);
+    jobConns_.erase(it);
+    return conn;
+}
+
+void
+JobServer::handleStatus(Connection &conn,
+                        const std::vector<std::string> &tokens)
+{
+    std::shared_ptr<ServerJob> job =
+        tokens.size() == 2 ? findJob(tokens[1]) : nullptr;
+    if (!job) {
+        conn.write(errorFrame("STATUS: unknown job"));
+        return;
+    }
+    conn.write("STATUS " + std::to_string(job->id) + " " +
+               job->stateName() + " " + std::to_string(job->done.load()) +
+               "/" + std::to_string(job->total) + "\n");
+}
+
+void
+JobServer::handleCancel(Connection &conn,
+                        const std::vector<std::string> &tokens)
+{
+    std::shared_ptr<ServerJob> job =
+        tokens.size() == 2 ? findJob(tokens[1]) : nullptr;
+    if (!job) {
+        conn.write(errorFrame("CANCEL: unknown job"));
+        return;
+    }
+    ServerJob::State s = job->state.load();
+    if (s == ServerJob::State::Done || s == ServerJob::State::Cancelled) {
+        conn.write(errorFrame("CANCEL: job " + std::to_string(job->id) +
+                              " already " + job->stateName()));
+        return;
+    }
+
+    job->control.cancel();
+    if (std::shared_ptr<ServerJob> queued = queue_.remove(job->id)) {
+        // Never ran; notify the submitter directly.
+        queued->state.store(ServerJob::State::Cancelled);
+        retireJob(queued);
+        if (std::shared_ptr<Connection> submitter =
+                takeSubmitter(queued->id))
+            submitter->write("CANCELLED " + std::to_string(queued->id) +
+                             "\n");
+    }
+    // A running job is reaped by the scheduler once the sweep notices.
+    conn.write("CANCELLING " + std::to_string(job->id) + "\n");
+}
+
+void
+JobServer::retireJob(const std::shared_ptr<ServerJob> &job)
+{
+    std::lock_guard<std::mutex> lock(jobsMutex_);
+    retired_.push_back(job->id);
+    while (retired_.size() > kRetainFinishedJobs) {
+        jobs_.erase(retired_.front());
+        retired_.pop_front();
+    }
+}
+
+void
+JobServer::cancelClientJobs(std::uint64_t clientId)
+{
+    std::vector<std::shared_ptr<ServerJob>> victims;
+    {
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        for (auto &entry : jobs_) {
+            ServerJob::State s = entry.second->state.load();
+            if (entry.second->clientId == clientId &&
+                s != ServerJob::State::Done &&
+                s != ServerJob::State::Cancelled)
+                victims.push_back(entry.second);
+        }
+    }
+    for (const std::shared_ptr<ServerJob> &job : victims) {
+        job->control.cancel();
+        if (std::shared_ptr<ServerJob> queued = queue_.remove(job->id)) {
+            queued->state.store(ServerJob::State::Cancelled);
+            retireJob(queued);
+            takeSubmitter(queued->id);
+        }
+    }
+}
+
+void
+JobServer::schedulerLoop()
+{
+    while (std::shared_ptr<ServerJob> job = queue_.pop()) {
+        if (stopping_.load() || job->control.cancelled()) {
+            job->state.store(ServerJob::State::Cancelled);
+            retireJob(job);
+            if (std::shared_ptr<Connection> submitter =
+                    takeSubmitter(job->id))
+                submitter->write("CANCELLED " + std::to_string(job->id) +
+                                 "\n");
+            continue;
+        }
+        job->state.store(ServerJob::State::Running);
+
+        std::ostringstream out;
+        ExperimentRunOptions opt;
+        opt.csv = job->csv;
+        opt.runner = &runner_;
+        opt.control = &job->control;
+        bool completed = runExperiment(job->exp, out, opt);
+
+        job->exp = Experiment{}; // the bound grid can be large
+        std::shared_ptr<Connection> submitter = takeSubmitter(job->id);
+        if (!completed) {
+            job->state.store(ServerJob::State::Cancelled);
+            retireJob(job);
+            if (submitter)
+                submitter->write("CANCELLED " + std::to_string(job->id) +
+                                 "\n");
+            continue;
+        }
+        job->done.store(job->total);
+        job->state.store(ServerJob::State::Done);
+        retireJob(job);
+        if (submitter) {
+            const std::string payload = out.str();
+            submitter->write("RESULT " + std::to_string(job->id) + " " +
+                             std::to_string(payload.size()) + "\n" +
+                             payload + "DONE " + std::to_string(job->id) +
+                             "\n");
+        }
+    }
+}
+
+} // namespace server
+} // namespace impsim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The impsim sweep job server.
+ *
+ * JobServer listens on a Unix-domain socket (and optionally loopback
+ * TCP), speaks the line-oriented protocol in server/protocol.hpp, and
+ * executes submitted experiment configs through one shared SweepRunner
+ * pool. Jobs are validated at SUBMIT time with the same ConfigFile
+ * binder as `impsim_cli --config --check` (diagnostics streamed back
+ * verbatim), queued through a bounded FairJobQueue (round-robin across
+ * clients, ERROR on overflow = backpressure), and executed one at a
+ * time by a scheduler thread — each job's sweep parallelises across
+ * the pool internally, so results stay bit-identical to an in-process
+ * run while the machine stays fully busy.
+ *
+ * Protocol reference and failure modes: docs/job_server.md.
+ */
+#ifndef IMPSIM_SERVER_JOB_SERVER_HPP
+#define IMPSIM_SERVER_JOB_SERVER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/job_queue.hpp"
+#include "server/protocol.hpp"
+#include "sim/sweep_runner.hpp"
+
+namespace impsim {
+namespace server {
+
+/** Listener endpoints and execution limits. */
+struct JobServerConfig
+{
+    /** Unix-domain socket path; empty disables the Unix listener. */
+    std::string socketPath;
+    /**
+     * Loopback TCP port; -1 disables, 0 binds an ephemeral port
+     * (read back with JobServer::tcpPort()).
+     */
+    int tcpPort = -1;
+    /** SweepRunner width; 0 = hardware concurrency. */
+    unsigned workers = 0;
+    /** Max jobs queued (excluding the running one) before ERROR. */
+    std::size_t queueCapacity = 16;
+};
+
+/**
+ * A running job server. start() binds and spawns the listener,
+ * per-connection and scheduler threads; stop() (or the destructor)
+ * cancels outstanding jobs and joins everything. Thread-safe to
+ * cancel from any client; jobs of a disconnecting client are
+ * cancelled automatically.
+ */
+class JobServer
+{
+  public:
+    explicit JobServer(JobServerConfig cfg);
+    ~JobServer();
+
+    JobServer(const JobServer &) = delete;
+    JobServer &operator=(const JobServer &) = delete;
+
+    /** Binds listeners and starts serving. @throws std::runtime_error */
+    void start();
+
+    /** Idempotent; cancels jobs, closes sockets, joins threads. */
+    void stop();
+
+    /** Actual TCP port once started (0 when TCP is disabled). */
+    std::uint16_t tcpPort() const { return tcpPort_; }
+    const JobServerConfig &config() const { return cfg_; }
+
+  private:
+    /**
+     * One client socket. All writes serialize on writeMutex. The fd
+     * is only *closed* (swapped to -1, under writeMutex) after its
+     * reader thread has been joined — by the accept-loop reaper or by
+     * stop() — so a late RESULT write from the scheduler either wins
+     * the lock while the fd is live or observes -1, never a recycled
+     * descriptor. shutdown(), by contrast, is safe without the lock
+     * (the fd stays valid) and is how both the reader's exit path and
+     * stop() unblock a send() in flight — stop() must NOT take
+     * writeMutex there, or a scheduler blocked in send() would hold
+     * it and deadlock the shutdown that was meant to free it.
+     */
+    struct Connection
+    {
+        std::atomic<int> fd{-1};
+        std::uint64_t clientId = 0;
+        std::mutex writeMutex;
+        std::atomic<bool> done{false};
+
+        /** Serialized write. @return false on a closed/broken peer. */
+        bool write(const std::string &s);
+        /** Wakes blocked reads/writes; never closes. Lock-free. */
+        void shutdownFd();
+        /** Closes; only call once the reader thread is joined. */
+        void closeFd();
+    };
+
+    void listenLoop(int listenFd);
+    void connectionLoop(std::shared_ptr<Connection> conn);
+    void schedulerLoop();
+
+    void handleSubmit(Connection &conn, LineReader &reader,
+                      const std::vector<std::string> &tokens);
+    void handleStatus(Connection &conn,
+                      const std::vector<std::string> &tokens);
+    void handleCancel(Connection &conn,
+                      const std::vector<std::string> &tokens);
+    /** Cancels every unfinished job submitted by @p clientId. */
+    void cancelClientJobs(std::uint64_t clientId);
+    /**
+     * Marks @p job finished for bookkeeping: it stays visible to
+     * STATUS until kRetainFinishedJobs newer jobs have finished, then
+     * falls out of jobs_ — bounding the map on a long-lived server.
+     */
+    void retireJob(const std::shared_ptr<ServerJob> &job);
+    std::shared_ptr<ServerJob> findJob(const std::string &idToken);
+    /** The submitting connection of @p jobId, unregistered. */
+    std::shared_ptr<Connection> takeSubmitter(std::uint64_t jobId);
+
+    /** The full ERROR frame (header line + payload) for @p message. */
+    static std::string errorFrame(std::string message);
+
+    JobServerConfig cfg_;
+    SweepRunner runner_;
+    FairJobQueue queue_;
+
+    std::vector<int> listenFds_;
+    int wakePipe_[2] = {-1, -1};
+    std::uint16_t tcpPort_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    std::vector<std::thread> listenThreads_;
+    std::thread schedulerThread_;
+
+    struct ConnSlot
+    {
+        std::shared_ptr<Connection> conn;
+        std::thread thread;
+    };
+    std::mutex connMutex_;
+    std::vector<ConnSlot> connections_;
+    std::uint64_t nextClientId_ = 1;
+
+    static constexpr std::size_t kRetainFinishedJobs = 1024;
+
+    std::mutex jobsMutex_;
+    std::map<std::uint64_t, std::shared_ptr<ServerJob>> jobs_;
+    /** Finished ids in completion order, oldest evicted first. */
+    std::deque<std::uint64_t> retired_;
+    /** Submitting connection per unfinished job (result delivery). */
+    std::map<std::uint64_t, std::shared_ptr<Connection>> jobConns_;
+    std::uint64_t nextJobId_ = 1;
+};
+
+} // namespace server
+} // namespace impsim
+
+#endif // IMPSIM_SERVER_JOB_SERVER_HPP

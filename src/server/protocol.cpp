@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Wire-protocol framing and blocking socket I/O.
+ */
+#include "server/protocol.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace impsim {
+namespace server {
+
+namespace {
+
+bool
+needsEscape(unsigned char c)
+{
+    return c == '%' || c == ' ' || c < 0x20 || c == 0x7f;
+}
+
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+/** Parses a non-negative decimal token; false on anything else. */
+bool
+parseNumber(const std::string &s, std::uint64_t &out,
+            std::uint64_t max = UINT64_MAX)
+{
+    if (s.empty() || s.size() > 20 ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        auto d = static_cast<std::uint64_t>(c - '0');
+        // Full uint64 range must parse (a --seed accepted by the CLI
+        // has to survive the --submit round trip), so check overflow
+        // instead of capping the digit count at 19.
+        if (v > (UINT64_MAX - d) / 10)
+            return false;
+        v = v * 10 + d;
+    }
+    if (v > max)
+        return false;
+    out = v;
+    return true;
+}
+
+/** Renders @p v with enough digits to round-trip through stod(). */
+std::string
+exactDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+escapeToken(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        if (needsEscape(c)) {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02X", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeToken(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '%' && i + 2 < s.size()) {
+            int hi = hexVal(s[i + 1]), lo = hexVal(s[i + 2]);
+            if (hi >= 0 && lo >= 0) {
+                out += static_cast<char>(hi * 16 + lo);
+                i += 2;
+                continue;
+            }
+        }
+        out += s[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitTokens(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        std::size_t j = line.find(' ', i);
+        if (j == std::string::npos)
+            j = line.size();
+        if (j > i)
+            tokens.push_back(line.substr(i, j - i));
+        i = j + 1;
+    }
+    return tokens;
+}
+
+bool
+parseSubmitLine(const std::vector<std::string> &tokens, SubmitRequest &out,
+                std::string &error)
+{
+    if (tokens.size() < 2) {
+        error = "SUBMIT needs a byte count";
+        return false;
+    }
+    // Cap submissions at 4 MiB: far beyond any real experiment file,
+    // small enough that a garbage count cannot balloon the server.
+    std::uint64_t nbytes = 0;
+    if (!parseNumber(tokens[1], nbytes, 4u << 20)) {
+        error = "SUBMIT byte count '" + tokens[1] +
+                "' is not a number in [0, 4194304]";
+        return false;
+    }
+    out.configBytes = static_cast<std::size_t>(nbytes);
+
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        std::size_t eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            error = "SUBMIT option '" + tok + "' is not key=value";
+            return false;
+        }
+        std::string key = tok.substr(0, eq);
+        std::string value = unescapeToken(tok.substr(eq + 1));
+        std::uint64_t num = 0;
+
+        if (key == "origin") {
+            out.origin = value;
+        } else if (key == "csv") {
+            out.csv = (value == "1" || value == "true");
+        } else if (key == "app") {
+            out.cli.app = value;
+        } else if (key == "preset") {
+            out.cli.preset = value;
+        } else if (key == "l1") {
+            out.cli.l1Prefetcher = value;
+        } else if (key == "l2") {
+            out.cli.l2Prefetcher = value;
+        } else if (key == "ooo") {
+            out.cli.outOfOrder = (value == "1" || value == "true");
+        } else if (key == "scale") {
+            try {
+                std::size_t used = 0;
+                double v = std::stod(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+                out.cli.scale = v;
+            } catch (const std::exception &) {
+                error = "SUBMIT scale '" + value + "' is not a number";
+                return false;
+            }
+        } else if (key == "seed") {
+            if (!parseNumber(value, num)) {
+                error = "SUBMIT seed '" + value + "' is not a number";
+                return false;
+            }
+            out.cli.seed = num;
+        } else if (key == "cores" || key == "pt" || key == "ipd" ||
+                   key == "distance") {
+            if (!parseNumber(value, num, UINT32_MAX)) {
+                error = "SUBMIT " + key + " '" + value +
+                        "' is not a 32-bit number";
+                return false;
+            }
+            auto v = static_cast<std::uint32_t>(num);
+            if (key == "cores")
+                out.cli.cores = v;
+            else if (key == "pt")
+                out.cli.pt = v;
+            else if (key == "ipd")
+                out.cli.ipd = v;
+            else
+                out.cli.distance = v;
+        } else {
+            error = "SUBMIT option '" + key + "' is unknown";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+formatSubmitLine(const SubmitRequest &req)
+{
+    std::string line = "SUBMIT " + std::to_string(req.configBytes);
+    line += " origin=" + escapeToken(req.origin);
+    if (req.csv)
+        line += " csv=1";
+    const CliOverrides &c = req.cli;
+    if (c.app)
+        line += " app=" + escapeToken(*c.app);
+    if (c.preset)
+        line += " preset=" + escapeToken(*c.preset);
+    if (c.cores)
+        line += " cores=" + std::to_string(*c.cores);
+    if (c.scale)
+        line += " scale=" + exactDouble(*c.scale);
+    if (c.seed)
+        line += " seed=" + std::to_string(*c.seed);
+    if (c.outOfOrder && *c.outOfOrder)
+        line += " ooo=1";
+    if (c.pt)
+        line += " pt=" + std::to_string(*c.pt);
+    if (c.ipd)
+        line += " ipd=" + std::to_string(*c.ipd);
+    if (c.distance)
+        line += " distance=" + std::to_string(*c.distance);
+    if (c.l1Prefetcher)
+        line += " l1=" + escapeToken(*c.l1Prefetcher);
+    if (c.l2Prefetcher)
+        line += " l2=" + escapeToken(*c.l2Prefetcher);
+    return line;
+}
+
+bool
+writeAll(int fd, const void *buf, std::size_t n)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (n > 0) {
+        ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+writeAll(int fd, const std::string &s)
+{
+    return writeAll(fd, s.data(), s.size());
+}
+
+bool
+LineReader::fill()
+{
+    if (pos_ > 0) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    char chunk[4096];
+    for (;;) {
+        ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0)
+            return false;
+        buf_.append(chunk, static_cast<std::size_t>(r));
+        return true;
+    }
+}
+
+bool
+LineReader::readLine(std::string &line)
+{
+    // Frame lines are short (commands + escaped tokens); a peer
+    // streaming unbounded bytes with no newline must not grow the
+    // buffer until the process OOMs — this is untrusted input.
+    constexpr std::size_t kMaxLine = 64 * 1024;
+    for (;;) {
+        std::size_t nl = buf_.find('\n', pos_);
+        if (nl != std::string::npos) {
+            if (nl - pos_ > kMaxLine)
+                return false;
+            line.assign(buf_, pos_, nl - pos_);
+            pos_ = nl + 1;
+            return true;
+        }
+        if (buf_.size() - pos_ > kMaxLine)
+            return false;
+        if (!fill())
+            return false;
+    }
+}
+
+bool
+LineReader::readBytes(std::string &out, std::size_t n)
+{
+    while (buf_.size() - pos_ < n) {
+        if (!fill())
+            return false;
+    }
+    out.assign(buf_, pos_, n);
+    pos_ += n;
+    return true;
+}
+
+} // namespace server
+} // namespace impsim

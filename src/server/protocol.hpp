@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The impsim job-server wire protocol: line-oriented framing over a
+ * byte stream (Unix-domain or TCP socket).
+ *
+ * Every frame is one `\n`-terminated ASCII line of space-separated
+ * tokens, optionally followed by a byte-counted payload announced on
+ * the line. Tokens never contain spaces; values that might (file
+ * names, diagnostics) are percent-escaped with escapeToken(). The
+ * full protocol reference with examples is docs/job_server.md.
+ *
+ * Client -> server:
+ *   SUBMIT <nbytes> [key=value ...]   then <nbytes> of config text
+ *   STATUS <id>
+ *   CANCEL <id>
+ *
+ * Server -> client:
+ *   IMPSIM <version>                  greeting on connect
+ *   QUEUED <id>                       SUBMIT accepted
+ *   ERROR <nbytes>                    then <nbytes> of diagnostics
+ *   STATUS <id> <state> <done>/<total>
+ *   CANCELLING <id>                   CANCEL accepted
+ *   RESULT <id> <nbytes>              then <nbytes> of report/CSV
+ *   DONE <id>                         after a RESULT payload
+ *   CANCELLED <id>                    job ended without a result
+ */
+#ifndef IMPSIM_SERVER_PROTOCOL_HPP
+#define IMPSIM_SERVER_PROTOCOL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config_file.hpp"
+
+namespace impsim {
+namespace server {
+
+/** Protocol version announced in the greeting line. */
+inline constexpr int kProtocolVersion = 1;
+
+/**
+ * Percent-escapes @p s so it is a single space-free token: '%', ' ',
+ * and control bytes (<0x20, 0x7f) become "%XX".
+ */
+std::string escapeToken(const std::string &s);
+
+/** Reverses escapeToken(); malformed escapes are kept literally. */
+std::string unescapeToken(const std::string &s);
+
+/** Splits a frame line at single spaces; no empty tokens kept. */
+std::vector<std::string> splitTokens(const std::string &line);
+
+/**
+ * A parsed SUBMIT request line. The config text itself travels as
+ * the byte-counted payload after the line; everything else — where
+ * the text came from and which CLI-style overrides to apply — rides
+ * on the line as key=value tokens so a submitted job binds exactly
+ * like `impsim_cli --config` with the same flags.
+ */
+struct SubmitRequest
+{
+    /** Payload length in bytes (the raw config text). */
+    std::size_t configBytes = 0;
+    /** Name used in diagnostics, e.g. the client-side file path. */
+    std::string origin = "<submit>";
+    /** Force CSV output for single-run configs (the CLI's --csv). */
+    bool csv = false;
+    /** Flag overrides, identical semantics to the CLI's. */
+    CliOverrides cli;
+};
+
+/**
+ * Parses the tokens of a "SUBMIT ..." line (tokens[0] == "SUBMIT").
+ * Recognised keys: origin, csv, app, preset, cores, scale, seed,
+ * ooo, pt, ipd, distance, l1, l2.
+ * @return false and sets @p error on any malformed token.
+ */
+bool parseSubmitLine(const std::vector<std::string> &tokens,
+                     SubmitRequest &out, std::string &error);
+
+/** Serializes @p req back into a SUBMIT line (no trailing newline). */
+std::string formatSubmitLine(const SubmitRequest &req);
+
+// ---- Blocking socket I/O helpers ----------------------------------
+
+/**
+ * Writes all @p n bytes to @p fd (send with MSG_NOSIGNAL, retrying
+ * short writes and EINTR). @return false on any error, e.g. the peer
+ * hung up.
+ */
+bool writeAll(int fd, const void *buf, std::size_t n);
+
+/** writeAll() for a string. */
+bool writeAll(int fd, const std::string &s);
+
+/**
+ * Buffered reader for one socket: lines and byte-counted payloads
+ * off the same stream.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /**
+     * Reads up to and including the next '\n'; the newline is
+     * stripped from @p line. @return false on EOF/error with no
+     * (partial) line.
+     */
+    bool readLine(std::string &line);
+
+    /** Reads exactly @p n payload bytes. @return false on EOF/error. */
+    bool readBytes(std::string &out, std::size_t n);
+
+  private:
+    bool fill();
+
+    int fd_;
+    std::string buf_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace server
+} // namespace impsim
+
+#endif // IMPSIM_SERVER_PROTOCOL_HPP

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment execution shared by the CLI, the job server and tests.
+ */
+#include "sim/experiment_runner.hpp"
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <tuple>
+#include <vector>
+
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace impsim {
+
+bool
+runExperiment(const Experiment &exp, std::ostream &os,
+              const ExperimentRunOptions &opt)
+{
+    SweepControl *ctl = opt.control;
+    if (ctl && ctl->cancelled())
+        return false;
+
+    // One workload per distinct (app, cores, swpf, scale, seed).
+    using WorkloadKey =
+        std::tuple<AppId, std::uint32_t, bool, double, std::uint64_t>;
+    std::map<WorkloadKey, std::unique_ptr<Workload>> workloads;
+    auto workloadFor = [&](const ExperimentRun &r) -> Workload & {
+        auto &slot = workloads[WorkloadKey{r.app, r.cfg.numCores,
+                                           r.swPrefetch, r.scale, r.seed}];
+        if (!slot) {
+            WorkloadParams params;
+            params.numCores = r.cfg.numCores;
+            params.swPrefetch = r.swPrefetch;
+            params.scale = r.scale;
+            params.seed = r.seed;
+            slot = std::make_unique<Workload>(makeWorkload(r.app, params));
+        }
+        return *slot;
+    };
+
+    if (exp.runs.size() == 1 && !opt.csv) {
+        const ExperimentRun &r = exp.runs[0];
+        Workload &w = workloadFor(r);
+        if (ctl && ctl->cancelled())
+            return false;
+        System sys(r.cfg, w.traces, *w.mem);
+        SimStats s = sys.run();
+        if (ctl && ctl->onProgress)
+            ctl->onProgress(1, 1);
+        writeReport(os, r.label, s);
+        return true;
+    }
+
+    std::vector<SweepJob> sweep;
+    for (const ExperimentRun &r : exp.runs) {
+        Workload &w = workloadFor(r);
+        sweep.push_back(SweepJob{r.label, r.cfg, &w.traces, w.mem.get()});
+    }
+    if (ctl && ctl->cancelled())
+        return false;
+
+    std::vector<SweepResult> results;
+    if (opt.runner) {
+        results = opt.runner->run(sweep, ctl);
+    } else {
+        results = SweepRunner(opt.jobs).run(sweep, ctl);
+    }
+    if (ctl && ctl->cancelled())
+        return false;
+
+    writeCsvHeader(os);
+    for (const SweepResult &r : results)
+        writeCsvRow(os, r.name, r.stats);
+    return true;
+}
+
+} // namespace impsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Executes a bound Experiment and writes its report or CSV.
+ *
+ * This is the single code path behind every driver — `impsim_cli
+ * --config`, the job server, and the golden-regression tests — so
+ * their outputs are bit-identical by construction: one expanded run
+ * prints the full report (unless forced to CSV), several fan out over
+ * a SweepRunner and print one CSV row per run, in sweep order.
+ */
+#ifndef IMPSIM_SIM_EXPERIMENT_RUNNER_HPP
+#define IMPSIM_SIM_EXPERIMENT_RUNNER_HPP
+
+#include <iosfwd>
+
+#include "common/config_file.hpp"
+#include "sim/sweep_runner.hpp"
+
+namespace impsim {
+
+/** How to execute one Experiment. */
+struct ExperimentRunOptions
+{
+    /** Force CSV output even for a single expanded run. */
+    bool csv = false;
+    /** Worker count when no shared runner is given; 0 = hardware. */
+    unsigned jobs = 0;
+    /** Shared pool (the job server's); nullptr builds a private one. */
+    const SweepRunner *runner = nullptr;
+    /** Cancellation + progress hooks; nullptr = not cancellable. */
+    SweepControl *control = nullptr;
+};
+
+/**
+ * Runs every expanded run of @p exp and writes the report (single
+ * run) or CSV header + rows (sweep) to @p os. Workloads are built
+ * once per distinct (app, cores, swpf, scale, seed) within the
+ * experiment.
+ *
+ * @return false iff the experiment was cancelled through
+ *         opt.control before completing — nothing is written to
+ *         @p os in that case.
+ */
+bool runExperiment(const Experiment &exp, std::ostream &os,
+                   const ExperimentRunOptions &opt = {});
+
+} // namespace impsim
+
+#endif // IMPSIM_SIM_EXPERIMENT_RUNNER_HPP

@@ -5,6 +5,7 @@
 #include "sim/sweep_runner.hpp"
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 #include "common/logging.hpp"
@@ -22,23 +23,35 @@ SweepRunner::SweepRunner(unsigned workers) : workers_(workers)
 }
 
 std::vector<SweepResult>
-SweepRunner::run(const std::vector<SweepJob> &jobs) const
+SweepRunner::run(const std::vector<SweepJob> &jobs, SweepControl *ctl) const
 {
     for (const SweepJob &job : jobs)
         IMPSIM_CHECK(job.traces != nullptr && job.mem != nullptr,
                      "SweepJob needs traces and a memory image");
 
     std::vector<SweepResult> results(jobs.size());
+    for (SweepResult &r : results)
+        r.ran = false;
     std::atomic<std::size_t> next{0};
+    std::size_t done = 0; // guarded by progress_mutex
+    std::mutex progress_mutex;
 
     auto worker = [&]() {
         for (;;) {
+            if (ctl && ctl->cancelled())
+                return;
             std::size_t i = next.fetch_add(1);
             if (i >= jobs.size())
                 return;
             const SweepJob &job = jobs[i];
             System sys(job.cfg, *job.traces, *job.mem);
-            results[i] = SweepResult{job.name, sys.run(job.limit)};
+            results[i] = SweepResult{job.name, sys.run(job.limit), true};
+            if (ctl && ctl->onProgress) {
+                // Count and notify under one lock so done counts
+                // arrive strictly monotone 1..N.
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                ctl->onProgress(++done, jobs.size());
+            }
         }
     };
 

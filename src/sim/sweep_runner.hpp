@@ -13,6 +13,9 @@
 #ifndef IMPSIM_SIM_SWEEP_RUNNER_HPP
 #define IMPSIM_SIM_SWEEP_RUNNER_HPP
 
+#include <atomic>
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,6 +46,37 @@ struct SweepResult
 {
     std::string name;
     SimStats stats;
+    /** False when the batch was cancelled before this job started. */
+    bool ran = true;
+};
+
+/**
+ * Cooperative controls for one run() call: cancellation and progress.
+ *
+ * cancel() is thread-safe and may be called from any thread while the
+ * batch runs. Cancellation is between-jobs granular: workers finish
+ * the simulation they are on and stop picking up new ones, so the
+ * partially filled result vector still comes back in job order with
+ * `ran == false` on every skipped entry.
+ *
+ * onProgress (if set) is invoked with (done, total) after each job
+ * completes. Calls are serialized by the runner, but arrive on worker
+ * threads — keep the callback cheap and do not re-enter the runner.
+ */
+class SweepControl
+{
+  public:
+    void cancel() { cancel_.store(true, std::memory_order_relaxed); }
+    bool cancelled() const
+    {
+        return cancel_.load(std::memory_order_relaxed);
+    }
+
+    /** (jobs finished so far, jobs in the batch), monotone in done. */
+    std::function<void(std::size_t done, std::size_t total)> onProgress;
+
+  private:
+    std::atomic<bool> cancel_{false};
 };
 
 /** Runs batches of SweepJobs across worker threads. */
@@ -54,10 +88,20 @@ class SweepRunner
 
     /**
      * Runs every job and returns results in job order. Blocks until
-     * the whole batch is done. Config or deadlock errors inside a job
-     * terminate the process, exactly as a serial run would.
+     * the whole batch is done (or cancelled through @p ctl). Config
+     * or deadlock errors inside a job terminate the process, exactly
+     * as a serial run would.
+     *
+     * Results are indexed by job, never by completion time, so the
+     * output is bit-identical for any worker count — the invariant
+     * the golden/equivalence tests pin down.
+     *
+     * @param ctl optional cancellation + progress hooks; may be
+     *            shared with other threads but not with a concurrent
+     *            run() call.
      */
-    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs) const;
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs,
+                                 SweepControl *ctl = nullptr) const;
 
     unsigned workers() const { return workers_; }
 

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Golden-report regression tests: per-preset CSVs from a fixed-seed
+ * smoke configuration, checked in under tests/golden/, must match the
+ * current simulator bit-for-bit. A perf-motivated refactor that
+ * changes simulated results now fails here instead of slipping
+ * through silently.
+ *
+ * Regenerating after an *intentional* behavior change (one command):
+ *
+ *   IMPSIM_REGEN_GOLDEN=1 ./build/test_golden_regression
+ *
+ * then review and commit the tests/golden/*.csv diff. The regen path
+ * writes into the source tree via IMPSIM_SOURCE_DIR.
+ */
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/config_file.hpp"
+#include "sim/experiment_runner.hpp"
+
+namespace impsim {
+namespace {
+
+/** The fixed-seed smoke machine every golden run shares. */
+constexpr char kSmokeBase[] =
+    "app   = spmv\n"
+    "cores = 4\n"
+    "scale = 0.05\n"
+    "seed  = 42\n";
+
+std::string
+goldenDir()
+{
+    return std::string(IMPSIM_SOURCE_DIR) + "/tests/golden/";
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("IMPSIM_REGEN_GOLDEN");
+    return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+/** Runs config @p text (origin @p name) and returns its CSV. */
+std::string
+currentCsv(const std::string &name, const std::string &text)
+{
+    Experiment exp =
+        bindExperiment(ConfigFile::parseString(text, name));
+    std::ostringstream os;
+    ExperimentRunOptions opt;
+    opt.csv = true;
+    EXPECT_TRUE(runExperiment(exp, os, opt));
+    return os.str();
+}
+
+void
+expectMatchesGolden(const std::string &stem, const std::string &csv)
+{
+    const std::string path = goldenDir() + stem + ".csv";
+    if (regenRequested()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << csv;
+        SUCCEED() << "regenerated " << path;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << path
+                    << " is missing; regenerate with "
+                       "IMPSIM_REGEN_GOLDEN=1 ./test_golden_regression";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(csv, golden.str())
+        << "simulated results changed for " << stem
+        << "; if intentional, regenerate tests/golden/ with "
+           "IMPSIM_REGEN_GOLDEN=1 ./test_golden_regression and commit "
+           "the diff";
+}
+
+class GoldenPreset : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GoldenPreset, CsvMatchesCheckedInGolden)
+{
+    const std::string preset = GetParam();
+    const std::string text =
+        "[system]\npreset = " + preset + "\n" + kSmokeBase;
+    std::string stem = preset;
+    for (char &c : stem)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    expectMatchesGolden(stem, currentCsv("golden:" + preset, text));
+}
+
+// One golden per preset the paper's figures lean on (the partial
+// modes ride on IMP and are covered by their own suites).
+INSTANTIATE_TEST_SUITE_P(Presets, GoldenPreset,
+                         ::testing::Values("NoPref", "Base", "SWPref",
+                                           "IMP", "GHB", "PerfPref"));
+
+TEST(GoldenSweep, ShippedSmokeConfigMatchesCheckedInGolden)
+{
+    // The shipped smoke sweep (2 presets x 2 PT sizes) locks the
+    // sweep path end-to-end: expansion order, labels, CSV framing.
+    std::ifstream in(std::string(IMPSIM_SOURCE_DIR) +
+                         "/examples/configs/smoke.imp.ini",
+                     std::ios::binary);
+    ASSERT_TRUE(in);
+    std::ostringstream text;
+    text << in.rdbuf();
+    expectMatchesGolden("smoke_sweep",
+                        currentCsv("golden:smoke", text.str()));
+}
+
+} // namespace
+} // namespace impsim

@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Job-server end-to-end tests over real Unix/TCP sockets: the
+ * load-bearing invariant is that a submitted config's streamed result
+ * is bit-identical to running the same config in-process, per client,
+ * with no interleaving — plus the failure modes (malformed configs,
+ * CANCEL, queue-full backpressure) the server must survive.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/config_file.hpp"
+#include "server/client.hpp"
+#include "server/job_queue.hpp"
+#include "server/job_server.hpp"
+#include "sim/experiment_runner.hpp"
+
+namespace impsim {
+namespace {
+
+using server::FairJobQueue;
+using server::JobServer;
+using server::JobServerConfig;
+using server::LineReader;
+using server::ServerJob;
+using server::SubmitRequest;
+
+std::string
+sourcePath(const std::string &rel)
+{
+    return std::string(IMPSIM_SOURCE_DIR) + "/" + rel;
+}
+
+std::string
+smokeConfigPath()
+{
+    return sourcePath("examples/configs/smoke.imp.ini");
+}
+
+/** A unique, short (sockaddr_un-sized) socket path per test. */
+std::string
+tempSocketPath(const char *tag)
+{
+    static std::atomic<int> counter{0};
+    return "/tmp/impsim_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/** Writes @p text to a temp file and returns its path. */
+std::string
+writeTempConfig(const char *tag, const std::string &text)
+{
+    std::string path = "/tmp/impsim_cfg_" + std::string(tag) + "_" +
+                       std::to_string(::getpid()) + ".imp.ini";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+    return path;
+}
+
+/** The in-process reference output for @p path with @p cli. */
+std::string
+inProcessOutput(const std::string &path, const CliOverrides &cli = {})
+{
+    Experiment exp = bindExperiment(ConfigFile::parseFile(path), cli);
+    std::ostringstream os;
+    EXPECT_TRUE(runExperiment(exp, os));
+    return os.str();
+}
+
+/** A raw protocol connection for the tests that drive frames by hand. */
+class RawClient
+{
+  public:
+    explicit RawClient(const std::string &address) : reader_(-1)
+    {
+        std::string error;
+        fd_ = server::connectToServer(address, error);
+        EXPECT_GE(fd_, 0) << error;
+        reader_ = LineReader(fd_);
+        std::string line;
+        EXPECT_TRUE(readLine(line));
+        EXPECT_EQ(line.rfind("IMPSIM ", 0), 0u) << line;
+    }
+
+    ~RawClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool send(const std::string &bytes)
+    {
+        return server::writeAll(fd_, bytes);
+    }
+
+    bool readLine(std::string &line) { return reader_.readLine(line); }
+    bool readBytes(std::string &out, std::size_t n)
+    {
+        return reader_.readBytes(out, n);
+    }
+
+    /** SUBMITs @p text; returns the reply line ("QUEUED n" / error). */
+    std::string submit(const std::string &text,
+                       const std::string &extra = "")
+    {
+        EXPECT_TRUE(send("SUBMIT " + std::to_string(text.size()) + extra +
+                         "\n" + text));
+        std::string line;
+        EXPECT_TRUE(readLine(line));
+        if (line.rfind("ERROR ", 0) == 0) {
+            std::string payload;
+            EXPECT_TRUE(readBytes(payload, std::stoul(line.substr(6))));
+            return "ERROR " + payload;
+        }
+        return line;
+    }
+
+    /** Polls STATUS until the job reaches @p state (with timeout). */
+    bool awaitState(const std::string &id, const std::string &state)
+    {
+        for (int i = 0; i < 600; ++i) {
+            EXPECT_TRUE(send("STATUS " + id + "\n"));
+            std::string line;
+            if (!readLine(line))
+                return false;
+            if (line.rfind("STATUS " + id + " " + state, 0) == 0)
+                return true;
+            // Completion notifications can interleave with STATUS
+            // replies on this connection; skip anything else.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        return false;
+    }
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    LineReader reader_;
+};
+
+/** A 32-run single-workload sweep: long enough to cancel mid-flight. */
+std::string
+longSweepText()
+{
+    std::string pts;
+    for (int i = 1; i <= 32; ++i)
+        pts += (i > 1 ? ", " : "") + std::to_string(i);
+    return "[system]\n"
+           "app = spmv\ncores = 4\nscale = 0.05\n"
+           "[sweep]\npt = [" + pts + "]\n";
+}
+
+TEST(FairJobQueue, RoundRobinAcrossClientsAndBackpressure)
+{
+    FairJobQueue q(3);
+    auto mk = [](std::uint64_t id, std::uint64_t client) {
+        auto j = std::make_shared<ServerJob>();
+        j->id = id;
+        j->clientId = client;
+        return j;
+    };
+    // Client 1 queues two jobs before client 2's first.
+    EXPECT_TRUE(q.push(mk(1, 1)));
+    EXPECT_TRUE(q.push(mk(2, 1)));
+    EXPECT_TRUE(q.push(mk(3, 2)));
+    EXPECT_FALSE(q.push(mk(4, 2))) << "capacity 3 must refuse the 4th";
+
+    // Fair pop order interleaves clients: 1, 3, 2 — not 1, 2, 3.
+    EXPECT_EQ(q.pop()->id, 1u);
+    EXPECT_EQ(q.pop()->id, 3u);
+    EXPECT_EQ(q.pop()->id, 2u);
+    EXPECT_EQ(q.size(), 0u);
+
+    EXPECT_TRUE(q.push(mk(5, 1)));
+    std::shared_ptr<ServerJob> removed = q.remove(5);
+    ASSERT_TRUE(removed);
+    EXPECT_EQ(removed->id, 5u);
+    EXPECT_FALSE(q.remove(5));
+    EXPECT_EQ(q.size(), 0u);
+
+    q.close();
+    EXPECT_FALSE(q.push(mk(6, 1)));
+    EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(Protocol, SubmitLineRoundTripsOverridesExactly)
+{
+    // The --submit/--config bit-identity hinges on overrides
+    // surviving the wire byte-exactly: doubles must round-trip
+    // (std::to_string's 6 decimals would silently change --scale)
+    // and a full-range uint64 --seed must parse back.
+    SubmitRequest req;
+    req.configBytes = 123;
+    req.origin = "/tmp/dir with spaces/100%.imp.ini";
+    req.csv = true;
+    req.cli.app = "spmv";
+    req.cli.preset = "IMP";
+    req.cli.cores = 16u;
+    req.cli.scale = 0.012345678901234567;
+    req.cli.seed = UINT64_MAX;
+    req.cli.outOfOrder = true;
+    req.cli.pt = 8u;
+    req.cli.ipd = 4u;
+    req.cli.distance = 32u;
+    req.cli.l1Prefetcher = "imp+stream";
+    req.cli.l2Prefetcher = "stream";
+
+    const std::string line = server::formatSubmitLine(req);
+    SubmitRequest back;
+    std::string error;
+    ASSERT_TRUE(server::parseSubmitLine(server::splitTokens(line), back,
+                                        error))
+        << error << " in: " << line;
+    EXPECT_EQ(back.configBytes, req.configBytes);
+    EXPECT_EQ(back.origin, req.origin);
+    EXPECT_EQ(back.csv, req.csv);
+    EXPECT_EQ(back.cli.app, req.cli.app);
+    EXPECT_EQ(back.cli.preset, req.cli.preset);
+    EXPECT_EQ(back.cli.cores, req.cli.cores);
+    ASSERT_TRUE(back.cli.scale.has_value());
+    EXPECT_EQ(*back.cli.scale, *req.cli.scale) << "bit-exact, not close";
+    EXPECT_EQ(back.cli.seed, req.cli.seed);
+    EXPECT_EQ(back.cli.outOfOrder, req.cli.outOfOrder);
+    EXPECT_EQ(back.cli.pt, req.cli.pt);
+    EXPECT_EQ(back.cli.ipd, req.cli.ipd);
+    EXPECT_EQ(back.cli.distance, req.cli.distance);
+    EXPECT_EQ(back.cli.l1Prefetcher, req.cli.l1Prefetcher);
+    EXPECT_EQ(back.cli.l2Prefetcher, req.cli.l2Prefetcher);
+
+    // Tiny scales must not collapse to 0 on the wire.
+    SubmitRequest tiny;
+    tiny.cli.scale = 1e-7;
+    SubmitRequest tinyBack;
+    ASSERT_TRUE(server::parseSubmitLine(
+        server::splitTokens(server::formatSubmitLine(tiny)), tinyBack,
+        error))
+        << error;
+    ASSERT_TRUE(tinyBack.cli.scale.has_value());
+    EXPECT_EQ(*tinyBack.cli.scale, 1e-7);
+}
+
+TEST(JobServer, TwoConcurrentClientsGetBitIdenticalCompleteResults)
+{
+    const std::string expected = inProcessOutput(smokeConfigPath());
+    ASSERT_FALSE(expected.empty());
+    ASSERT_NE(expected.find("label,"), std::string::npos);
+
+    JobServerConfig cfg;
+    cfg.socketPath = tempSocketPath("pair");
+    cfg.workers = 2;
+    JobServer srv(cfg);
+    srv.start();
+
+    std::string got[2];
+    int code[2] = {-1, -1};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 2; ++c) {
+        clients.emplace_back([&, c] {
+            std::ostringstream out, err;
+            code[c] = server::submitAndWait(cfg.socketPath,
+                                            smokeConfigPath(),
+                                            SubmitRequest{}, out, err);
+            got[c] = out.str();
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    srv.stop();
+
+    for (int c = 0; c < 2; ++c) {
+        EXPECT_EQ(code[c], 0);
+        // Bit-identical to the in-process run — and therefore also
+        // complete and non-interleaved with the other client's rows.
+        EXPECT_EQ(got[c], expected) << "client " << c;
+    }
+}
+
+TEST(JobServer, Fig14PanelOverTheSocketMatchesInProcess)
+{
+    // The acceptance pairing: `--submit examples/configs/fig14.imp.ini`
+    // against `--config` with identical override flags (narrowed to a
+    // test-sized panel: the pt axis survives, 3 runs).
+    CliOverrides cli;
+    cli.app = "spmv";
+    cli.cores = 4u;
+    cli.scale = 0.05;
+    const std::string fig14 = sourcePath("examples/configs/fig14.imp.ini");
+    const std::string expected = inProcessOutput(fig14, cli);
+
+    JobServerConfig cfg;
+    cfg.socketPath = tempSocketPath("fig14");
+    JobServer srv(cfg);
+    srv.start();
+
+    SubmitRequest req;
+    req.cli = cli;
+    std::ostringstream out, err;
+    EXPECT_EQ(server::submitAndWait(cfg.socketPath, fig14, req, out, err),
+              0)
+        << err.str();
+    srv.stop();
+    EXPECT_EQ(out.str(), expected);
+}
+
+TEST(JobServer, MalformedConfigEchoesDiagnosticAndServerSurvives)
+{
+    JobServerConfig cfg;
+    cfg.socketPath = tempSocketPath("diag");
+    JobServer srv(cfg);
+    srv.start();
+
+    // An unknown key, rejected by the binder with file:line:col.
+    const std::string bad = writeTempConfig(
+        "bad", "[system]\napp = spmv\nbogus_knob = 7\n");
+    std::ostringstream out, err;
+    EXPECT_EQ(server::submitAndWait(cfg.socketPath, bad, SubmitRequest{},
+                                    out, err),
+              1);
+    EXPECT_TRUE(out.str().empty());
+    // The diagnostic names the client-side file and the offending line.
+    EXPECT_NE(err.str().find(bad + ":3"), std::string::npos) << err.str();
+
+    // A syntax error (not just a binder error) too.
+    const std::string garbage =
+        writeTempConfig("garbage", "[system\napp = spmv\n");
+    std::ostringstream out2, err2;
+    EXPECT_EQ(server::submitAndWait(cfg.socketPath, garbage,
+                                    SubmitRequest{}, out2, err2),
+              1);
+    EXPECT_NE(err2.str().find(garbage + ":1"), std::string::npos)
+        << err2.str();
+
+    // The server survives both and still executes real work.
+    std::ostringstream out3, err3;
+    EXPECT_EQ(server::submitAndWait(cfg.socketPath, smokeConfigPath(),
+                                    SubmitRequest{}, out3, err3),
+              0)
+        << err3.str();
+    EXPECT_EQ(out3.str(), inProcessOutput(smokeConfigPath()));
+    srv.stop();
+    std::remove(bad.c_str());
+    std::remove(garbage.c_str());
+}
+
+TEST(JobServer, CancelMidSweepStopsTheJobAndReportsCancelled)
+{
+    JobServerConfig cfg;
+    cfg.socketPath = tempSocketPath("cancel");
+    cfg.workers = 1; // serialize the sweep so it cannot outrun CANCEL
+    JobServer srv(cfg);
+    srv.start();
+
+    RawClient client(cfg.socketPath);
+    std::string reply = client.submit(longSweepText());
+    ASSERT_EQ(reply.rfind("QUEUED ", 0), 0u) << reply;
+    const std::string id = reply.substr(7);
+
+    ASSERT_TRUE(client.awaitState(id, "running"));
+    ASSERT_TRUE(client.send("CANCEL " + id + "\n"));
+
+    // Everything after the CANCEL must be CANCELLING + CANCELLED —
+    // never a RESULT — though stale STATUS replies may still arrive.
+    bool sawCancelling = false, sawCancelled = false;
+    std::string line;
+    while (!sawCancelled && client.readLine(line)) {
+        ASSERT_EQ(line.rfind("RESULT", 0), std::string::npos)
+            << "cancelled job must not deliver: " << line;
+        if (line == "CANCELLING " + id)
+            sawCancelling = true;
+        else if (line == "CANCELLED " + id)
+            sawCancelled = true;
+    }
+    EXPECT_TRUE(sawCancelling);
+    EXPECT_TRUE(sawCancelled);
+
+    // And the job's terminal state is visible to later STATUS polls.
+    ASSERT_TRUE(client.awaitState(id, "cancelled"));
+    srv.stop();
+}
+
+TEST(JobServer, QueueFullBackpressureRefusesSubmitWithError)
+{
+    JobServerConfig cfg;
+    cfg.socketPath = tempSocketPath("full");
+    cfg.workers = 1;
+    cfg.queueCapacity = 1;
+    JobServer srv(cfg);
+    srv.start();
+
+    RawClient client(cfg.socketPath);
+    const std::string sweep = longSweepText();
+
+    // Job 1 occupies the scheduler...
+    std::string r1 = client.submit(sweep);
+    ASSERT_EQ(r1.rfind("QUEUED ", 0), 0u) << r1;
+    const std::string id1 = r1.substr(7);
+    ASSERT_TRUE(client.awaitState(id1, "running"));
+
+    // ...job 2 fills the 1-slot queue...
+    std::string r2 = client.submit(sweep);
+    ASSERT_EQ(r2.rfind("QUEUED ", 0), 0u) << r2;
+    const std::string id2 = r2.substr(7);
+
+    // ...and job 3 is refused with backpressure, not queued.
+    std::string r3 = client.submit(sweep);
+    EXPECT_EQ(r3.rfind("ERROR ", 0), 0u) << r3;
+    EXPECT_NE(r3.find("queue full"), std::string::npos) << r3;
+
+    // The refusal didn't corrupt the stream: CANCEL both live jobs.
+    ASSERT_TRUE(client.send("CANCEL " + id2 + "\n"));
+    ASSERT_TRUE(client.send("CANCEL " + id1 + "\n"));
+    ASSERT_TRUE(client.awaitState(id1, "cancelled"));
+    ASSERT_TRUE(client.awaitState(id2, "cancelled"));
+    srv.stop();
+}
+
+TEST(JobServer, TcpListenerServesTheSameProtocol)
+{
+    JobServerConfig cfg;
+    cfg.tcpPort = 0; // ephemeral loopback port
+    JobServer srv(cfg);
+    srv.start();
+    ASSERT_NE(srv.tcpPort(), 0);
+
+    std::ostringstream out, err;
+    EXPECT_EQ(server::submitAndWait(
+                  "tcp:127.0.0.1:" + std::to_string(srv.tcpPort()),
+                  smokeConfigPath(), SubmitRequest{}, out, err),
+              0)
+        << err.str();
+    srv.stop();
+    EXPECT_EQ(out.str(), inProcessOutput(smokeConfigPath()));
+}
+
+TEST(JobServer, StopWithInFlightWorkShutsDownPromptly)
+{
+    JobServerConfig cfg;
+    cfg.socketPath = tempSocketPath("stop");
+    cfg.workers = 1;
+    JobServer srv(cfg);
+    srv.start();
+
+    RawClient client(cfg.socketPath);
+    std::string r1 = client.submit(longSweepText());
+    ASSERT_EQ(r1.rfind("QUEUED ", 0), 0u) << r1;
+    std::string r2 = client.submit(longSweepText());
+    ASSERT_EQ(r2.rfind("QUEUED ", 0), 0u) << r2;
+
+    // stop() cancels both jobs at the next simulation boundary and
+    // joins every thread; the ctest TIMEOUT turns a deadlock into a
+    // failure instead of a hung suite.
+    srv.stop();
+}
+
+} // namespace
+} // namespace impsim

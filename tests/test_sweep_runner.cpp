@@ -96,6 +96,74 @@ TEST(SweepRunner, EmptyBatchIsFine)
     EXPECT_TRUE(SweepRunner(2).run({}).empty());
 }
 
+TEST(SweepRunner, ResultOrderingIsDeterministicAcrossWorkerCounts)
+{
+    // The golden and server-equivalence tests depend on CSV row order
+    // never varying with --jobs: results are indexed by job, not by
+    // completion time, so no completion race can reorder them. Pin
+    // the full label sequence for every worker count against the
+    // declared job order.
+    std::vector<SweepJob> jobs = sweepJobs();
+    std::vector<std::string> declared;
+    for (const SweepJob &job : jobs)
+        declared.push_back(job.name);
+
+    for (unsigned workers : {1u, 2u, 3u, 4u, 8u}) {
+        std::vector<SweepResult> results = SweepRunner(workers).run(jobs);
+        std::vector<std::string> labels;
+        for (const SweepResult &r : results)
+            labels.push_back(r.name);
+        EXPECT_EQ(labels, declared) << workers << " workers";
+    }
+}
+
+TEST(SweepRunner, CancelBeforeRunSkipsEveryJob)
+{
+    std::vector<SweepJob> jobs = sweepJobs();
+    SweepControl ctl;
+    ctl.cancel();
+    std::vector<SweepResult> results = SweepRunner(2).run(jobs, &ctl);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (const SweepResult &r : results)
+        EXPECT_FALSE(r.ran);
+}
+
+TEST(SweepRunner, ProgressReportsEveryCompletionInOrder)
+{
+    std::vector<SweepJob> jobs = sweepJobs();
+    SweepControl ctl;
+    std::vector<std::size_t> seen;
+    ctl.onProgress = [&](std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, jobs.size());
+        seen.push_back(done);
+    };
+    std::vector<SweepResult> results = SweepRunner(2).run(jobs, &ctl);
+    for (const SweepResult &r : results)
+        EXPECT_TRUE(r.ran);
+    // Calls are serialized and done counts are monotone 1..N.
+    ASSERT_EQ(seen.size(), jobs.size());
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i + 1);
+}
+
+TEST(SweepRunner, CancelMidBatchStopsPickingUpNewJobs)
+{
+    // Cancel from inside the progress callback after the first
+    // completion: with one worker the remaining jobs must be skipped,
+    // deterministically.
+    std::vector<SweepJob> jobs = sweepJobs();
+    SweepControl ctl;
+    ctl.onProgress = [&](std::size_t done, std::size_t) {
+        if (done == 1)
+            ctl.cancel();
+    };
+    std::vector<SweepResult> results = SweepRunner(1).run(jobs, &ctl);
+    ASSERT_EQ(results.size(), jobs.size());
+    EXPECT_TRUE(results[0].ran);
+    for (std::size_t i = 1; i < results.size(); ++i)
+        EXPECT_FALSE(results[i].ran) << "job " << i;
+}
+
 TEST(SweepRunner, Fig9PresetListBitIdenticalAtTwoJobs)
 {
     // The fig9 grid sweeps {PerfPref, Base, IMP, SWPref}; SWPref runs

@@ -11,7 +11,10 @@
  *              [--ooo] [--csv] [--pt N] [--ipd N] [--distance N]
  *              [--seed N] [--jobs N] [--prefetcher SPEC[,SPEC...]]
  *              [--l2-prefetcher SPEC[,SPEC...]]
- *   impsim_cli --submit FILE --server ADDR [override flags as above]
+ *   impsim_cli --submit FILE --server ADDR [--priority N]
+ *              [override flags as above]
+ *   impsim_cli --fetch ID --server ADDR
+ *   impsim_cli --list --server ADDR
  *
  * Flags accept both "--flag value" and "--flag=value".
  *
@@ -20,7 +23,14 @@
  * the result back; the output is bit-identical to running
  * `impsim_cli --config FILE` in-process with the same flags, because
  * both ends execute the same experiment runner. Override flags are
- * forwarded with the submission (docs/job_server.md).
+ * forwarded with the submission (docs/job_server.md). --priority N
+ * (1..100, default 1) jumps the queue ahead of lower-priority jobs
+ * and weights the server's worker-pool share while running.
+ *
+ * --fetch ID re-reads a finished job's stored result — the exact
+ * bytes the original RESULT stream carried — so a client that
+ * disconnected mid-job (or the next morning) loses nothing. --list
+ * prints every job the server knows, live and archived.
  *
  * --config FILE loads a declarative experiment (sections [system],
  * [imp], [gp], [stream], [ghb], [prefetch], [sweep]; reference in
@@ -229,6 +239,9 @@ main(int argc, char **argv)
     std::string config;
     std::string submit;
     std::string serverAddr;
+    std::string fetchId;
+    bool list = false;
+    std::uint32_t priority = 0;
     bool check = false;
     std::string appName_;
     std::string presets;
@@ -269,6 +282,22 @@ main(int argc, char **argv)
             submit = next();
         else if (a == "--server")
             serverAddr = next();
+        else if (a == "--fetch")
+            fetchId = next();
+        else if (a == "--list") {
+            if (has_inline) {
+                std::fprintf(stderr, "%s takes no value\n", a.c_str());
+                return 1;
+            }
+            list = true;
+        }
+        else if (a == "--priority") {
+            priority = parseU32(a, next());
+            if (priority < 1 || priority > 100) {
+                std::fprintf(stderr, "--priority must be in [1, 100]\n");
+                return 1;
+            }
+        }
         else if (a == "--app")
             appName_ = next();
         else if (a == "--preset")
@@ -317,15 +346,30 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--check needs --config FILE\n");
         return 1;
     }
-    if (submit.empty() != serverAddr.empty()) {
+    if ((!submit.empty()) + (!fetchId.empty()) + (list ? 1 : 0) +
+            (!config.empty()) >
+        1) {
         std::fprintf(stderr,
-                     "--submit FILE and --server ADDR go together\n");
+                     "--submit, --fetch, --list and --config are "
+                     "exclusive\n");
         return 1;
     }
-    if (!submit.empty() && !config.empty()) {
-        std::fprintf(stderr, "--submit and --config are exclusive\n");
+    const bool wantsServer = !submit.empty() || !fetchId.empty() || list;
+    if (wantsServer != !serverAddr.empty()) {
+        std::fprintf(stderr, "--submit/--fetch/--list and --server ADDR "
+                             "go together\n");
         return 1;
     }
+    if (priority && submit.empty()) {
+        std::fprintf(stderr, "--priority needs --submit\n");
+        return 1;
+    }
+
+    if (!fetchId.empty())
+        return server::fetchResult(serverAddr, fetchId, std::cout,
+                                   std::cerr);
+    if (list)
+        return server::listJobs(serverAddr, std::cout, std::cerr);
 
     if (!submit.empty() || !config.empty()) {
         // Declarative mode, local (--config) or remote (--submit):
@@ -366,6 +410,8 @@ main(int argc, char **argv)
         if (!submit.empty()) {
             server::SubmitRequest req;
             req.csv = csv;
+            if (priority)
+                req.priority = static_cast<int>(priority);
             req.cli = cli;
             return server::submitAndWait(serverAddr, submit, req,
                                          std::cout, std::cerr);

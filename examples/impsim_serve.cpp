@@ -1,29 +1,50 @@
 /**
  * @file
  * Sweep job server: accepts experiment configs over a socket and
- * batches them through a shared SweepRunner pool.
+ * executes them concurrently over a shared, fairly partitioned
+ * worker pool, archiving finished results for later FETCH.
  *
  * Usage:
  *   impsim_serve --socket PATH [--tcp PORT] [--jobs N] [--queue N]
+ *                [--max-active K] [--per-client-quota Q]
+ *                [--results-dir DIR] [--results-max-bytes N]
+ *                [--ready-file PATH]
  *
- * --socket PATH   Unix-domain socket to listen on (created, and
- *                 removed again on shutdown)
- * --tcp PORT      additionally listen on 127.0.0.1:PORT (0 picks an
- *                 ephemeral port, printed on startup)
- * --jobs N        SweepRunner worker threads (0 = hardware)
- * --queue N       queued-job capacity before SUBMITs are refused
- *                 (default 16)
+ * --socket PATH        Unix-domain socket to listen on (created, and
+ *                      removed again on shutdown)
+ * --tcp PORT           additionally listen on 127.0.0.1:PORT (0 picks
+ *                      an ephemeral port, printed on startup)
+ * --jobs N             worker-pool slots = simulations running at
+ *                      once, shared by all jobs (0 = hardware)
+ * --queue N            queued-job capacity before SUBMITs are refused
+ *                      (default 16)
+ * --max-active K       jobs executing concurrently, each leasing a
+ *                      weighted-fair slice of the pool (default 1)
+ * --per-client-quota Q max concurrently active jobs per client;
+ *                      0 = unlimited (default)
+ * --results-dir DIR    persist finished results (manifest + CSV per
+ *                      job) for reconnect/FETCH across restarts;
+ *                      default is in-memory only
+ * --results-max-bytes N  result-store payload bound before LRU
+ *                      eviction (default 268435456)
+ * --ready-file PATH    touch PATH once all listeners are bound — a
+ *                      race-free readiness signal for scripts and CI
+ *                      (contents: one "unix PATH" / "tcp PORT" line
+ *                      per listener)
  *
  * Clients speak the line protocol in docs/job_server.md; the
  * matching client is `impsim_cli --submit FILE --server PATH`, whose
- * output is bit-identical to running the same config in-process.
+ * output is bit-identical to running the same config in-process, and
+ * `impsim_cli --fetch ID` / `--list` for stored results.
  * Stop with SIGINT/SIGTERM; outstanding jobs are cancelled at the
  * next simulation boundary.
  */
+#include <climits>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "server/job_server.hpp"
@@ -34,6 +55,7 @@ int
 main(int argc, char **argv)
 {
     server::JobServerConfig cfg;
+    std::string readyFile;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         std::string inline_val;
@@ -76,6 +98,19 @@ main(int argc, char **argv)
         } else if (a == "--queue") {
             cfg.queueCapacity =
                 static_cast<std::size_t>(parseInt(next(), 1, 1 << 20));
+        } else if (a == "--max-active") {
+            cfg.maxActive =
+                static_cast<unsigned>(parseInt(next(), 1, 1 << 10));
+        } else if (a == "--per-client-quota") {
+            cfg.perClientQuota =
+                static_cast<std::size_t>(parseInt(next(), 0, 1 << 20));
+        } else if (a == "--results-dir") {
+            cfg.resultsDir = next();
+        } else if (a == "--results-max-bytes") {
+            cfg.resultsMaxBytes = static_cast<std::uint64_t>(
+                parseInt(next(), 0, LONG_MAX));
+        } else if (a == "--ready-file") {
+            readyFile = next();
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
             return 1;
@@ -84,7 +119,9 @@ main(int argc, char **argv)
     if (cfg.socketPath.empty() && cfg.tcpPort < 0) {
         std::fprintf(stderr,
                      "usage: impsim_serve --socket PATH [--tcp PORT] "
-                     "[--jobs N] [--queue N]\n");
+                     "[--jobs N] [--queue N] [--max-active K] "
+                     "[--per-client-quota Q] [--results-dir DIR] "
+                     "[--results-max-bytes N] [--ready-file PATH]\n");
         return 1;
     }
 
@@ -110,10 +147,26 @@ main(int argc, char **argv)
         std::fprintf(stderr, "impsim_serve: listening on tcp:127.0.0.1:%u\n",
                      srv.tcpPort());
 
+    // The listeners are bound (start() returned), so a poller that
+    // sees this file can connect immediately — no sleep races.
+    if (!readyFile.empty()) {
+        std::ofstream ready(readyFile, std::ios::trunc);
+        if (!cfg.socketPath.empty())
+            ready << "unix " << cfg.socketPath << "\n";
+        if (cfg.tcpPort >= 0)
+            ready << "tcp " << srv.tcpPort() << "\n";
+        if (!ready.flush())
+            std::fprintf(stderr,
+                         "impsim_serve: cannot write ready file %s\n",
+                         readyFile.c_str());
+    }
+
     int sig = 0;
     sigwait(&set, &sig);
     std::fprintf(stderr, "impsim_serve: %s, shutting down\n",
                  strsignal(sig));
     srv.stop();
+    if (!readyFile.empty())
+        std::remove(readyFile.c_str());
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -19,6 +20,60 @@
 
 namespace impsim {
 namespace server {
+
+namespace {
+
+/** One greeted connection; the fd closes with the object. */
+struct ServerChannel
+{
+    int fd = -1;
+    std::unique_ptr<LineReader> reader;
+
+    ServerChannel() = default;
+    ServerChannel(ServerChannel &&o) noexcept
+        : fd(o.fd), reader(std::move(o.reader))
+    {
+        o.fd = -1;
+    }
+    ServerChannel &operator=(ServerChannel &&) = delete;
+    ~ServerChannel()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+    bool ok() const { return fd >= 0; }
+};
+
+/** Connects and consumes the IMPSIM greeting; diagnoses to @p err. */
+ServerChannel
+openChannel(const std::string &address, std::ostream &err)
+{
+    ServerChannel ch;
+    std::string error;
+    int fd = connectToServer(address, error);
+    if (fd < 0) {
+        err << error << "\n";
+        return ch;
+    }
+    auto reader = std::make_unique<LineReader>(fd);
+    std::string line;
+    if (!reader->readLine(line)) {
+        err << "server closed the connection before greeting\n";
+        ::close(fd);
+        return ch;
+    }
+    std::vector<std::string> greeting = splitTokens(line);
+    if (greeting.size() != 2 || greeting[0] != "IMPSIM") {
+        err << "not an impsim job server at " << address << "\n";
+        ::close(fd);
+        return ch;
+    }
+    ch.fd = fd;
+    ch.reader = std::move(reader);
+    return ch;
+}
+
+} // namespace
 
 int
 connectToServer(const std::string &address, std::string &error)
@@ -93,78 +148,142 @@ submitAndWait(const std::string &address, const std::string &configPath,
     buf << in.rdbuf();
     const std::string text = buf.str();
 
-    std::string error;
-    int fd = connectToServer(address, error);
-    if (fd < 0) {
-        err << error << "\n";
+    ServerChannel ch = openChannel(address, err);
+    if (!ch.ok())
         return 1;
-    }
 
     req.origin = configPath;
     req.configBytes = text.size();
 
+    if (!writeAll(ch.fd, formatSubmitLine(req) + "\n") ||
+        !writeAll(ch.fd, text)) {
+        err << "connection lost while submitting\n";
+        return 1;
+    }
+
     int code = 1;
-    LineReader reader(fd);
+    bool finished = false;
+    std::uint64_t jobId = 0;
     std::string line;
-    do {
-        if (!reader.readLine(line)) {
-            err << "server closed the connection before greeting\n";
-            break;
-        }
-        std::vector<std::string> greeting = splitTokens(line);
-        if (greeting.size() != 2 || greeting[0] != "IMPSIM") {
-            err << "not an impsim job server at " << address << "\n";
-            break;
-        }
-
-        if (!writeAll(fd, formatSubmitLine(req) + "\n") ||
-            !writeAll(fd, text)) {
-            err << "connection lost while submitting\n";
-            break;
-        }
-
-        bool finished = false;
-        std::uint64_t jobId = 0;
-        while (!finished && reader.readLine(line)) {
-            std::vector<std::string> tokens = splitTokens(line);
-            if (tokens.empty())
+    while (!finished && ch.reader->readLine(line)) {
+        std::vector<std::string> tokens = splitTokens(line);
+        if (tokens.empty())
+            continue;
+        const std::string &head = tokens[0];
+        if (head == "QUEUED" && tokens.size() == 2) {
+            jobId = std::strtoull(tokens[1].c_str(), nullptr, 10);
+        } else if (head == "ERROR" && tokens.size() == 2) {
+            std::string payload;
+            std::size_t n = static_cast<std::size_t>(
+                std::strtoull(tokens[1].c_str(), nullptr, 10));
+            if (ch.reader->readBytes(payload, n))
+                err << payload;
+            finished = true;
+        } else if (head == "RESULT" && tokens.size() == 3) {
+            std::string payload;
+            std::size_t n = static_cast<std::size_t>(
+                std::strtoull(tokens[2].c_str(), nullptr, 10));
+            if (!ch.reader->readBytes(payload, n)) {
+                err << "connection lost mid-result\n";
+                finished = true;
                 continue;
-            const std::string &head = tokens[0];
-            if (head == "QUEUED" && tokens.size() == 2) {
-                jobId = std::strtoull(tokens[1].c_str(), nullptr, 10);
-            } else if (head == "ERROR" && tokens.size() == 2) {
-                std::string payload;
-                std::size_t n = static_cast<std::size_t>(
-                    std::strtoull(tokens[1].c_str(), nullptr, 10));
-                if (reader.readBytes(payload, n))
-                    err << payload;
-                finished = true;
-            } else if (head == "RESULT" && tokens.size() == 3) {
-                std::string payload;
-                std::size_t n = static_cast<std::size_t>(
-                    std::strtoull(tokens[2].c_str(), nullptr, 10));
-                if (!reader.readBytes(payload, n)) {
-                    err << "connection lost mid-result\n";
-                    finished = true;
-                    continue;
-                }
-                out << payload;
-                code = 0;
-            } else if (head == "DONE") {
-                finished = true;
-            } else if (head == "CANCELLED") {
-                err << "job " << (jobId ? std::to_string(jobId) : "?")
-                    << " was cancelled\n";
-                finished = true;
             }
-            // Unknown lines (future protocol additions) are skipped.
+            out << payload;
+            code = 0;
+        } else if (head == "DONE") {
+            finished = true;
+        } else if (head == "CANCELLED") {
+            err << "job " << (jobId ? std::to_string(jobId) : "?")
+                << " was cancelled\n";
+            finished = true;
         }
-        if (!finished && code != 0)
-            err << "server closed the connection mid-job\n";
-    } while (false);
-
-    ::close(fd);
+        // Unknown lines (future protocol additions) are skipped.
+    }
+    if (!finished && code != 0)
+        err << "server closed the connection mid-job\n";
     return code;
+}
+
+int
+fetchResult(const std::string &address, const std::string &jobId,
+            std::ostream &out, std::ostream &err)
+{
+    ServerChannel ch = openChannel(address, err);
+    if (!ch.ok())
+        return 1;
+    if (!writeAll(ch.fd, "FETCH " + jobId + "\n")) {
+        err << "connection lost while fetching\n";
+        return 1;
+    }
+    std::string line;
+    while (ch.reader->readLine(line)) {
+        std::vector<std::string> tokens = splitTokens(line);
+        if (tokens.empty())
+            continue;
+        std::string payload;
+        if (tokens[0] == "RESULT" && tokens.size() == 3) {
+            std::size_t n = static_cast<std::size_t>(
+                std::strtoull(tokens[2].c_str(), nullptr, 10));
+            if (!ch.reader->readBytes(payload, n)) {
+                err << "connection lost mid-result\n";
+                return 1;
+            }
+            out << payload;
+            return 0; // don't wait for DONE: the payload is complete
+        }
+        if (tokens[0] == "ERROR" && tokens.size() == 2) {
+            std::size_t n = static_cast<std::size_t>(
+                std::strtoull(tokens[1].c_str(), nullptr, 10));
+            if (ch.reader->readBytes(payload, n))
+                err << payload;
+            return 1;
+        }
+        // Anything else (a stray push for another consumer of this
+        // connection) cannot happen on a fresh FETCH-only channel;
+        // skip defensively.
+    }
+    err << "server closed the connection mid-fetch\n";
+    return 1;
+}
+
+int
+listJobs(const std::string &address, std::ostream &out, std::ostream &err)
+{
+    ServerChannel ch = openChannel(address, err);
+    if (!ch.ok())
+        return 1;
+    if (!writeAll(ch.fd, "LIST\n")) {
+        err << "connection lost while listing\n";
+        return 1;
+    }
+    std::string line;
+    if (!ch.reader->readLine(line)) {
+        err << "server closed the connection mid-list\n";
+        return 1;
+    }
+    std::vector<std::string> tokens = splitTokens(line);
+    if (tokens.size() != 2 || tokens[0] != "JOBS") {
+        err << "unexpected reply: " << line << "\n";
+        return 1;
+    }
+    std::string payload;
+    std::size_t n = static_cast<std::size_t>(
+        std::strtoull(tokens[1].c_str(), nullptr, 10));
+    if (!ch.reader->readBytes(payload, n)) {
+        err << "connection lost mid-list\n";
+        return 1;
+    }
+    // Re-humanize the origin column (escaped on the wire so listing
+    // lines stay tokenizable).
+    std::istringstream lines(payload);
+    while (std::getline(lines, line)) {
+        std::size_t sp = line.rfind(' ');
+        if (sp != std::string::npos)
+            line = line.substr(0, sp + 1) +
+                   unescapeToken(line.substr(sp + 1));
+        out << line << "\n";
+    }
+    return 0;
 }
 
 } // namespace server

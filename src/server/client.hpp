@@ -39,6 +39,26 @@ int submitAndWait(const std::string &address,
                   const std::string &configPath, SubmitRequest req,
                   std::ostream &out, std::ostream &err);
 
+/**
+ * Retrieves the stored result of a finished job (`impsim_cli --fetch
+ * ID --server ADDR`): the server's archived payload goes to @p out
+ * verbatim — the same bytes the original RESULT stream carried, so a
+ * reconnecting client loses nothing by having been away.
+ * @return 0 with the payload written, 1 on any error (unknown or
+ *         unfinished job, evicted result, transport failure).
+ */
+int fetchResult(const std::string &address, const std::string &jobId,
+                std::ostream &out, std::ostream &err);
+
+/**
+ * Lists the server's known jobs (`impsim_cli --list --server ADDR`):
+ * one "<id> <state> <done>/<total> <bytes> <origin>" line per job,
+ * live and stored alike, written to @p out with the origin unescaped.
+ * @return 0 on success, 1 on transport failure.
+ */
+int listJobs(const std::string &address, std::ostream &out,
+             std::ostream &err);
+
 } // namespace server
 } // namespace impsim
 

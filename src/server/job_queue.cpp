@@ -1,6 +1,7 @@
 /**
  * @file
- * Bounded fair job queue.
+ * Bounded fair job queue: priority buckets, round-robin clients,
+ * per-client active quotas.
  */
 #include "server/job_queue.hpp"
 
@@ -16,10 +17,11 @@ FairJobQueue::push(std::shared_ptr<ServerJob> job)
         std::lock_guard<std::mutex> lock(mutex_);
         if (closed_ || count_ >= capacity_)
             return false;
+        Bucket &bucket = buckets_[job->priority];
         std::deque<std::shared_ptr<ServerJob>> &fifo =
-            perClient_[job->clientId];
+            bucket.perClient[job->clientId];
         if (fifo.empty())
-            rotation_.push_back(job->clientId);
+            bucket.rotation.push_back(job->clientId);
         fifo.push_back(std::move(job));
         ++count_;
     }
@@ -28,47 +30,95 @@ FairJobQueue::push(std::shared_ptr<ServerJob> job)
 }
 
 std::shared_ptr<ServerJob>
+FairJobQueue::popEligibleLocked()
+{
+    for (auto &bp : buckets_) {
+        Bucket &bucket = bp.second;
+        for (std::size_t k = 0; k < bucket.rotation.size(); ++k) {
+            std::uint64_t client = bucket.rotation[k];
+            // Quota: skip clients already running their share. Skipped
+            // clients keep their rotation position. A closed queue is
+            // only drained to cancel, so the quota no longer applies.
+            if (!closed_ && quota_ > 0) {
+                auto it = active_.find(client);
+                if (it != active_.end() && it->second >= quota_)
+                    continue;
+            }
+            std::deque<std::shared_ptr<ServerJob>> &fifo =
+                bucket.perClient[client];
+            std::shared_ptr<ServerJob> job = std::move(fifo.front());
+            fifo.pop_front();
+            bucket.rotation.erase(
+                bucket.rotation.begin() + static_cast<std::ptrdiff_t>(k));
+            if (fifo.empty())
+                bucket.perClient.erase(client);
+            else
+                bucket.rotation.push_back(client);
+            --count_;
+            ++active_[job->clientId];
+            if (bucket.perClient.empty())
+                buckets_.erase(bp.first);
+            return job;
+        }
+    }
+    return nullptr;
+}
+
+std::shared_ptr<ServerJob>
 FairJobQueue::pop()
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return count_ > 0 || closed_; });
-    if (count_ == 0)
-        return nullptr;
+    for (;;) {
+        if (std::shared_ptr<ServerJob> job = popEligibleLocked())
+            return job;
+        if (closed_ && count_ == 0)
+            return nullptr;
+        cv_.wait(lock);
+    }
+}
 
-    std::uint64_t client = rotation_.front();
-    rotation_.pop_front();
-    std::deque<std::shared_ptr<ServerJob>> &fifo = perClient_[client];
-    std::shared_ptr<ServerJob> job = std::move(fifo.front());
-    fifo.pop_front();
-    if (fifo.empty())
-        perClient_.erase(client);
-    else
-        rotation_.push_back(client);
-    --count_;
-    return job;
+void
+FairJobQueue::finished(std::uint64_t clientId)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = active_.find(clientId);
+        if (it != active_.end() && --it->second == 0)
+            active_.erase(it);
+    }
+    // A freed quota slot can make a queued job eligible.
+    cv_.notify_all();
 }
 
 std::shared_ptr<ServerJob>
 FairJobQueue::remove(std::uint64_t id)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto it = perClient_.begin(); it != perClient_.end(); ++it) {
-        std::deque<std::shared_ptr<ServerJob>> &fifo = it->second;
-        auto jt = std::find_if(fifo.begin(), fifo.end(),
-                               [&](const std::shared_ptr<ServerJob> &j) {
-                                   return j->id == id;
-                               });
-        if (jt == fifo.end())
-            continue;
-        std::shared_ptr<ServerJob> job = std::move(*jt);
-        fifo.erase(jt);
-        if (fifo.empty()) {
-            rotation_.erase(std::find(rotation_.begin(), rotation_.end(),
-                                      it->first));
-            perClient_.erase(it);
+    for (auto &bp : buckets_) {
+        Bucket &bucket = bp.second;
+        for (auto it = bucket.perClient.begin();
+             it != bucket.perClient.end(); ++it) {
+            std::deque<std::shared_ptr<ServerJob>> &fifo = it->second;
+            auto jt =
+                std::find_if(fifo.begin(), fifo.end(),
+                             [&](const std::shared_ptr<ServerJob> &j) {
+                                 return j->id == id;
+                             });
+            if (jt == fifo.end())
+                continue;
+            std::shared_ptr<ServerJob> job = std::move(*jt);
+            fifo.erase(jt);
+            if (fifo.empty()) {
+                bucket.rotation.erase(std::find(bucket.rotation.begin(),
+                                                bucket.rotation.end(),
+                                                it->first));
+                bucket.perClient.erase(it);
+            }
+            --count_;
+            if (bucket.perClient.empty())
+                buckets_.erase(bp.first);
+            return job;
         }
-        --count_;
-        return job;
     }
     return nullptr;
 }

@@ -1,7 +1,8 @@
 /**
  * @file
  * Server-side job bookkeeping: one submitted experiment, and a
- * bounded queue of them with round-robin fairness across clients.
+ * bounded queue of them with priority ordering, round-robin client
+ * fairness, and per-client active-job quotas.
  */
 #ifndef IMPSIM_SERVER_JOB_QUEUE_HPP
 #define IMPSIM_SERVER_JOB_QUEUE_HPP
@@ -10,6 +11,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -20,6 +22,10 @@
 
 namespace impsim {
 namespace server {
+
+/** Submit priorities ride the wire as integers in this range. */
+inline constexpr int kMinPriority = 1;
+inline constexpr int kMaxPriority = 100;
 
 /**
  * One accepted SUBMIT: the experiment was already parsed and bound
@@ -40,6 +46,12 @@ struct ServerJob
     Experiment exp;
     /** Force CSV for single-run configs (the CLI's --csv). */
     bool csv = false;
+    /**
+     * Scheduling priority (the SUBMIT `priority=` token): pops ahead
+     * of lower-priority queued jobs and weights the pool partition
+     * while running.
+     */
+    int priority = kMinPriority;
 
     std::atomic<State> state{State::Queued};
     /** Expanded runs finished so far / in total (STATUS). */
@@ -62,26 +74,43 @@ struct ServerJob
 };
 
 /**
- * Bounded multi-producer single-consumer queue with per-client
- * fairness: each client gets a FIFO of its own, and pop() drains the
- * client FIFOs round-robin, so one client queueing N jobs cannot
- * starve another's first job behind all N. Capacity bounds the total
- * *queued* (not yet popped) jobs across clients — the server's
- * backpressure: push() refuses instead of growing without bound.
+ * Bounded multi-producer multi-consumer queue feeding the server's
+ * runner threads. Ordering: strictly by priority (higher first);
+ * within a priority, one FIFO per client drained round-robin, so a
+ * client queueing N jobs cannot starve another's first job behind
+ * all N. Capacity bounds the total *queued* (not yet popped) jobs —
+ * the server's backpressure: push() refuses instead of growing
+ * without bound.
+ *
+ * The queue also enforces the per-client active-job quota: pop()
+ * skips clients that already have `quota` popped-but-unfinished
+ * jobs; finished() returns a slot and wakes blocked pop()s. Quota 0
+ * means unlimited. Once closed, pop() drains the backlog ignoring
+ * quotas (the drain only cancels), then returns nullptr.
  */
 class FairJobQueue
 {
   public:
-    explicit FairJobQueue(std::size_t capacity) : capacity_(capacity) {}
+    explicit FairJobQueue(std::size_t capacity,
+                          std::size_t perClientQuota = 0)
+        : capacity_(capacity), quota_(perClientQuota)
+    {
+    }
 
     /** Enqueues @p job. @return false if the queue is full or closed. */
     bool push(std::shared_ptr<ServerJob> job);
 
     /**
-     * Blocks for the next job, round-robin across clients.
-     * @return nullptr once the queue is closed and drained.
+     * Blocks for the next job eligible under the quota, highest
+     * priority first, round-robin across clients within a priority.
+     * The popped job counts against its client's quota until
+     * finished(). @return nullptr once the queue is closed and
+     * drained.
      */
     std::shared_ptr<ServerJob> pop();
+
+    /** Returns a popped job's quota slot and wakes blocked pop()s. */
+    void finished(std::uint64_t clientId);
 
     /**
      * Removes a still-queued job (CANCEL before it ran).
@@ -94,18 +123,30 @@ class FairJobQueue
 
     std::size_t size() const;
     std::size_t capacity() const { return capacity_; }
+    std::size_t quota() const { return quota_; }
 
   private:
+    /** One priority level: per-client FIFOs + rotation order. */
+    struct Bucket
+    {
+        std::map<std::uint64_t, std::deque<std::shared_ptr<ServerJob>>>
+            perClient;
+        std::deque<std::uint64_t> rotation;
+    };
+
+    /** Pops the best eligible job, or nullptr. Caller holds mutex_. */
+    std::shared_ptr<ServerJob> popEligibleLocked();
+
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::size_t capacity_;
+    std::size_t quota_;
     std::size_t count_ = 0;
     bool closed_ = false;
-    /** Per-client FIFOs ... */
-    std::map<std::uint64_t, std::deque<std::shared_ptr<ServerJob>>>
-        perClient_;
-    /** ... drained in this rotating client order. */
-    std::deque<std::uint64_t> rotation_;
+    /** Priority buckets, highest priority first. */
+    std::map<int, Bucket, std::greater<int>> buckets_;
+    /** Popped-but-unfinished jobs per client (quota accounting). */
+    std::map<std::uint64_t, std::size_t> active_;
 };
 
 } // namespace server

@@ -122,9 +122,12 @@ JobServer::Connection::closeFd()
 }
 
 JobServer::JobServer(JobServerConfig cfg)
-    : cfg_(std::move(cfg)), runner_(cfg_.workers),
-      queue_(cfg_.queueCapacity)
+    : cfg_(std::move(cfg)), pool_(cfg_.workers), runner_(pool_.slots()),
+      queue_(cfg_.queueCapacity, cfg_.perClientQuota),
+      store_(cfg_.resultsDir, cfg_.resultsMaxBytes)
 {
+    if (cfg_.maxActive == 0)
+        cfg_.maxActive = 1;
 }
 
 JobServer::~JobServer()
@@ -142,12 +145,18 @@ JobServer::start()
     if (::pipe(wakePipe_) < 0)
         throw std::runtime_error("pipe() failed");
 
+    // Index archived results before taking submissions: job ids must
+    // resume above everything on disk, or a fresh job could shadow a
+    // stored result a reconnecting client still wants to FETCH.
+    nextJobId_ = store_.load() + 1;
+
     if (!cfg_.socketPath.empty())
         listenFds_.push_back(listenUnix(cfg_.socketPath));
     if (cfg_.tcpPort >= 0)
         listenFds_.push_back(listenTcp(cfg_.tcpPort, tcpPort_));
 
-    schedulerThread_ = std::thread([this] { schedulerLoop(); });
+    for (unsigned i = 0; i < cfg_.maxActive; ++i)
+        runnerThreads_.emplace_back([this] { runnerLoop(); });
     for (int fd : listenFds_)
         listenThreads_.emplace_back([this, fd] { listenLoop(fd); });
 }
@@ -168,9 +177,9 @@ JobServer::stop()
         ::close(fd);
     listenFds_.clear();
 
-    // Shut the connection sockets down BEFORE joining the scheduler:
-    // a scheduler blocked in send() to a stalled client is unblocked
-    // by the shutdown, so stop() cannot deadlock behind it (which is
+    // Shut the connection sockets down BEFORE joining the runners: a
+    // runner blocked in send() to a stalled client is unblocked by
+    // the shutdown, so stop() cannot deadlock behind it (which is
     // also why this must not take the write mutexes). Readers wake
     // too and their threads run out.
     {
@@ -179,15 +188,19 @@ JobServer::stop()
             slot.conn->shutdownFd();
     }
 
-    // Cancel everything so the scheduler stops between simulations.
+    // Cancel everything so the runners stop between simulations; the
+    // pool close additionally fails workers blocked waiting for a
+    // slot, so a runner cannot sit out a long lease queue first.
     {
         std::lock_guard<std::mutex> lock(jobsMutex_);
         for (auto &entry : jobs_)
             entry.second->control.cancel();
     }
     queue_.close();
-    if (schedulerThread_.joinable())
-        schedulerThread_.join();
+    pool_.close();
+    for (std::thread &t : runnerThreads_)
+        t.join();
+    runnerThreads_.clear();
 
     std::vector<ConnSlot> slots;
     {
@@ -280,6 +293,10 @@ JobServer::connectionLoop(std::shared_ptr<Connection> conn)
             handleStatus(*conn, tokens);
         } else if (cmd == "CANCEL") {
             handleCancel(*conn, tokens);
+        } else if (cmd == "FETCH") {
+            handleFetch(*conn, tokens);
+        } else if (cmd == "LIST") {
+            handleList(*conn);
         } else if (cmd == "QUIT") {
             break;
         } else {
@@ -287,11 +304,12 @@ JobServer::connectionLoop(std::shared_ptr<Connection> conn)
                 break;
         }
     }
-    // The peer is gone (or QUIT): its pending work is unwanted. Only
-    // shut the fd down — the close happens after this thread is
+    // The peer is gone (or QUIT). Its jobs keep running — finished
+    // results land in the store, where a reconnecting client can LIST
+    // and FETCH them (unwanted work is for CANCEL, not disconnect).
+    // Only shut the fd down — the close happens after this thread is
     // joined (reaper or stop()), so the descriptor cannot be recycled
     // under a concurrent RESULT write.
-    cancelClientJobs(conn->clientId);
     conn->shutdownFd();
     conn->done.store(true);
 }
@@ -302,6 +320,14 @@ JobServer::errorFrame(std::string message)
     if (message.empty() || message.back() != '\n')
         message += '\n';
     return "ERROR " + std::to_string(message.size()) + "\n" + message;
+}
+
+std::string
+JobServer::resultFrame(std::uint64_t id, const std::string &payload)
+{
+    return "RESULT " + std::to_string(id) + " " +
+           std::to_string(payload.size()) + "\n" + payload + "DONE " +
+           std::to_string(id) + "\n";
 }
 
 void
@@ -332,6 +358,7 @@ JobServer::handleSubmit(Connection &conn, LineReader &reader,
     job->clientId = conn.clientId;
     job->origin = req.origin;
     job->csv = req.csv;
+    job->priority = req.priority;
     job->total = job->exp.runs.size();
     ServerJob *raw = job.get();
     job->control.onProgress = [raw](std::size_t done, std::size_t) {
@@ -382,9 +409,8 @@ JobServer::handleSubmit(Connection &conn, LineReader &reader,
 std::shared_ptr<ServerJob>
 JobServer::findJob(const std::string &idToken)
 {
-    char *end = nullptr;
-    std::uint64_t id = std::strtoull(idToken.c_str(), &end, 10);
-    if (!end || *end != '\0' || idToken.empty())
+    std::uint64_t id = 0;
+    if (!parseNumber(idToken, id))
         return nullptr;
     std::lock_guard<std::mutex> lock(jobsMutex_);
     auto it = jobs_.find(id);
@@ -407,15 +433,27 @@ void
 JobServer::handleStatus(Connection &conn,
                         const std::vector<std::string> &tokens)
 {
-    std::shared_ptr<ServerJob> job =
-        tokens.size() == 2 ? findJob(tokens[1]) : nullptr;
-    if (!job) {
+    if (tokens.size() != 2) {
         conn.write(errorFrame("STATUS: unknown job"));
         return;
     }
-    conn.write("STATUS " + std::to_string(job->id) + " " +
-               job->stateName() + " " + std::to_string(job->done.load()) +
-               "/" + std::to_string(job->total) + "\n");
+    if (std::shared_ptr<ServerJob> job = findJob(tokens[1])) {
+        conn.write("STATUS " + std::to_string(job->id) + " " +
+                   job->stateName() + " " +
+                   std::to_string(job->done.load()) + "/" +
+                   std::to_string(job->total) + "\n");
+        return;
+    }
+    // Not live: terminal jobs answer from the store, until evicted.
+    std::uint64_t id = 0;
+    StoredResult meta;
+    if (parseNumber(tokens[1], id) && store_.manifest(id, meta)) {
+        conn.write("STATUS " + std::to_string(id) + " " + meta.state +
+                   " " + std::to_string(meta.done) + "/" +
+                   std::to_string(meta.total) + "\n");
+        return;
+    }
+    conn.write(errorFrame("STATUS: unknown job"));
 }
 
 void
@@ -425,7 +463,15 @@ JobServer::handleCancel(Connection &conn,
     std::shared_ptr<ServerJob> job =
         tokens.size() == 2 ? findJob(tokens[1]) : nullptr;
     if (!job) {
-        conn.write(errorFrame("CANCEL: unknown job"));
+        std::uint64_t id = 0;
+        StoredResult meta;
+        if (tokens.size() == 2 && parseNumber(tokens[1], id) &&
+            store_.manifest(id, meta)) {
+            conn.write(errorFrame("CANCEL: job " + std::to_string(id) +
+                                  " already " + meta.state));
+        } else {
+            conn.write(errorFrame("CANCEL: unknown job"));
+        }
         return;
     }
     ServerJob::State s = job->state.load();
@@ -437,95 +483,154 @@ JobServer::handleCancel(Connection &conn,
 
     job->control.cancel();
     if (std::shared_ptr<ServerJob> queued = queue_.remove(job->id)) {
-        // Never ran; notify the submitter directly.
+        // Never ran; archive + notify the submitter directly.
         queued->state.store(ServerJob::State::Cancelled);
-        retireJob(queued);
-        if (std::shared_ptr<Connection> submitter =
-                takeSubmitter(queued->id))
-            submitter->write("CANCELLED " + std::to_string(queued->id) +
-                             "\n");
+        finishJob(queued, std::string());
     }
-    // A running job is reaped by the scheduler once the sweep notices.
+    // A running job is reaped by its runner once the sweep notices.
     conn.write("CANCELLING " + std::to_string(job->id) + "\n");
 }
 
 void
-JobServer::retireJob(const std::shared_ptr<ServerJob> &job)
+JobServer::handleFetch(Connection &conn,
+                       const std::vector<std::string> &tokens)
 {
-    std::lock_guard<std::mutex> lock(jobsMutex_);
-    retired_.push_back(job->id);
-    while (retired_.size() > kRetainFinishedJobs) {
-        jobs_.erase(retired_.front());
-        retired_.pop_front();
+    std::uint64_t id = 0;
+    if (tokens.size() != 2 || !parseNumber(tokens[1], id)) {
+        conn.write(errorFrame("FETCH: unknown job"));
+        return;
     }
+    // Manifest first: a cancelled entry must not cost a payload read
+    // or have its LRU slot refreshed ahead of fetchable results.
+    StoredResult meta;
+    if (store_.manifest(id, meta)) {
+        if (meta.state != "done") {
+            conn.write(errorFrame("FETCH: job " + std::to_string(id) +
+                                  " was cancelled; no result"));
+            return;
+        }
+        std::string payload;
+        if (store_.fetch(id, meta, payload)) {
+            conn.write(resultFrame(id, payload));
+            return;
+        }
+        // Evicted (or files vanished) between the two lookups: fall
+        // through to the unknown-job diagnostic.
+    }
+    if (std::shared_ptr<ServerJob> live = findJob(tokens[1])) {
+        conn.write(errorFrame("FETCH: job " + std::to_string(id) +
+                              " is still " + live->stateName() +
+                              "; try again when done"));
+        return;
+    }
+    conn.write(errorFrame("FETCH: unknown job (never existed, or its "
+                          "stored result was evicted)"));
 }
 
 void
-JobServer::cancelClientJobs(std::uint64_t clientId)
+JobServer::handleList(Connection &conn)
 {
-    std::vector<std::shared_ptr<ServerJob>> victims;
+    // One line per known job: live ones first-hand, terminal ones
+    // from the store. A job mid-finish may appear in both; the live
+    // entry wins (it carries the fresher state).
+    std::map<std::uint64_t, std::string> lines;
+    for (const StoredResult &meta : store_.list()) {
+        lines[meta.id] = std::to_string(meta.id) + " " + meta.state +
+                         " " + std::to_string(meta.done) + "/" +
+                         std::to_string(meta.total) + " " +
+                         std::to_string(meta.bytes) + " " +
+                         escapeToken(meta.origin) + "\n";
+    }
     {
         std::lock_guard<std::mutex> lock(jobsMutex_);
-        for (auto &entry : jobs_) {
-            ServerJob::State s = entry.second->state.load();
-            if (entry.second->clientId == clientId &&
-                s != ServerJob::State::Done &&
-                s != ServerJob::State::Cancelled)
-                victims.push_back(entry.second);
+        for (const auto &entry : jobs_) {
+            const ServerJob &job = *entry.second;
+            lines[job.id] = std::to_string(job.id) + " " +
+                            job.stateName() + " " +
+                            std::to_string(job.done.load()) + "/" +
+                            std::to_string(job.total) + " 0 " +
+                            escapeToken(job.origin) + "\n";
         }
     }
-    for (const std::shared_ptr<ServerJob> &job : victims) {
-        job->control.cancel();
-        if (std::shared_ptr<ServerJob> queued = queue_.remove(job->id)) {
-            queued->state.store(ServerJob::State::Cancelled);
-            retireJob(queued);
-            takeSubmitter(queued->id);
-        }
-    }
+    std::string payload;
+    for (const auto &line : lines)
+        payload += line.second;
+    conn.write("JOBS " + std::to_string(payload.size()) + "\n" + payload);
 }
 
 void
-JobServer::schedulerLoop()
+JobServer::finishJob(const std::shared_ptr<ServerJob> &job,
+                     const std::string &payload)
+{
+    // Archive first, then drop from the live table, then notify: a
+    // STATUS/FETCH racing this sees the job in at least one of the
+    // two places at every instant.
+    StoredResult meta;
+    meta.id = job->id;
+    meta.state = job->state.load() == ServerJob::State::Done
+                     ? "done"
+                     : "cancelled";
+    meta.done = job->done.load();
+    meta.total = job->total;
+    meta.origin = job->origin;
+    store_.put(meta, payload);
+
+    std::shared_ptr<Connection> submitter = takeSubmitter(job->id);
+    {
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        jobs_.erase(job->id);
+    }
+    if (!submitter)
+        return;
+    if (meta.state == "done")
+        submitter->write(resultFrame(job->id, payload));
+    else
+        submitter->write("CANCELLED " + std::to_string(job->id) + "\n");
+}
+
+void
+JobServer::executeJob(const std::shared_ptr<ServerJob> &job)
+{
+    if (stopping_.load() || job->control.cancelled()) {
+        job->state.store(ServerJob::State::Cancelled);
+        finishJob(job, std::string());
+        return;
+    }
+    job->state.store(ServerJob::State::Running);
+
+    // Lease a weighted slice of the shared pool for this job; the
+    // allocator rebalances between simulations as jobs come and go
+    // (each progress step releases and re-acquires a slot).
+    std::unique_ptr<WorkerPool::Lease> lease =
+        pool_.lease(static_cast<double>(job->priority));
+    std::ostringstream out;
+    ExperimentRunOptions opt;
+    opt.csv = job->csv;
+    opt.runner = &runner_;
+    opt.control = &job->control;
+    opt.lease = lease.get();
+    bool completed = runExperiment(job->exp, out, opt);
+    lease.reset();
+
+    job->exp = Experiment{}; // the bound grid can be large
+    if (!completed) {
+        job->state.store(ServerJob::State::Cancelled);
+        finishJob(job, std::string());
+        return;
+    }
+    job->done.store(job->total);
+    job->state.store(ServerJob::State::Done);
+    finishJob(job, out.str());
+}
+
+void
+JobServer::runnerLoop()
 {
     while (std::shared_ptr<ServerJob> job = queue_.pop()) {
-        if (stopping_.load() || job->control.cancelled()) {
-            job->state.store(ServerJob::State::Cancelled);
-            retireJob(job);
-            if (std::shared_ptr<Connection> submitter =
-                    takeSubmitter(job->id))
-                submitter->write("CANCELLED " + std::to_string(job->id) +
-                                 "\n");
-            continue;
-        }
-        job->state.store(ServerJob::State::Running);
-
-        std::ostringstream out;
-        ExperimentRunOptions opt;
-        opt.csv = job->csv;
-        opt.runner = &runner_;
-        opt.control = &job->control;
-        bool completed = runExperiment(job->exp, out, opt);
-
-        job->exp = Experiment{}; // the bound grid can be large
-        std::shared_ptr<Connection> submitter = takeSubmitter(job->id);
-        if (!completed) {
-            job->state.store(ServerJob::State::Cancelled);
-            retireJob(job);
-            if (submitter)
-                submitter->write("CANCELLED " + std::to_string(job->id) +
-                                 "\n");
-            continue;
-        }
-        job->done.store(job->total);
-        job->state.store(ServerJob::State::Done);
-        retireJob(job);
-        if (submitter) {
-            const std::string payload = out.str();
-            submitter->write("RESULT " + std::to_string(job->id) + " " +
-                             std::to_string(payload.size()) + "\n" +
-                             payload + "DONE " + std::to_string(job->id) +
-                             "\n");
-        }
+        executeJob(job);
+        // The quota slot frees only after the terminal state is
+        // archived, so "active" counts whole jobs, not just sweeps.
+        queue_.finished(job->clientId);
     }
 }
 

@@ -4,14 +4,17 @@
  *
  * JobServer listens on a Unix-domain socket (and optionally loopback
  * TCP), speaks the line-oriented protocol in server/protocol.hpp, and
- * executes submitted experiment configs through one shared SweepRunner
- * pool. Jobs are validated at SUBMIT time with the same ConfigFile
- * binder as `impsim_cli --config --check` (diagnostics streamed back
- * verbatim), queued through a bounded FairJobQueue (round-robin across
- * clients, ERROR on overflow = backpressure), and executed one at a
- * time by a scheduler thread — each job's sweep parallelises across
- * the pool internally, so results stay bit-identical to an in-process
- * run while the machine stays fully busy.
+ * executes submitted experiment configs concurrently over one shared
+ * WorkerPool. Jobs are validated at SUBMIT time with the same
+ * ConfigFile binder as `impsim_cli --config --check` (diagnostics
+ * streamed back verbatim) and queued through a bounded FairJobQueue
+ * (priority order, round-robin across clients, per-client quotas,
+ * ERROR on overflow = backpressure). Up to `maxActive` runner threads
+ * each pop a job and lease a weighted-fair slice of the pool for it —
+ * results stay bit-identical to an in-process run whatever the
+ * interleaving, because per-job results are indexed by run, never by
+ * completion time. Terminal jobs land in a ResultStore so a client
+ * that disconnected mid-job can reconnect and FETCH later.
  *
  * Protocol reference and failure modes: docs/job_server.md.
  */
@@ -19,7 +22,6 @@
 #define IMPSIM_SERVER_JOB_SERVER_HPP
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,6 +31,7 @@
 
 #include "server/job_queue.hpp"
 #include "server/protocol.hpp"
+#include "server/result_store.hpp"
 #include "sim/sweep_runner.hpp"
 
 namespace impsim {
@@ -44,18 +47,29 @@ struct JobServerConfig
      * (read back with JobServer::tcpPort()).
      */
     int tcpPort = -1;
-    /** SweepRunner width; 0 = hardware concurrency. */
+    /** WorkerPool width (simulations at once); 0 = hardware. */
     unsigned workers = 0;
-    /** Max jobs queued (excluding the running one) before ERROR. */
+    /** Max jobs queued (excluding running ones) before ERROR. */
     std::size_t queueCapacity = 16;
+    /** Jobs executing concurrently, each leasing pool slots. */
+    unsigned maxActive = 1;
+    /** Max concurrently active jobs per client; 0 = unlimited. */
+    std::size_t perClientQuota = 0;
+    /**
+     * Result-store directory; empty keeps finished results in memory
+     * only (lost on restart).
+     */
+    std::string resultsDir;
+    /** Result-store payload-byte bound before LRU eviction. */
+    std::uint64_t resultsMaxBytes = 256ull << 20;
 };
 
 /**
  * A running job server. start() binds and spawns the listener,
- * per-connection and scheduler threads; stop() (or the destructor)
+ * per-connection and runner threads; stop() (or the destructor)
  * cancels outstanding jobs and joins everything. Thread-safe to
- * cancel from any client; jobs of a disconnecting client are
- * cancelled automatically.
+ * cancel from any client. A disconnecting client's jobs keep
+ * running — it can reconnect and FETCH the stored results.
  */
 class JobServer
 {
@@ -106,7 +120,17 @@ class JobServer
 
     void listenLoop(int listenFd);
     void connectionLoop(std::shared_ptr<Connection> conn);
-    void schedulerLoop();
+    /** One of cfg_.maxActive job-execution threads. */
+    void runnerLoop();
+    /** Runs one popped job to a terminal state and delivers it. */
+    void executeJob(const std::shared_ptr<ServerJob> &job);
+    /**
+     * Terminal bookkeeping shared by every exit path: archives the
+     * job in the store, drops it from the live table, and notifies
+     * the submitter (RESULT or CANCELLED) when still connected.
+     */
+    void finishJob(const std::shared_ptr<ServerJob> &job,
+                   const std::string &payload);
 
     void handleSubmit(Connection &conn, LineReader &reader,
                       const std::vector<std::string> &tokens);
@@ -114,24 +138,24 @@ class JobServer
                       const std::vector<std::string> &tokens);
     void handleCancel(Connection &conn,
                       const std::vector<std::string> &tokens);
-    /** Cancels every unfinished job submitted by @p clientId. */
-    void cancelClientJobs(std::uint64_t clientId);
-    /**
-     * Marks @p job finished for bookkeeping: it stays visible to
-     * STATUS until kRetainFinishedJobs newer jobs have finished, then
-     * falls out of jobs_ — bounding the map on a long-lived server.
-     */
-    void retireJob(const std::shared_ptr<ServerJob> &job);
+    void handleFetch(Connection &conn,
+                     const std::vector<std::string> &tokens);
+    void handleList(Connection &conn);
     std::shared_ptr<ServerJob> findJob(const std::string &idToken);
     /** The submitting connection of @p jobId, unregistered. */
     std::shared_ptr<Connection> takeSubmitter(std::uint64_t jobId);
 
     /** The full ERROR frame (header line + payload) for @p message. */
     static std::string errorFrame(std::string message);
+    /** The full RESULT+DONE frame for a finished job's payload. */
+    static std::string resultFrame(std::uint64_t id,
+                                   const std::string &payload);
 
     JobServerConfig cfg_;
+    WorkerPool pool_;
     SweepRunner runner_;
     FairJobQueue queue_;
+    ResultStore store_;
 
     std::vector<int> listenFds_;
     int wakePipe_[2] = {-1, -1};
@@ -140,7 +164,7 @@ class JobServer
     std::atomic<bool> stopping_{false};
 
     std::vector<std::thread> listenThreads_;
-    std::thread schedulerThread_;
+    std::vector<std::thread> runnerThreads_;
 
     struct ConnSlot
     {
@@ -151,12 +175,9 @@ class JobServer
     std::vector<ConnSlot> connections_;
     std::uint64_t nextClientId_ = 1;
 
-    static constexpr std::size_t kRetainFinishedJobs = 1024;
-
     std::mutex jobsMutex_;
+    /** Live (queued or running) jobs; terminal ones move to store_. */
     std::map<std::uint64_t, std::shared_ptr<ServerJob>> jobs_;
-    /** Finished ids in completion order, oldest evicted first. */
-    std::deque<std::uint64_t> retired_;
     /** Submitting connection per unfinished job (result delivery). */
     std::map<std::uint64_t, std::shared_ptr<Connection>> jobConns_;
     std::uint64_t nextJobId_ = 1;

@@ -34,10 +34,19 @@ hexVal(char c)
     return -1;
 }
 
-/** Parses a non-negative decimal token; false on anything else. */
+/** Renders @p v with enough digits to round-trip through stod(). */
+std::string
+exactDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
 bool
-parseNumber(const std::string &s, std::uint64_t &out,
-            std::uint64_t max = UINT64_MAX)
+parseNumber(const std::string &s, std::uint64_t &out, std::uint64_t max)
 {
     if (s.empty() || s.size() > 20 ||
         s.find_first_not_of("0123456789") != std::string::npos)
@@ -57,17 +66,6 @@ parseNumber(const std::string &s, std::uint64_t &out,
     out = v;
     return true;
 }
-
-/** Renders @p v with enough digits to round-trip through stod(). */
-std::string
-exactDouble(double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-} // namespace
 
 std::string
 escapeToken(const std::string &s)
@@ -154,6 +152,13 @@ parseSubmitLine(const std::vector<std::string> &tokens, SubmitRequest &out,
             out.origin = value;
         } else if (key == "csv") {
             out.csv = (value == "1" || value == "true");
+        } else if (key == "priority") {
+            if (!parseNumber(value, num, 100) || num < 1) {
+                error = "SUBMIT priority '" + value +
+                        "' is not a number in [1, 100]";
+                return false;
+            }
+            out.priority = static_cast<int>(num);
         } else if (key == "app") {
             out.cli.app = value;
         } else if (key == "preset") {
@@ -212,6 +217,8 @@ formatSubmitLine(const SubmitRequest &req)
     line += " origin=" + escapeToken(req.origin);
     if (req.csv)
         line += " csv=1";
+    if (req.priority != 1)
+        line += " priority=" + std::to_string(req.priority);
     const CliOverrides &c = req.cli;
     if (c.app)
         line += " app=" + escapeToken(*c.app);

@@ -13,6 +13,8 @@
  *   SUBMIT <nbytes> [key=value ...]   then <nbytes> of config text
  *   STATUS <id>
  *   CANCEL <id>
+ *   FETCH <id>                        re-read a stored finished result
+ *   LIST                              enumerate known jobs
  *
  * Server -> client:
  *   IMPSIM <version>                  greeting on connect
@@ -23,6 +25,9 @@
  *   RESULT <id> <nbytes>              then <nbytes> of report/CSV
  *   DONE <id>                         after a RESULT payload
  *   CANCELLED <id>                    job ended without a result
+ *   JOBS <nbytes>                     then <nbytes> of job listing,
+ *                                     one "<id> <state> <done>/<total>
+ *                                     <bytes> <origin>" line per job
  */
 #ifndef IMPSIM_SERVER_PROTOCOL_HPP
 #define IMPSIM_SERVER_PROTOCOL_HPP
@@ -37,8 +42,10 @@
 namespace impsim {
 namespace server {
 
-/** Protocol version announced in the greeting line. */
-inline constexpr int kProtocolVersion = 1;
+/** Protocol version announced in the greeting line (2: FETCH/LIST,
+ *  priority= submit token, jobs survive their submitter's
+ *  disconnect). */
+inline constexpr int kProtocolVersion = 2;
 
 /**
  * Percent-escapes @p s so it is a single space-free token: '%', ' ',
@@ -51,6 +58,15 @@ std::string unescapeToken(const std::string &s);
 
 /** Splits a frame line at single spaces; no empty tokens kept. */
 std::vector<std::string> splitTokens(const std::string &line);
+
+/**
+ * Parses a non-negative decimal token into @p out — digits only, no
+ * signs or whitespace, overflow-checked, capped at @p max. The one
+ * validator for every wire-side number (byte counts, job ids,
+ * manifest fields). @return false on anything else.
+ */
+bool parseNumber(const std::string &s, std::uint64_t &out,
+                 std::uint64_t max = UINT64_MAX);
 
 /**
  * A parsed SUBMIT request line. The config text itself travels as
@@ -67,14 +83,19 @@ struct SubmitRequest
     std::string origin = "<submit>";
     /** Force CSV output for single-run configs (the CLI's --csv). */
     bool csv = false;
+    /**
+     * Scheduling priority in [1, 100]: orders the queue and weights
+     * the running job's worker-pool share (docs/job_server.md).
+     */
+    int priority = 1;
     /** Flag overrides, identical semantics to the CLI's. */
     CliOverrides cli;
 };
 
 /**
  * Parses the tokens of a "SUBMIT ..." line (tokens[0] == "SUBMIT").
- * Recognised keys: origin, csv, app, preset, cores, scale, seed,
- * ooo, pt, ipd, distance, l1, l2.
+ * Recognised keys: origin, csv, priority, app, preset, cores, scale,
+ * seed, ooo, pt, ipd, distance, l1, l2.
  * @return false and sets @p error on any malformed token.
  */
 bool parseSubmitLine(const std::vector<std::string> &tokens,

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Persistent result store for the job server.
+ *
+ * Every job that reaches a terminal state is recorded here: a small
+ * manifest (id, state, run counts, payload size, origin, LRU stamp)
+ * plus the verbatim result payload — the exact bytes `impsim_cli
+ * --config` would have printed, so a FETCHed result stays
+ * bit-identical to an in-process run. With a results directory the
+ * store is on disk (`<id>.manifest` + `<id>.csv` per job) and
+ * survives server restarts, letting a client reconnect days later
+ * and still FETCH; without one it is a purely in-memory map with the
+ * same interface and bounds.
+ *
+ * Eviction is least-recently-used (put and fetch both refresh an
+ * entry) and size-bounded: total payload bytes and entry count. The
+ * most recently touched entry is never evicted, so one oversized
+ * result is still fetchable at least once.
+ */
+#ifndef IMPSIM_SERVER_RESULT_STORE_HPP
+#define IMPSIM_SERVER_RESULT_STORE_HPP
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace impsim {
+namespace server {
+
+/** Manifest of one stored terminal job. */
+struct StoredResult
+{
+    std::uint64_t id = 0;
+    /** Terminal state: "done" or "cancelled". */
+    std::string state = "done";
+    /** Expanded runs finished / in the job's grid. */
+    std::size_t done = 0;
+    std::size_t total = 0;
+    /** Payload size in bytes (0 for cancelled jobs). */
+    std::uint64_t bytes = 0;
+    /** Client-supplied origin (config path) for LIST output. */
+    std::string origin;
+    /** LRU stamp: larger = more recently touched. */
+    std::uint64_t seq = 0;
+};
+
+/**
+ * Thread-safe terminal-job archive with LRU eviction. All methods
+ * may be called from any server thread.
+ */
+class ResultStore
+{
+  public:
+    /**
+     * @param dir results directory; empty = in-memory only.
+     * @param maxBytes total payload bytes kept before LRU eviction.
+     * @param maxEntries manifest count bound (cancelled jobs store
+     *        zero payload bytes, so a byte bound alone would let
+     *        them accumulate without limit).
+     */
+    explicit ResultStore(std::string dir,
+                         std::uint64_t maxBytes = 256ull << 20,
+                         std::size_t maxEntries = 4096);
+
+    /**
+     * Creates the directory and indexes existing manifests (no-op in
+     * memory mode). Call once before serving.
+     * @return the highest stored job id, 0 if none — the server
+     *         resumes its id counter above it so reused ids cannot
+     *         collide with archived results.
+     * @throws std::runtime_error if the directory cannot be created.
+     */
+    std::uint64_t load();
+
+    /** Archives a terminal job (payload empty for cancelled). */
+    void put(StoredResult meta, const std::string &payload);
+
+    /** Manifest lookup without touching LRU order. */
+    bool manifest(std::uint64_t id, StoredResult &out) const;
+
+    /**
+     * Reads a stored payload back and refreshes its LRU stamp.
+     * @return false if @p id is unknown (or its files were removed
+     *         behind the store's back).
+     */
+    bool fetch(std::uint64_t id, StoredResult &meta, std::string &payload);
+
+    /** All manifests, ascending id. */
+    std::vector<StoredResult> list() const;
+
+    /** Payload bytes currently stored. */
+    std::uint64_t totalBytes() const;
+    std::size_t entries() const;
+    bool persistent() const { return !dir_.empty(); }
+
+  private:
+    /** Evicts LRU entries beyond the bounds. Caller holds mutex_. */
+    void evictLocked();
+    void eraseEntryLocked(std::uint64_t id);
+    std::string manifestPath(std::uint64_t id) const;
+    std::string payloadPath(std::uint64_t id) const;
+    /** Writes @p meta's manifest file (tmp + rename). */
+    bool writeManifest(const StoredResult &meta) const;
+
+    mutable std::mutex mutex_;
+    const std::string dir_;
+    const std::uint64_t maxBytes_;
+    const std::size_t maxEntries_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t bytesTotal_ = 0;
+    std::map<std::uint64_t, StoredResult> entries_;
+    /** Memory mode only: payloads keyed like entries_. */
+    std::map<std::uint64_t, std::string> payloads_;
+};
+
+} // namespace server
+} // namespace impsim
+
+#endif // IMPSIM_SERVER_RESULT_STORE_HPP

@@ -47,8 +47,19 @@ runExperiment(const Experiment &exp, std::ostream &os,
         Workload &w = workloadFor(r);
         if (ctl && ctl->cancelled())
             return false;
+        // Single-run reports burn a pool slot too — K tiny jobs must
+        // not dodge the partition K sweeps are held to.
+        if (opt.lease && !opt.lease->acquire())
+            return false;
+        if (ctl && ctl->cancelled()) {
+            if (opt.lease)
+                opt.lease->release();
+            return false;
+        }
         System sys(r.cfg, w.traces, *w.mem);
         SimStats s = sys.run();
+        if (opt.lease)
+            opt.lease->release();
         if (ctl && ctl->onProgress)
             ctl->onProgress(1, 1);
         writeReport(os, r.label, s);
@@ -65,12 +76,18 @@ runExperiment(const Experiment &exp, std::ostream &os,
 
     std::vector<SweepResult> results;
     if (opt.runner) {
-        results = opt.runner->run(sweep, ctl);
+        results = opt.runner->run(sweep, ctl, opt.lease);
     } else {
-        results = SweepRunner(opt.jobs).run(sweep, ctl);
+        results = SweepRunner(opt.jobs).run(sweep, ctl, opt.lease);
     }
     if (ctl && ctl->cancelled())
         return false;
+    // A batch can also come back short because the pool closed under
+    // it (server shutdown); a partial CSV must never pass as success.
+    for (const SweepResult &r : results) {
+        if (!r.ran)
+            return false;
+    }
 
     writeCsvHeader(os);
     for (const SweepResult &r : results)

@@ -29,6 +29,12 @@ struct ExperimentRunOptions
     const SweepRunner *runner = nullptr;
     /** Cancellation + progress hooks; nullptr = not cancellable. */
     SweepControl *control = nullptr;
+    /**
+     * Leased WorkerPool slice gating every simulation (single-run
+     * reports included), so concurrent experiments share one slot
+     * budget; nullptr = ungated.
+     */
+    WorkerPool::Lease *lease = nullptr;
 };
 
 /**

@@ -4,6 +4,7 @@
  */
 #include "sim/sweep_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <thread>
@@ -13,17 +14,212 @@
 
 namespace impsim {
 
-SweepRunner::SweepRunner(unsigned workers) : workers_(workers)
+namespace {
+
+unsigned
+resolveWorkers(unsigned workers)
 {
-    if (workers_ == 0) {
-        workers_ = std::thread::hardware_concurrency();
-        if (workers_ == 0)
-            workers_ = 1;
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    return workers;
+}
+
+} // namespace
+
+// ---- WorkerPool ------------------------------------------------------
+
+WorkerPool::WorkerPool(unsigned slots) : slots_(resolveWorkers(slots)) {}
+
+WorkerPool::~WorkerPool()
+{
+    close();
+    // Leases outliving their pool would dereference it; that is a
+    // caller bug, made loud here instead of a later wild pointer.
+    std::lock_guard<std::mutex> lock(mutex_);
+    IMPSIM_CHECK(leases_.empty(), "WorkerPool destroyed with open leases");
+}
+
+WorkerPool::Lease::Lease(WorkerPool &pool, double weight)
+    : pool_(&pool), weight_(weight > 0 ? weight : 1.0)
+{
+}
+
+WorkerPool::Lease::~Lease()
+{
+    std::lock_guard<std::mutex> lock(pool_->mutex_);
+    IMPSIM_CHECK(held_ == 0 && waitTickets_.empty(),
+                 "WorkerPool lease destroyed while in use");
+    pool_->leases_.erase(std::find(pool_->leases_.begin(),
+                                   pool_->leases_.end(), this));
+    pool_->recompute();
+    pool_->cv_.notify_all();
+}
+
+std::unique_ptr<WorkerPool::Lease>
+WorkerPool::lease(double weight)
+{
+    std::unique_ptr<Lease> l(new Lease(*this, weight));
+    std::lock_guard<std::mutex> lock(mutex_);
+    leases_.push_back(l.get());
+    recompute();
+    return l;
+}
+
+void
+WorkerPool::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+void
+WorkerPool::recompute()
+{
+    // Only leases with demand — a worker running or blocked — take
+    // part; an open but idle lease consumes nothing.
+    std::vector<Lease *> active;
+    double weightSum = 0.0;
+    for (Lease *l : leases_) {
+        if (l->held_ > 0 || !l->waitTickets_.empty()) {
+            active.push_back(l);
+            weightSum += l->weight_;
+        } else {
+            l->target_ = 0;
+        }
+    }
+    if (active.empty())
+        return;
+
+    // Weighted shares, floored, at least 1 while slots remain.
+    // Heaviest first, so when leases outnumber slots the min-1
+    // guarantee starves the lightest, not the heaviest.
+    std::stable_sort(active.begin(), active.end(),
+                     [](const Lease *a, const Lease *b) {
+                         return a->weight_ > b->weight_;
+                     });
+    unsigned remaining = slots_;
+    for (Lease *l : active) {
+        auto share = static_cast<unsigned>(
+            static_cast<double>(slots_) * (l->weight_ / weightSum));
+        share = std::max(share, 1u);
+        share = std::min(share, remaining);
+        l->target_ = share;
+        remaining -= share;
+    }
+
+    // Leftover slots (rounding, or shares nobody can use) go to the
+    // longest-waiting lease first: the one whose oldest blocked
+    // acquire() has the smallest ticket.
+    for (;;) {
+        if (remaining == 0)
+            return;
+        Lease *pick = nullptr;
+        for (Lease *l : active) {
+            if (l->waitTickets_.empty())
+                continue;
+            if (l->target_ >= l->held_ + l->waitTickets_.size())
+                continue; // demand already satisfied
+            if (!pick ||
+                l->waitTickets_.front() < pick->waitTickets_.front())
+                pick = l;
+        }
+        if (!pick)
+            return;
+        ++pick->target_;
+        --remaining;
     }
 }
 
+bool
+WorkerPool::canGrant(const Lease &l) const
+{
+    if (heldTotal_ >= slots_)
+        return false;
+    if (l.held_ < l.target_)
+        return true;
+    // Borrowing an idle slot beyond the target: only when nobody
+    // under-target is waiting, and only for the longest-waiting of
+    // the over-target leases.
+    for (const Lease *o : leases_) {
+        if (o->waitTickets_.empty())
+            continue;
+        if (o->held_ < o->target_)
+            return false;
+        if (o != &l && o->waitTickets_.front() < l.waitTickets_.front())
+            return false;
+    }
+    return true;
+}
+
+bool
+WorkerPool::Lease::acquire()
+{
+    std::unique_lock<std::mutex> lock(pool_->mutex_);
+    const std::uint64_t ticket = ++pool_->ticketSeq_;
+    waitTickets_.push_back(ticket);
+    pool_->recompute();
+    pool_->cv_.wait(lock, [&] {
+        return pool_->closed_ || pool_->canGrant(*this);
+    });
+    waitTickets_.erase(std::find(waitTickets_.begin(), waitTickets_.end(),
+                                 ticket));
+    if (pool_->closed_) {
+        pool_->recompute();
+        return false;
+    }
+    ++held_;
+    ++pool_->heldTotal_;
+    // Taking a slot shrinks this lease's unmet demand; leftover
+    // redistribution may now favour another lease's waiter, so wake
+    // them to re-check.
+    pool_->recompute();
+    pool_->cv_.notify_all();
+    return true;
+}
+
+void
+WorkerPool::Lease::release()
+{
+    {
+        std::lock_guard<std::mutex> lock(pool_->mutex_);
+        IMPSIM_CHECK(held_ > 0, "WorkerPool release without acquire");
+        --held_;
+        --pool_->heldTotal_;
+        pool_->recompute();
+    }
+    pool_->cv_.notify_all();
+}
+
+unsigned
+WorkerPool::Lease::held() const
+{
+    std::lock_guard<std::mutex> lock(pool_->mutex_);
+    return held_;
+}
+
+unsigned
+WorkerPool::Lease::target() const
+{
+    std::lock_guard<std::mutex> lock(pool_->mutex_);
+    return target_;
+}
+
+// ---- SweepRunner -----------------------------------------------------
+
+SweepRunner::SweepRunner(unsigned workers)
+    : workers_(resolveWorkers(workers))
+{
+}
+
 std::vector<SweepResult>
-SweepRunner::run(const std::vector<SweepJob> &jobs, SweepControl *ctl) const
+SweepRunner::run(const std::vector<SweepJob> &jobs, SweepControl *ctl,
+                 WorkerPool::Lease *lease) const
 {
     for (const SweepJob &job : jobs)
         IMPSIM_CHECK(job.traces != nullptr && job.mem != nullptr,
@@ -40,12 +236,22 @@ SweepRunner::run(const std::vector<SweepJob> &jobs, SweepControl *ctl) const
         for (;;) {
             if (ctl && ctl->cancelled())
                 return;
-            std::size_t i = next.fetch_add(1);
-            if (i >= jobs.size())
+            // The slot comes before the work item: a worker that
+            // blocks here has claimed nothing, so the batch stays
+            // cancellable and rebalanceable between simulations.
+            if (lease && !lease->acquire())
                 return;
+            std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size() || (ctl && ctl->cancelled())) {
+                if (lease)
+                    lease->release();
+                return;
+            }
             const SweepJob &job = jobs[i];
             System sys(job.cfg, *job.traces, *job.mem);
             results[i] = SweepResult{job.name, sys.run(job.limit), true};
+            if (lease)
+                lease->release();
             if (ctl && ctl->onProgress) {
                 // Count and notify under one lock so done counts
                 // arrive strictly monotone 1..N.

@@ -14,8 +14,13 @@
 #define IMPSIM_SIM_SWEEP_RUNNER_HPP
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -79,6 +84,102 @@ class SweepControl
     std::atomic<bool> cancel_{false};
 };
 
+/**
+ * A fixed budget of simulation slots shared by concurrent sweeps,
+ * partitioned between them by a weighted-fair allocator.
+ *
+ * Each concurrent batch (a job-server job, typically) holds a Lease;
+ * a worker thread must acquire() one of the lease's slots before
+ * every simulation and release() it after, so the partition is
+ * re-evaluated at simulation granularity — exactly the cadence at
+ * which cancellation is honoured. Allocation rules:
+ *
+ *  - every lease with demand (running or waiting workers) gets a
+ *    slot share proportional to its weight, at least 1 while slots
+ *    remain (heaviest leases are served first when leases outnumber
+ *    slots);
+ *  - slots a lease cannot use (its sweep is out of work) return to
+ *    the pot and go to the longest-waiting lease — the one whose
+ *    oldest blocked acquire() is oldest — so a draining job's idle
+ *    workers immediately speed up whoever has waited longest;
+ *  - an over-target waiter may borrow a free slot only when no
+ *    under-target lease is waiting.
+ *
+ * The pool never runs more than `slots` simulations at once, whatever
+ * the number of leases, and allocation only affects *scheduling*:
+ * per-batch results are still indexed by job, so output stays
+ * bit-identical to a serial run.
+ */
+class WorkerPool
+{
+  public:
+    /** @param slots concurrent simulations; 0 = hardware threads. */
+    explicit WorkerPool(unsigned slots = 0);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** One batch's slice of the pool. Destroy only with no slot held. */
+    class Lease
+    {
+      public:
+        ~Lease();
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+
+        /**
+         * Blocks until a slot is granted (or the pool closes).
+         * @return false iff the pool was closed — stop running.
+         */
+        bool acquire();
+        /** Returns a slot granted by acquire() to the pool. */
+        void release();
+
+        /** Slots this lease currently holds. */
+        unsigned held() const;
+        /** Slots the allocator currently assigns this lease. */
+        unsigned target() const;
+
+      private:
+        friend class WorkerPool;
+        Lease(WorkerPool &pool, double weight);
+
+        WorkerPool *pool_;
+        const double weight_;
+        // All below guarded by pool_->mutex_.
+        unsigned held_ = 0;
+        unsigned target_ = 0;
+        /** Tickets of blocked acquire()s, oldest first. */
+        std::deque<std::uint64_t> waitTickets_;
+    };
+
+    /**
+     * Opens a lease with the given allocation weight (a job-server
+     * priority, typically). Thread-safe.
+     */
+    std::unique_ptr<Lease> lease(double weight = 1.0);
+
+    /** Fails every blocked and future acquire(); for shutdown. */
+    void close();
+
+    unsigned slots() const { return slots_; }
+
+  private:
+    /** Recomputes every lease's target. Caller holds mutex_. */
+    void recompute();
+    /** May @p l take a slot right now? Caller holds mutex_. */
+    bool canGrant(const Lease &l) const;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    unsigned slots_;
+    unsigned heldTotal_ = 0;
+    bool closed_ = false;
+    std::uint64_t ticketSeq_ = 0;
+    std::vector<Lease *> leases_;
+};
+
 /** Runs batches of SweepJobs across worker threads. */
 class SweepRunner
 {
@@ -99,9 +200,15 @@ class SweepRunner
      * @param ctl optional cancellation + progress hooks; may be
      *            shared with other threads but not with a concurrent
      *            run() call.
+     * @param lease optional WorkerPool slice: every simulation is
+     *            bracketed by lease->acquire()/release(), so
+     *            concurrent run() calls share the pool fairly. A
+     *            closed pool ends the batch early (entries keep
+     *            `ran == false`, like cancellation).
      */
     std::vector<SweepResult> run(const std::vector<SweepJob> &jobs,
-                                 SweepControl *ctl = nullptr) const;
+                                 SweepControl *ctl = nullptr,
+                                 WorkerPool::Lease *lease = nullptr) const;
 
     unsigned workers() const { return workers_; }
 

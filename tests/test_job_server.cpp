@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -150,16 +151,27 @@ class RawClient
     LineReader reader_;
 };
 
-/** A 32-run single-workload sweep: long enough to cancel mid-flight. */
+/** An n-run single-workload sweep: long enough to cancel mid-flight. */
 std::string
-longSweepText()
+longSweepText(int n = 32)
 {
     std::string pts;
-    for (int i = 1; i <= 32; ++i)
+    for (int i = 1; i <= n; ++i)
         pts += (i > 1 ? ", " : "") + std::to_string(i);
     return "[system]\n"
            "app = spmv\ncores = 4\nscale = 0.05\n"
            "[sweep]\npt = [" + pts + "]\n";
+}
+
+/** The in-process reference output for raw config text. */
+std::string
+inProcessOutputText(const std::string &text)
+{
+    Experiment exp =
+        bindExperiment(ConfigFile::parseString(text, "<text>"), {});
+    std::ostringstream os;
+    EXPECT_TRUE(runExperiment(exp, os));
+    return os.str();
 }
 
 TEST(FairJobQueue, RoundRobinAcrossClientsAndBackpressure)
@@ -195,6 +207,63 @@ TEST(FairJobQueue, RoundRobinAcrossClientsAndBackpressure)
     EXPECT_EQ(q.pop(), nullptr);
 }
 
+TEST(FairJobQueue, HigherPriorityPopsFirstAcrossClients)
+{
+    FairJobQueue q(8);
+    auto mk = [](std::uint64_t id, std::uint64_t client, int prio) {
+        auto j = std::make_shared<ServerJob>();
+        j->id = id;
+        j->clientId = client;
+        j->priority = prio;
+        return j;
+    };
+    EXPECT_TRUE(q.push(mk(1, 1, 1)));
+    EXPECT_TRUE(q.push(mk(2, 1, 5)));
+    EXPECT_TRUE(q.push(mk(3, 2, 5)));
+    EXPECT_TRUE(q.push(mk(4, 2, 1)));
+
+    // Priority 5 drains first (round-robin within it: clients 1, 2),
+    // then priority 1 (clients 1, 2) — submission order be damned.
+    EXPECT_EQ(q.pop()->id, 2u);
+    EXPECT_EQ(q.pop()->id, 3u);
+    EXPECT_EQ(q.pop()->id, 1u);
+    EXPECT_EQ(q.pop()->id, 4u);
+}
+
+TEST(FairJobQueue, QuotaDefersAClientsSecondJobUntilFinished)
+{
+    FairJobQueue q(8, /*perClientQuota=*/1);
+    auto mk = [](std::uint64_t id, std::uint64_t client) {
+        auto j = std::make_shared<ServerJob>();
+        j->id = id;
+        j->clientId = client;
+        return j;
+    };
+    EXPECT_TRUE(q.push(mk(1, 1)));
+    EXPECT_TRUE(q.push(mk(2, 1)));
+    EXPECT_TRUE(q.push(mk(3, 2)));
+
+    // Client 1's first job claims its whole quota; the next eligible
+    // job is client 2's, and client 1's second stays queued.
+    EXPECT_EQ(q.pop()->id, 1u);
+    EXPECT_EQ(q.pop()->id, 3u);
+    EXPECT_EQ(q.size(), 1u);
+
+    // finished() frees the slot: job 2 becomes poppable (from a
+    // blocked pop, as the server's runner threads use it).
+    std::promise<std::uint64_t> popped;
+    std::future<std::uint64_t> fut = popped.get_future();
+    std::thread t([&] { popped.set_value(q.pop()->id); });
+    EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(50)),
+              std::future_status::timeout)
+        << "job 2 must stay ineligible while job 1 is active";
+    q.finished(1);
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    EXPECT_EQ(fut.get(), 2u);
+    t.join();
+}
+
 TEST(Protocol, SubmitLineRoundTripsOverridesExactly)
 {
     // The --submit/--config bit-identity hinges on overrides
@@ -205,6 +274,7 @@ TEST(Protocol, SubmitLineRoundTripsOverridesExactly)
     req.configBytes = 123;
     req.origin = "/tmp/dir with spaces/100%.imp.ini";
     req.csv = true;
+    req.priority = 7;
     req.cli.app = "spmv";
     req.cli.preset = "IMP";
     req.cli.cores = 16u;
@@ -226,6 +296,7 @@ TEST(Protocol, SubmitLineRoundTripsOverridesExactly)
     EXPECT_EQ(back.configBytes, req.configBytes);
     EXPECT_EQ(back.origin, req.origin);
     EXPECT_EQ(back.csv, req.csv);
+    EXPECT_EQ(back.priority, req.priority);
     EXPECT_EQ(back.cli.app, req.cli.app);
     EXPECT_EQ(back.cli.preset, req.cli.preset);
     EXPECT_EQ(back.cli.cores, req.cli.cores);
@@ -442,6 +513,251 @@ TEST(JobServer, TcpListenerServesTheSameProtocol)
         << err.str();
     srv.stop();
     EXPECT_EQ(out.str(), inProcessOutput(smokeConfigPath()));
+}
+
+TEST(JobServer, ConcurrentClientsTimesJobsStressBitIdentical)
+{
+    // The headline invariant under real concurrency: N clients x M
+    // jobs with per-job overrides, up to 3 jobs active at once over a
+    // 2-slot pool — every delivered result must be bit-identical to
+    // the same config run via --config (inProcessOutput uses the same
+    // runExperiment the CLI does).
+    constexpr int kClients = 3;
+    constexpr int kJobsPerClient = 2;
+
+    JobServerConfig cfg;
+    cfg.socketPath = tempSocketPath("stress");
+    cfg.workers = 2;
+    cfg.maxActive = 3;
+    JobServer srv(cfg);
+    srv.start();
+
+    // Distinct pt per (client, job): distinct outputs, so a crossed
+    // delivery or interleaved write cannot pass by accident.
+    auto ptFor = [](int c, int j) {
+        return static_cast<std::uint32_t>(4u << (c + j));
+    };
+    std::string expected[kClients][kJobsPerClient];
+    for (int c = 0; c < kClients; ++c) {
+        for (int j = 0; j < kJobsPerClient; ++j) {
+            CliOverrides cli;
+            cli.pt = ptFor(c, j);
+            expected[c][j] = inProcessOutput(smokeConfigPath(), cli);
+            ASSERT_FALSE(expected[c][j].empty());
+        }
+    }
+    ASSERT_NE(expected[0][0], expected[2][1])
+        << "overrides must differentiate the outputs";
+
+    std::string got[kClients][kJobsPerClient];
+    int code[kClients][kJobsPerClient];
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int j = 0; j < kJobsPerClient; ++j) {
+                SubmitRequest req;
+                req.cli.pt = ptFor(c, j);
+                std::ostringstream out, err;
+                code[c][j] = server::submitAndWait(
+                    cfg.socketPath, smokeConfigPath(), req, out, err);
+                got[c][j] = out.str();
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    srv.stop();
+
+    for (int c = 0; c < kClients; ++c) {
+        for (int j = 0; j < kJobsPerClient; ++j) {
+            SCOPED_TRACE("client " + std::to_string(c) + " job " +
+                         std::to_string(j));
+            EXPECT_EQ(code[c][j], 0);
+            EXPECT_EQ(got[c][j], expected[c][j]);
+        }
+    }
+}
+
+TEST(JobServer, PerClientQuotaHoldsSecondJobWhileOthersRun)
+{
+    JobServerConfig cfg;
+    cfg.socketPath = tempSocketPath("quota");
+    cfg.workers = 2;
+    cfg.maxActive = 2;
+    cfg.perClientQuota = 1;
+    JobServer srv(cfg);
+    srv.start();
+
+    RawClient a(cfg.socketPath);
+    std::string r1 = a.submit(longSweepText(128));
+    ASSERT_EQ(r1.rfind("QUEUED ", 0), 0u) << r1;
+    const std::string id1 = r1.substr(7);
+    std::string r2 = a.submit(longSweepText(128));
+    ASSERT_EQ(r2.rfind("QUEUED ", 0), 0u) << r2;
+    const std::string id2 = r2.substr(7);
+
+    ASSERT_TRUE(a.awaitState(id1, "running"));
+    // Two runner threads are free, but client a's quota is 1: its
+    // second job must sit in the queue...
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(a.awaitState(id2, "queued"));
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    // ...while another client's first job sails through.
+    RawClient b(cfg.socketPath);
+    std::string r3 = b.submit(longSweepText(128));
+    ASSERT_EQ(r3.rfind("QUEUED ", 0), 0u) << r3;
+    const std::string id3 = r3.substr(7);
+    ASSERT_TRUE(b.awaitState(id3, "running"));
+    ASSERT_TRUE(a.awaitState(id2, "queued"));
+
+    // Freeing a's slot admits its second job.
+    ASSERT_TRUE(a.send("CANCEL " + id1 + "\n"));
+    ASSERT_TRUE(a.awaitState(id2, "running"));
+
+    ASSERT_TRUE(a.send("CANCEL " + id2 + "\n"));
+    ASSERT_TRUE(b.send("CANCEL " + id3 + "\n"));
+    ASSERT_TRUE(a.awaitState(id2, "cancelled"));
+    ASSERT_TRUE(b.awaitState(id3, "cancelled"));
+    srv.stop();
+}
+
+TEST(JobServer, PriorityJumpsTheQueueWhenFull)
+{
+    JobServerConfig cfg;
+    cfg.socketPath = tempSocketPath("prio");
+    cfg.workers = 1;
+    cfg.maxActive = 1;
+    JobServer srv(cfg);
+    srv.start();
+
+    RawClient client(cfg.socketPath);
+    // A blocker occupies the single runner; then a default-priority
+    // job and a priority-5 job pile up behind it.
+    std::string rb = client.submit(longSweepText(128));
+    ASSERT_EQ(rb.rfind("QUEUED ", 0), 0u) << rb;
+    const std::string blocker = rb.substr(7);
+    ASSERT_TRUE(client.awaitState(blocker, "running"));
+
+    std::string rlow = client.submit(longSweepText(128));
+    ASSERT_EQ(rlow.rfind("QUEUED ", 0), 0u) << rlow;
+    const std::string low = rlow.substr(7);
+    std::string rhigh = client.submit(longSweepText(128), " priority=5");
+    ASSERT_EQ(rhigh.rfind("QUEUED ", 0), 0u) << rhigh;
+    const std::string high = rhigh.substr(7);
+
+    // Unblock: the later-submitted high-priority job must run next,
+    // with the low-priority one still queued at that moment.
+    ASSERT_TRUE(client.send("CANCEL " + blocker + "\n"));
+    ASSERT_TRUE(client.awaitState(high, "running"));
+    ASSERT_TRUE(client.awaitState(low, "queued"));
+
+    ASSERT_TRUE(client.send("CANCEL " + high + "\n"));
+    ASSERT_TRUE(client.send("CANCEL " + low + "\n"));
+    ASSERT_TRUE(client.awaitState(high, "cancelled"));
+    ASSERT_TRUE(client.awaitState(low, "cancelled"));
+    srv.stop();
+}
+
+TEST(JobServer, DisconnectMidSweepThenReconnectAndFetch)
+{
+    // The reconnect story end-to-end: the submitter vanishes mid-
+    // sweep, the job runs to completion anyway, and a later
+    // connection FETCHes the stored result — bit-identical to the
+    // in-process run of the same config.
+    const std::string text = longSweepText(8);
+    const std::string expected = inProcessOutputText(text);
+
+    JobServerConfig cfg;
+    cfg.socketPath = tempSocketPath("reconnect");
+    cfg.workers = 2;
+    JobServer srv(cfg);
+    srv.start();
+
+    std::string id;
+    {
+        RawClient doomed(cfg.socketPath);
+        std::string r = doomed.submit(text);
+        ASSERT_EQ(r.rfind("QUEUED ", 0), 0u) << r;
+        id = r.substr(7);
+        ASSERT_TRUE(doomed.awaitState(id, "running"));
+        // Scope exit closes the socket mid-sweep: the old server
+        // cancelled here; now the job must survive its submitter.
+    }
+
+    RawClient later(cfg.socketPath);
+    ASSERT_TRUE(later.awaitState(id, "done"));
+
+    // FETCH through the real client helper (what --fetch runs).
+    std::ostringstream out, err;
+    EXPECT_EQ(server::fetchResult(cfg.socketPath, id, out, err), 0)
+        << err.str();
+    EXPECT_EQ(out.str(), expected);
+
+    // And LIST (what --list runs) shows the archived job as done.
+    std::ostringstream listOut, listErr;
+    EXPECT_EQ(server::listJobs(cfg.socketPath, listOut, listErr), 0)
+        << listErr.str();
+    EXPECT_NE(listOut.str().find(id + " done 8/8"), std::string::npos)
+        << listOut.str();
+    srv.stop();
+}
+
+TEST(JobServer, ResultStoreSurvivesServerRestart)
+{
+    // Same socket path, same results dir, a brand-new JobServer: the
+    // archive must reload, serve FETCH bit-identically, and hand out
+    // fresh ids above everything stored.
+    const std::string resultsDir =
+        "/tmp/impsim_results_" + std::to_string(::getpid());
+    const std::string expected = inProcessOutput(smokeConfigPath());
+
+    JobServerConfig cfg;
+    cfg.socketPath = tempSocketPath("restart");
+    cfg.workers = 2;
+    cfg.resultsDir = resultsDir;
+
+    std::string id;
+    {
+        JobServer srv(cfg);
+        srv.start();
+        std::ostringstream out, err;
+        ASSERT_EQ(server::submitAndWait(cfg.socketPath, smokeConfigPath(),
+                                        SubmitRequest{}, out, err),
+                  0)
+            << err.str();
+        std::ostringstream listOut, listErr;
+        ASSERT_EQ(server::listJobs(cfg.socketPath, listOut, listErr), 0);
+        std::istringstream first(listOut.str());
+        first >> id;
+        ASSERT_FALSE(id.empty());
+        srv.stop();
+    }
+
+    JobServer srv2(cfg);
+    srv2.start();
+    std::ostringstream out, err;
+    EXPECT_EQ(server::fetchResult(cfg.socketPath, id, out, err), 0)
+        << err.str();
+    EXPECT_EQ(out.str(), expected);
+
+    // A job submitted to the restarted server gets a higher id.
+    RawClient client(cfg.socketPath);
+    std::string r = client.submit(longSweepText(2));
+    ASSERT_EQ(r.rfind("QUEUED ", 0), 0u) << r;
+    EXPECT_GT(std::stoull(r.substr(7)), std::stoull(id));
+    ASSERT_TRUE(client.awaitState(r.substr(7), "done"));
+    srv2.stop();
+
+    // Clean the archive (flat "<id>.manifest"/"<id>.csv" layout).
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        std::remove(
+            (resultsDir + "/" + std::to_string(i) + ".manifest").c_str());
+        std::remove(
+            (resultsDir + "/" + std::to_string(i) + ".csv").c_str());
+    }
+    ::rmdir(resultsDir.c_str());
 }
 
 TEST(JobServer, StopWithInFlightWorkShutsDownPromptly)

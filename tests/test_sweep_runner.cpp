@@ -5,6 +5,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
+#include <thread>
+
 #include "sim/presets.hpp"
 #include "sim/sweep_runner.hpp"
 #include "sim/system.hpp"
@@ -162,6 +166,127 @@ TEST(SweepRunner, CancelMidBatchStopsPickingUpNewJobs)
     EXPECT_TRUE(results[0].ran);
     for (std::size_t i = 1; i < results.size(); ++i)
         EXPECT_FALSE(results[i].ran) << "job " << i;
+}
+
+TEST(WorkerPool, SlotsResolveLikeSweepRunnerWorkers)
+{
+    EXPECT_GE(WorkerPool(0).slots(), 1u);
+    EXPECT_EQ(WorkerPool(3).slots(), 3u);
+}
+
+TEST(WorkerPool, GrantsUpToSlotsThenBlocksUntilRelease)
+{
+    WorkerPool pool(2);
+    std::unique_ptr<WorkerPool::Lease> a = pool.lease(1.0);
+    ASSERT_TRUE(a->acquire());
+    ASSERT_TRUE(a->acquire());
+    EXPECT_EQ(a->held(), 2u);
+
+    // A second lease's acquire must block while the pool is full and
+    // complete once a slot is released.
+    std::unique_ptr<WorkerPool::Lease> b = pool.lease(1.0);
+    std::promise<bool> got;
+    std::future<bool> fut = got.get_future();
+    std::thread t([&] { got.set_value(b->acquire()); });
+    EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(50)),
+              std::future_status::timeout)
+        << "acquire must not succeed while both slots are held";
+    a->release();
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready)
+        << "released slot must reach the waiting lease";
+    EXPECT_TRUE(fut.get());
+    t.join();
+
+    b->release();
+    a->release();
+}
+
+TEST(WorkerPool, WeightsPartitionTheTargets)
+{
+    // Two demanding leases over 4 slots at weights 3:1 target 3 and 1.
+    WorkerPool pool(4);
+    std::unique_ptr<WorkerPool::Lease> heavy = pool.lease(3.0);
+    std::unique_ptr<WorkerPool::Lease> light = pool.lease(1.0);
+    ASSERT_TRUE(heavy->acquire());
+    ASSERT_TRUE(light->acquire());
+    EXPECT_EQ(heavy->target(), 3u);
+    EXPECT_EQ(light->target(), 1u);
+
+    // The light lease's demand gone, the heavy one may borrow all 4.
+    light->release();
+    ASSERT_TRUE(heavy->acquire());
+    ASSERT_TRUE(heavy->acquire());
+    ASSERT_TRUE(heavy->acquire());
+    EXPECT_EQ(heavy->held(), 4u);
+    for (int i = 0; i < 4; ++i)
+        heavy->release();
+}
+
+TEST(WorkerPool, CloseFailsBlockedAndFutureAcquires)
+{
+    WorkerPool pool(1);
+    std::unique_ptr<WorkerPool::Lease> a = pool.lease(1.0);
+    ASSERT_TRUE(a->acquire());
+
+    std::unique_ptr<WorkerPool::Lease> b = pool.lease(1.0);
+    std::promise<bool> got;
+    std::future<bool> fut = got.get_future();
+    std::thread t([&] { got.set_value(b->acquire()); });
+    pool.close();
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    EXPECT_FALSE(fut.get()) << "close() must fail a blocked acquire";
+    t.join();
+    EXPECT_FALSE(a->acquire()) << "and every acquire after it";
+    a->release();
+}
+
+TEST(SweepRunner, LeaseGatedRunIsBitIdenticalToUngated)
+{
+    std::vector<SweepJob> jobs = sweepJobs();
+    std::vector<SweepResult> plain = SweepRunner(2).run(jobs);
+
+    WorkerPool pool(2);
+    std::unique_ptr<WorkerPool::Lease> lease = pool.lease(1.0);
+    std::vector<SweepResult> gated =
+        SweepRunner(2).run(jobs, nullptr, lease.get());
+
+    ASSERT_EQ(gated.size(), plain.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        SCOPED_TRACE(jobs[i].name);
+        EXPECT_TRUE(gated[i].ran);
+        EXPECT_EQ(gated[i].name, plain[i].name);
+        expectSameStats(gated[i].stats, plain[i].stats);
+    }
+    EXPECT_EQ(lease->held(), 0u) << "every slot returned to the pool";
+}
+
+TEST(SweepRunner, TwoConcurrentLeasedRunsShareThePoolBitIdentically)
+{
+    // The job-server execution model in miniature: two sweeps race
+    // over one 2-slot pool, each leasing a weighted slice. Both must
+    // come back complete and identical to their solo runs.
+    std::vector<SweepJob> jobs = sweepJobs();
+    std::vector<SweepResult> solo = SweepRunner(2).run(jobs);
+
+    WorkerPool pool(2);
+    auto runLeased = [&](double weight) {
+        std::unique_ptr<WorkerPool::Lease> lease = pool.lease(weight);
+        return SweepRunner(2).run(jobs, nullptr, lease.get());
+    };
+    std::future<std::vector<SweepResult>> af =
+        std::async(std::launch::async, runLeased, 2.0);
+    std::future<std::vector<SweepResult>> bf =
+        std::async(std::launch::async, runLeased, 1.0);
+    for (std::vector<SweepResult> results : {af.get(), bf.get()}) {
+        ASSERT_EQ(results.size(), solo.size());
+        for (std::size_t i = 0; i < solo.size(); ++i) {
+            SCOPED_TRACE(jobs[i].name);
+            EXPECT_TRUE(results[i].ran);
+            expectSameStats(results[i].stats, solo[i].stats);
+        }
+    }
 }
 
 TEST(SweepRunner, Fig9PresetListBitIdenticalAtTwoJobs)

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Standalone simulator-speed harness (docs/perf.md).
+ *
+ * Times the pinned perf grids and writes machine-readable JSON, so a
+ * PR can record its `BENCH_<n>.json` with:
+ *
+ *   ./build/perf_harness --json BENCH_7.json
+ *
+ * Usage:
+ *   perf_harness [--json FILE] [--grid NAME[,NAME...]] [--reps N]
+ *
+ * Grids: pinned (8 apps x {Base, IMP} x {1,16} cores), fig9 (the
+ * 16-core Fig 9 panel), smoke (CI-sized subset). Default:
+ * pinned,fig9. `impsim_cli --bench-json FILE` runs the same code.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config_file.hpp"
+#include "sim/perf_bench.hpp"
+
+using namespace impsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    std::string grids_arg = "pinned,fig9";
+    int reps = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--json")
+            json_path = next();
+        else if (a == "--grid")
+            grids_arg = next();
+        else if (a == "--reps")
+            reps = std::atoi(next());
+        else {
+            std::fprintf(stderr,
+                         "usage: perf_harness [--json FILE] "
+                         "[--grid pinned|fig9|smoke[,...]] [--reps N]\n");
+            return 1;
+        }
+    }
+
+    std::vector<PerfGrid> grids;
+    for (const std::string &name : splitCommaList(grids_arg)) {
+        PerfGrid g;
+        if (!parsePerfGridName(name, g)) {
+            std::fprintf(stderr, "unknown grid '%s'\n", name.c_str());
+            return 1;
+        }
+        grids.push_back(g);
+    }
+
+    PerfBenchResult r = runPerfBench(grids, reps);
+    writePerfSummary(std::cout, r);
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         json_path.c_str());
+            return 1;
+        }
+        writePerfJson(out, r);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -15,8 +15,16 @@
  *              [override flags as above]
  *   impsim_cli --fetch ID --server ADDR
  *   impsim_cli --list --server ADDR
+ *   impsim_cli --bench-json FILE [--bench-grid NAME[,NAME...]]
+ *              [--bench-reps N]
  *
  * Flags accept both "--flag value" and "--flag=value".
+ *
+ * --bench-json FILE times the pinned simulator-speed grids (default
+ * "pinned,fig9"; see docs/perf.md) and writes machine-readable JSON
+ * to FILE — the mode that records `BENCH_<n>.json`. --bench-grid
+ * picks grids (pinned, fig9, smoke), --bench-reps N takes the best
+ * of N timed repetitions per point.
  *
  * --submit FILE sends the config to an `impsim_serve` instance at
  * --server ADDR (a Unix socket path, or "tcp:HOST:PORT") and streams
@@ -73,9 +81,12 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "common/config_file.hpp"
 #include "server/client.hpp"
 #include "sim/experiment_runner.hpp"
+#include "sim/perf_bench.hpp"
 #include "sim/presets.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep_runner.hpp"
@@ -256,6 +267,9 @@ main(int argc, char **argv)
     std::string prefetcher;
     std::string l2Prefetcher;
     unsigned jobs = 0;
+    std::string benchJson;
+    std::string benchGrids = "pinned,fig9";
+    std::uint32_t benchReps = 1;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -336,10 +350,48 @@ main(int argc, char **argv)
             l2Prefetcher = next();
         else if (a == "--jobs")
             jobs = parseU32(a, next());
+        else if (a == "--bench-json")
+            benchJson = next();
+        else if (a == "--bench-grid")
+            benchGrids = next();
+        else if (a == "--bench-reps") {
+            benchReps = parseU32(a, next());
+            if (benchReps < 1) {
+                std::fprintf(stderr, "--bench-reps must be positive\n");
+                return 1;
+            }
+        }
         else {
             std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
             return 1;
         }
+    }
+
+    if (!benchJson.empty()) {
+        std::vector<PerfGrid> grids;
+        for (const std::string &name : splitCommaList(benchGrids)) {
+            PerfGrid g;
+            if (!parsePerfGridName(name, g)) {
+                std::fprintf(stderr,
+                             "unknown bench grid '%s' (try pinned, "
+                             "fig9, smoke)\n",
+                             name.c_str());
+                return 1;
+            }
+            grids.push_back(g);
+        }
+        PerfBenchResult r =
+            runPerfBench(grids, static_cast<int>(benchReps));
+        writePerfSummary(std::cout, r);
+        std::ofstream out(benchJson);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         benchJson.c_str());
+            return 1;
+        }
+        writePerfJson(out, r);
+        std::printf("wrote %s\n", benchJson.c_str());
+        return 0;
     }
 
     if (check && config.empty()) {

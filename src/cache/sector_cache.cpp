@@ -8,20 +8,6 @@
 
 namespace impsim {
 
-std::uint32_t
-sectorMask(Addr addr, std::uint32_t size, std::uint32_t sector_bytes)
-{
-    IMPSIM_CHECK(size > 0 && size <= kLineSize, "bad access size");
-    std::uint32_t off = lineOffset(addr);
-    std::uint32_t first = off / sector_bytes;
-    std::uint32_t last = (off + size - 1) / sector_bytes;
-    IMPSIM_CHECK(last < 32, "sector index overflow");
-    std::uint32_t mask = 0;
-    for (std::uint32_t s = first; s <= last; ++s)
-        mask |= 1u << s;
-    return mask;
-}
-
 SectorCache::SectorCache(std::uint32_t size_bytes, std::uint32_t ways,
                          std::uint32_t sector_bytes)
     : ways_(ways), sectorBytes_(sector_bytes),
@@ -35,30 +21,6 @@ SectorCache::SectorCache(std::uint32_t size_bytes, std::uint32_t ways,
     IMPSIM_CHECK(kLineSize % sector_bytes == 0,
                  "sector size must divide line size");
     frames_.resize(std::size_t{numSets_} * ways_);
-}
-
-std::uint32_t
-SectorCache::setOf(Addr line_addr) const
-{
-    return static_cast<std::uint32_t>(lineOf(line_addr)) & (numSets_ - 1);
-}
-
-CacheLine *
-SectorCache::find(Addr line_addr)
-{
-    line_addr = lineAlign(line_addr);
-    CacheLine *base = &frames_[std::size_t{setOf(line_addr)} * ways_];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (base[w].valid() && base[w].lineAddr == line_addr)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const CacheLine *
-SectorCache::find(Addr line_addr) const
-{
-    return const_cast<SectorCache *>(this)->find(line_addr);
 }
 
 CacheLine *

@@ -15,6 +15,8 @@ Directory::Directory(std::uint32_t max_pointers, std::uint32_t num_cores)
       numCores_(num_cores)
 {
     IMPSIM_CHECK(maxPointers_ > 0, "need at least one sharer pointer");
+    IMPSIM_CHECK(num_cores <= DirEntry::kNone,
+                 "core count exceeds the packed 16-bit directory ids");
 }
 
 DirEntry &
@@ -32,8 +34,8 @@ Directory::addSharer(DirEntry &e, CoreId core)
                 return; // Already tracked.
         }
         for (std::uint32_t i = 0; i < maxPointers_; ++i) {
-            if (e.pointers[i] == kNoCore) {
-                e.pointers[i] = core;
+            if (e.pointers[i] == DirEntry::kNone) {
+                e.pointers[i] = static_cast<std::uint16_t>(core);
                 ++e.sharerCount;
                 return;
             }
@@ -63,10 +65,11 @@ Directory::onGetS(Addr line, CoreId req)
         // silently (standard MESI optimisation; paper §3.2.3 notes
         // prefetches may load in S or E).
         e.state = DirState::Exclusive;
-        e.owner = req;
+        e.owner = static_cast<std::uint16_t>(req);
         e.sharerCount = 1;
         e.broadcast = false;
-        std::fill(std::begin(e.pointers), std::end(e.pointers), kNoCore);
+        std::fill(std::begin(e.pointers), std::end(e.pointers),
+                  DirEntry::kNone);
         act.grantExclusive = true;
         return act;
       case DirState::Shared:
@@ -81,12 +84,13 @@ Directory::onGetS(Addr line, CoreId req)
         // Downgrade the owner to S; both become sharers.
         act.downgrade = e.owner;
         e.state = DirState::Shared;
-        std::fill(std::begin(e.pointers), std::end(e.pointers), kNoCore);
+        std::fill(std::begin(e.pointers), std::end(e.pointers),
+                  DirEntry::kNone);
         e.sharerCount = 0;
         e.broadcast = false;
         addSharer(e, e.owner);
         addSharer(e, req);
-        e.owner = kNoCore;
+        e.owner = DirEntry::kNone;
         return act;
     }
     IMPSIM_PANIC("bad directory state");
@@ -110,8 +114,8 @@ Directory::onGetX(Addr line, CoreId req)
             act.acks = e.sharerCount;
         } else {
             for (std::uint32_t i = 0; i < maxPointers_; ++i) {
-                CoreId c = e.pointers[i];
-                if (c != kNoCore && c != req)
+                std::uint16_t c = e.pointers[i];
+                if (c != DirEntry::kNone && c != req)
                     act.invalidate.push_back(c);
             }
             act.acks = static_cast<std::uint32_t>(act.invalidate.size());
@@ -125,10 +129,11 @@ Directory::onGetX(Addr line, CoreId req)
         break;
     }
     e.state = DirState::Exclusive;
-    e.owner = req;
+    e.owner = static_cast<std::uint16_t>(req);
     e.sharerCount = 1;
     e.broadcast = false;
-    std::fill(std::begin(e.pointers), std::end(e.pointers), kNoCore);
+    std::fill(std::begin(e.pointers), std::end(e.pointers),
+                  DirEntry::kNone);
     return act;
 }
 
@@ -146,7 +151,7 @@ Directory::onEvict(Addr line, CoreId core)
         if (!e.broadcast) {
             for (std::uint32_t i = 0; i < maxPointers_; ++i) {
                 if (e.pointers[i] == core) {
-                    e.pointers[i] = kNoCore;
+                    e.pointers[i] = DirEntry::kNone;
                     --e.sharerCount;
                     break;
                 }
@@ -160,7 +165,7 @@ Directory::onEvict(Addr line, CoreId core)
       case DirState::Exclusive:
         if (e.owner == core) {
             e.state = DirState::Uncached;
-            e.owner = kNoCore;
+            e.owner = DirEntry::kNone;
             e.sharerCount = 0;
         }
         break;
@@ -185,7 +190,7 @@ Directory::onL2Evict(Addr line)
             act.acks = e.sharerCount;
         } else {
             for (std::uint32_t i = 0; i < maxPointers_; ++i) {
-                if (e.pointers[i] != kNoCore)
+                if (e.pointers[i] != DirEntry::kNone)
                     act.invalidate.push_back(e.pointers[i]);
             }
             act.acks = static_cast<std::uint32_t>(act.invalidate.size());

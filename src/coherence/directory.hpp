@@ -15,7 +15,7 @@
 #define IMPSIM_COHERENCE_DIRECTORY_HPP
 
 #include <cstdint>
-#include <unordered_map>
+#include "common/flat_map.hpp"
 #include <vector>
 
 #include "common/types.hpp"
@@ -32,15 +32,23 @@ enum class DirState : std::uint8_t {
     Exclusive, ///< A single L1 holds it in E or M.
 };
 
-/** Per-line directory entry. */
+/**
+ * Per-line directory entry. Core ids are stored in 16 bits (the
+ * machine tops out at 256 tiles) so the entry packs into 14 bytes:
+ * the directory map is probed on every fill and eviction, and its
+ * footprint — not its arithmetic — is what shows up in profiles.
+ */
 struct DirEntry
 {
+    /** 16-bit "no core" sentinel for the packed fields. */
+    static constexpr std::uint16_t kNone = 0xFFFF;
+
     DirState state = DirState::Uncached;
-    /** Precise sharer pointers (valid when !broadcast). */
-    std::uint32_t pointers[4] = {kNoCore, kNoCore, kNoCore, kNoCore};
-    std::uint16_t sharerCount = 0; ///< Exact count, even in broadcast.
     bool broadcast = false;        ///< Pointer overflow occurred.
-    CoreId owner = kNoCore;        ///< Valid in Exclusive state.
+    std::uint16_t sharerCount = 0; ///< Exact count, even in broadcast.
+    /** Precise sharer pointers (valid when !broadcast). */
+    std::uint16_t pointers[4] = {kNone, kNone, kNone, kNone};
+    std::uint16_t owner = kNone;   ///< Valid in Exclusive state.
 };
 
 /** What the L2 controller must do to satisfy a request. */
@@ -104,7 +112,7 @@ class Directory
 
     std::uint32_t maxPointers_;
     std::uint32_t numCores_;
-    std::unordered_map<Addr, DirEntry> entries_;
+    FlatHashMap<Addr, DirEntry> entries_;
 };
 
 } // namespace impsim

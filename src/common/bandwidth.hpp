@@ -12,9 +12,11 @@
 #ifndef IMPSIM_COMMON_BANDWIDTH_HPP
 #define IMPSIM_COMMON_BANDWIDTH_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/types.hpp"
 
 namespace impsim {
@@ -28,7 +30,8 @@ struct BwGrant
 };
 
 /**
- * One shared resource with fixed capacity per cycle.
+ * An array of identical shared resources, each with fixed capacity
+ * per cycle, backed by one contiguous ring of time windows.
  *
  * Time is split into buckets of `bucket_cycles`; each bucket holds
  * capacity_per_cycle * bucket_cycles units. A claim takes units from
@@ -36,55 +39,128 @@ struct BwGrant
  * tick. Buckets are kept in a ring indexed by absolute bucket number,
  * so far-future and past claims never collide (stale slots reset on
  * reuse).
+ *
+ * The array form exists for the NoC: a mesh has hundreds of directed
+ * links claimed in per-hop succession, and one shared backing store
+ * with shared parameters is far denser in cache than a vector of
+ * independent objects.
  */
-class BucketedBandwidth
+class BandwidthArray
 {
   public:
     /**
+     * @param count           number of resources
      * @param units_per_cycle capacity (flits/cycle, bytes/cycle, ...)
      * @param bucket_cycles   window size; contention is resolved at
-     *                        this granularity
-     * @param slots           ring size; horizon = slots*bucket_cycles
+     *                        this granularity. Power of two: the
+     *                        claim path runs per NoC hop, and
+     *                        shift/mask there is measurably cheaper
+     *                        than div/mod.
+     * @param slots           ring size per resource (power of two);
+     *                        horizon = slots*bucket_cycles
      */
-    explicit BucketedBandwidth(double units_per_cycle,
-                               std::uint32_t bucket_cycles = 32,
-                               std::uint32_t slots = 512)
-        : bucketCycles_(bucket_cycles), slots_(slots),
+    BandwidthArray(std::size_t count, double units_per_cycle,
+                   std::uint32_t bucket_cycles = 32,
+                   std::uint32_t slots = 512)
+        : bucketShift_(ctz(bucket_cycles)), slotMask_(slots - 1),
+          slotBits_(ctz(slots)), slots_(slots),
           capacityPerBucket_(static_cast<std::uint64_t>(
               units_per_cycle * bucket_cycles)),
-          bucketIndex_(slots, ~std::uint64_t{0}), used_(slots, 0)
+          ring_(count << slotBits_, Slot{~std::uint32_t{0}, 0})
     {
+        IMPSIM_CHECK((bucket_cycles & (bucket_cycles - 1)) == 0 &&
+                         bucket_cycles != 0,
+                     "bucket_cycles must be a power of two");
+        IMPSIM_CHECK((slots & (slots - 1)) == 0 && slots != 0,
+                     "slots must be a power of two");
         if (capacityPerBucket_ == 0)
             capacityPerBucket_ = 1;
+        IMPSIM_CHECK(capacityPerBucket_ <= ~std::uint32_t{0},
+                     "per-window capacity exceeds the 32-bit counter");
     }
 
     /**
-     * Claims @p units starting no earlier than @p t.
+     * Claims @p units on resource @p res starting no earlier than
+     * @p t.
      */
     BwGrant
-    claim(Tick t, std::uint64_t units)
+    claim(std::size_t res, Tick t, std::uint64_t units)
+    {
+        // Fast path: the request's own window has room for the whole
+        // claim (the overwhelmingly common case on a non-saturated
+        // link) — one slot probe, no search loop.
+        Slot *ring = ring_.data() + (res << slotBits_);
+        {
+            std::uint64_t bucket = t >> bucketShift_;
+            Slot &s = ring[bucket & slotMask_];
+            if (s.bucket != static_cast<std::uint32_t>(bucket)) {
+                s.bucket = static_cast<std::uint32_t>(bucket);
+                s.used = 0;
+            }
+            if (s.used + units <= capacityPerBucket_) {
+                s.used += static_cast<std::uint32_t>(units);
+                return BwGrant{t, t, 0};
+            }
+        }
+        return claimSlow(ring, t, units);
+    }
+
+    /** Window size in cycles (diagnostics). */
+    std::uint64_t bucketCycles() const
+    {
+        return std::uint64_t{1} << bucketShift_;
+    }
+
+    void
+    reset()
+    {
+        ring_.assign(ring_.size(), Slot{~std::uint32_t{0}, 0});
+    }
+
+  private:
+    /**
+     * One ring window: absolute bucket number (truncated — a stale
+     * slot can only masquerade as current after 2^32 buckets, i.e.
+     * over 10^11 simulated cycles, far past any supported run) plus
+     * units consumed. 8 bytes so a cache line covers 8 windows; the
+     * claim path is the NoC's per-hop inner loop and is bound by
+     * these loads.
+     */
+    struct Slot
+    {
+        std::uint32_t bucket;
+        std::uint32_t used;
+    };
+
+    BwGrant
+    claimSlow(Slot *ring, Tick t, std::uint64_t units)
     {
         BwGrant g;
         std::uint64_t remaining = units;
-        std::uint64_t bucket = t / bucketCycles_;
+        std::uint64_t bucket = t >> bucketShift_;
         bool first = true;
         // Saturated systems could search forever; beyond this horizon
         // the grant is forced through (results are already dominated
         // by queueing and remain deterministic).
         std::uint64_t limit = bucket + 16 * slots_;
         while (remaining > 0) {
-            std::uint64_t &used = bucketFor(bucket);
-            std::uint64_t spare =
-                capacityPerBucket_ > used ? capacityPerBucket_ - used : 0;
+            Slot &s = ring[bucket & slotMask_];
+            if (s.bucket != static_cast<std::uint32_t>(bucket)) {
+                s.bucket = static_cast<std::uint32_t>(bucket);
+                s.used = 0;
+            }
+            std::uint64_t spare = capacityPerBucket_ > s.used
+                                      ? capacityPerBucket_ - s.used
+                                      : 0;
             if (spare == 0 && bucket < limit) {
                 ++bucket;
                 continue;
             }
             std::uint64_t take =
                 bucket >= limit ? remaining : std::min(spare, remaining);
-            used += take;
+            s.used += static_cast<std::uint32_t>(take);
             remaining -= take;
-            Tick bucket_start = bucket * bucketCycles_;
+            Tick bucket_start = bucket << bucketShift_;
             if (first) {
                 g.start = std::max<Tick>(t, bucket_start);
                 first = false;
@@ -97,33 +173,47 @@ class BucketedBandwidth
         return g;
     }
 
-    /** Total queue delay handed out (diagnostics). */
-    std::uint64_t bucketCycles() const { return bucketCycles_; }
-
-    void
-    reset()
+    static std::uint32_t
+    ctz(std::uint32_t v)
     {
-        bucketIndex_.assign(slots_, ~std::uint64_t{0});
-        used_.assign(slots_, 0);
+        return v == 0 ? 0 : __builtin_ctz(v);
     }
 
-  private:
-    std::uint64_t &
-    bucketFor(std::uint64_t bucket)
-    {
-        std::size_t slot = bucket % slots_;
-        if (bucketIndex_[slot] != bucket) {
-            bucketIndex_[slot] = bucket;
-            used_[slot] = 0;
-        }
-        return used_[slot];
-    }
-
-    std::uint32_t bucketCycles_;
+    std::uint32_t bucketShift_;
+    std::uint32_t slotMask_;
+    std::uint32_t slotBits_;
     std::uint32_t slots_;
     std::uint64_t capacityPerBucket_;
-    std::vector<std::uint64_t> bucketIndex_;
-    std::vector<std::uint64_t> used_;
+    std::vector<Slot> ring_;
+};
+
+/**
+ * One shared resource with fixed capacity per cycle — the
+ * single-resource view of BandwidthArray (DRAM channels, tests).
+ */
+class BucketedBandwidth
+{
+  public:
+    explicit BucketedBandwidth(double units_per_cycle,
+                               std::uint32_t bucket_cycles = 32,
+                               std::uint32_t slots = 512)
+        : array_(1, units_per_cycle, bucket_cycles, slots)
+    {}
+
+    /** Claims @p units starting no earlier than @p t. */
+    BwGrant
+    claim(Tick t, std::uint64_t units)
+    {
+        return array_.claim(0, t, units);
+    }
+
+    /** Window size in cycles (diagnostics). */
+    std::uint64_t bucketCycles() const { return array_.bucketCycles(); }
+
+    void reset() { array_.reset(); }
+
+  private:
+    BandwidthArray array_;
 };
 
 } // namespace impsim

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Flat open-addressed hash map for the simulator's hot lookup tables.
+ *
+ * std::unordered_map costs a heap node, a pointer chase and a modulo
+ * per probe; the simulator does tens of millions of lookups per run
+ * against small integer-keyed tables (pending fills, directory
+ * entries, physical pages, PT/IPD state). FlatHashMap stores entries
+ * in a single power-of-two array with one control byte per slot
+ * (empty / tombstone / 7-bit hash fingerprint), probes linearly, and
+ * picks slots from a Fibonacci-mixed hash, so the common lookup is
+ * one control-byte read and one slot compare with no indirection.
+ *
+ * API-compatible subset of std::unordered_map. Differences callers
+ * must respect: references and iterators are invalidated by any
+ * insert (rehash moves slots), and iteration order is the table
+ * order, not insertion order — don't iterate where order affects
+ * simulated behavior.
+ */
+#ifndef IMPSIM_COMMON_FLAT_MAP_HPP
+#define IMPSIM_COMMON_FLAT_MAP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace impsim {
+
+template <typename Key, typename T, typename Hash = std::hash<Key>,
+          typename KeyEqual = std::equal_to<Key>>
+class FlatHashMap
+{
+  public:
+    using value_type = std::pair<Key, T>;
+
+    template <bool Const> class Iter
+    {
+        using MapPtr = std::conditional_t<Const, const FlatHashMap *,
+                                          FlatHashMap *>;
+        using Ref = std::conditional_t<Const, const value_type &,
+                                       value_type &>;
+
+      public:
+        Iter() = default;
+        Iter(MapPtr m, std::size_t i) : map_(m), idx_(i) {}
+        /** iterator -> const_iterator. */
+        template <bool C = Const, typename = std::enable_if_t<C>>
+        Iter(const Iter<false> &o) : map_(o.map_), idx_(o.idx_)
+        {}
+
+        Ref operator*() const { return map_->slotAt(idx_); }
+        auto *operator->() const { return &map_->slotAt(idx_); }
+
+        Iter &
+        operator++()
+        {
+            ++idx_;
+            skipToFull();
+            return *this;
+        }
+
+        bool
+        operator==(const Iter &o) const
+        {
+            return idx_ == o.idx_;
+        }
+        bool
+        operator!=(const Iter &o) const
+        {
+            return idx_ != o.idx_;
+        }
+
+      private:
+        friend class FlatHashMap;
+        void
+        skipToFull()
+        {
+            while (idx_ < map_->ctrl_.size() &&
+                   !isFull(map_->ctrl_[idx_]))
+                ++idx_;
+        }
+
+        MapPtr map_ = nullptr;
+        std::size_t idx_ = 0;
+    };
+
+    using iterator = Iter<false>;
+    using const_iterator = Iter<true>;
+
+    FlatHashMap() = default;
+
+    FlatHashMap(const FlatHashMap &o) { copyFrom(o); }
+
+    FlatHashMap(FlatHashMap &&o) noexcept { swap(o); }
+
+    FlatHashMap &
+    operator=(const FlatHashMap &o)
+    {
+        if (this != &o) {
+            clear();
+            copyFrom(o);
+        }
+        return *this;
+    }
+
+    FlatHashMap &
+    operator=(FlatHashMap &&o) noexcept
+    {
+        if (this != &o) {
+            clear();
+            swap(o);
+        }
+        return *this;
+    }
+
+    ~FlatHashMap() { destroySlots(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    iterator begin()
+    {
+        iterator it(this, 0);
+        it.skipToFull();
+        return it;
+    }
+    const_iterator begin() const
+    {
+        const_iterator it(this, 0);
+        it.skipToFull();
+        return it;
+    }
+    iterator end() { return iterator(this, ctrl_.size()); }
+    const_iterator end() const
+    {
+        return const_iterator(this, ctrl_.size());
+    }
+
+    iterator
+    find(const Key &k)
+    {
+        return iterator(this, findIndex(k));
+    }
+    const_iterator
+    find(const Key &k) const
+    {
+        return const_iterator(this, findIndex(k));
+    }
+
+    std::size_t
+    count(const Key &k) const
+    {
+        return findIndex(k) != ctrl_.size() ? 1 : 0;
+    }
+
+    T &
+    at(const Key &k)
+    {
+        std::size_t i = findIndex(k);
+        IMPSIM_CHECK(i != ctrl_.size(), "FlatHashMap::at: missing key");
+        return slotAt(i).second;
+    }
+    const T &
+    at(const Key &k) const
+    {
+        std::size_t i = findIndex(k);
+        IMPSIM_CHECK(i != ctrl_.size(), "FlatHashMap::at: missing key");
+        return slotAt(i).second;
+    }
+
+    T &
+    operator[](const Key &k)
+    {
+        auto [idx, inserted] = insertSlot(k);
+        if (inserted)
+            ::new (slotPtr(idx)) value_type(k, T{});
+        return slotAt(idx).second;
+    }
+
+    template <typename... Args>
+    std::pair<iterator, bool>
+    emplace(Args &&...args)
+    {
+        value_type v(std::forward<Args>(args)...);
+        auto [idx, inserted] = insertSlot(v.first);
+        if (inserted)
+            ::new (slotPtr(idx)) value_type(std::move(v));
+        return {iterator(this, idx), inserted};
+    }
+
+    std::pair<iterator, bool>
+    insert(value_type v)
+    {
+        return emplace(std::move(v));
+    }
+
+    /** try_emplace: constructs T in place only on a fresh key. */
+    template <typename... Args>
+    std::pair<iterator, bool>
+    try_emplace(const Key &k, Args &&...args)
+    {
+        auto [idx, inserted] = insertSlot(k);
+        if (inserted)
+            ::new (slotPtr(idx))
+                value_type(std::piecewise_construct,
+                           std::forward_as_tuple(k),
+                           std::forward_as_tuple(
+                               std::forward<Args>(args)...));
+        return {iterator(this, idx), inserted};
+    }
+
+    iterator
+    erase(iterator it)
+    {
+        eraseIndex(it.idx_);
+        ++it.idx_;
+        it.skipToFull();
+        return it;
+    }
+
+    std::size_t
+    erase(const Key &k)
+    {
+        std::size_t i = findIndex(k);
+        if (i == ctrl_.size())
+            return 0;
+        eraseIndex(i);
+        return 1;
+    }
+
+    void
+    clear()
+    {
+        destroySlots();
+        ctrl_.assign(ctrl_.size(), kEmpty);
+        size_ = 0;
+        used_ = 0;
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        // Keep the post-growth load factor under 7/8.
+        std::size_t want = n + n / 7 + 1;
+        if (want > ctrl_.size())
+            rehash(ceilPow2(want));
+    }
+
+  private:
+    static constexpr std::uint8_t kEmpty = 0;
+    static constexpr std::uint8_t kTombstone = 1;
+    static constexpr std::size_t kMinCapacity = 16;
+
+    static bool isFull(std::uint8_t c) { return (c & 0x80) != 0; }
+
+    static std::size_t
+    ceilPow2(std::size_t n)
+    {
+        std::size_t c = kMinCapacity;
+        while (c < n)
+            c <<= 1;
+        return c;
+    }
+
+    /**
+     * Fibonacci multiplicative mixing: integer std::hash is the
+     * identity, and sequential keys (line addresses, PCs) would pile
+     * into adjacent slots without it. The fingerprint and the index
+     * come from disjoint bits of the product.
+     */
+    struct Probe
+    {
+        std::size_t index;
+        std::uint8_t fp;
+    };
+    Probe
+    probeFor(const Key &k) const
+    {
+        std::uint64_t mixed = static_cast<std::uint64_t>(Hash{}(k)) *
+                              0x9E3779B97F4A7C15ull;
+        return Probe{static_cast<std::size_t>(mixed >> 7) & mask_,
+                     static_cast<std::uint8_t>(0x80 | (mixed & 0x7F))};
+    }
+
+    value_type *
+    slotPtr(std::size_t i)
+    {
+        return std::launder(
+            reinterpret_cast<value_type *>(slots_[i].bytes));
+    }
+    const value_type *
+    slotPtr(std::size_t i) const
+    {
+        return std::launder(
+            reinterpret_cast<const value_type *>(slots_[i].bytes));
+    }
+    value_type &slotAt(std::size_t i) { return *slotPtr(i); }
+    const value_type &slotAt(std::size_t i) const { return *slotPtr(i); }
+
+    /** Index of @p k, or ctrl_.size() when absent. */
+    std::size_t
+    findIndex(const Key &k) const
+    {
+        if (ctrl_.empty())
+            return 0;
+        Probe p = probeFor(k);
+        std::size_t i = p.index;
+        while (true) {
+            std::uint8_t c = ctrl_[i];
+            if (c == p.fp && KeyEqual{}(slotAt(i).first, k))
+                return i;
+            if (c == kEmpty)
+                return ctrl_.size();
+            i = (i + 1) & mask_;
+        }
+    }
+
+    /**
+     * Finds @p k or claims a slot for it (marking the control byte;
+     * the caller constructs the value). Grows first when the table
+     * would exceed 7/8 occupancy including tombstones.
+     */
+    std::pair<std::size_t, bool>
+    insertSlot(const Key &k)
+    {
+        if (ctrl_.empty() || (used_ + 1) * 8 > ctrl_.size() * 7) {
+            // Doubling also flushes tombstones; if most usage is
+            // churn (used_ >> size_), same-size rehash would do, but
+            // doubling keeps the policy simple and bounded.
+            rehash(ctrl_.empty() ? kMinCapacity : ctrl_.size() * 2);
+        }
+        Probe p = probeFor(k);
+        std::size_t i = p.index;
+        std::size_t grave = ctrl_.size();
+        while (true) {
+            std::uint8_t c = ctrl_[i];
+            if (c == p.fp && KeyEqual{}(slotAt(i).first, k))
+                return {i, false};
+            if (c == kEmpty) {
+                ++size_;
+                if (grave != ctrl_.size()) {
+                    // Reuse the tombstone; it is already in used_.
+                    ctrl_[grave] = p.fp;
+                    return {grave, true};
+                }
+                ctrl_[i] = p.fp;
+                ++used_;
+                return {i, true};
+            }
+            if (c == kTombstone && grave == ctrl_.size())
+                grave = i;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    void
+    eraseIndex(std::size_t i)
+    {
+        slotPtr(i)->~value_type();
+        // An empty next slot proves no probe chain passes through
+        // here, so the slot can go empty instead of tombstoned.
+        if (ctrl_[(i + 1) & mask_] == kEmpty) {
+            ctrl_[i] = kEmpty;
+            --used_;
+        } else {
+            ctrl_[i] = kTombstone;
+        }
+        --size_;
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
+        std::vector<Slot> old_slots = std::move(slots_);
+
+        ctrl_.assign(new_cap, kEmpty);
+        slots_.resize(new_cap);
+        mask_ = new_cap - 1;
+        size_ = 0;
+        used_ = 0;
+
+        for (std::size_t i = 0; i < old_ctrl.size(); ++i) {
+            if (!isFull(old_ctrl[i]))
+                continue;
+            auto *v = std::launder(
+                reinterpret_cast<value_type *>(old_slots[i].bytes));
+            auto [idx, inserted] = insertSlotNoGrow(v->first);
+            (void)inserted;
+            ::new (slotPtr(idx)) value_type(std::move(*v));
+            v->~value_type();
+        }
+    }
+
+    /** insertSlot for rehash: capacity is already sufficient. */
+    std::pair<std::size_t, bool>
+    insertSlotNoGrow(const Key &k)
+    {
+        Probe p = probeFor(k);
+        std::size_t i = p.index;
+        while (ctrl_[i] != kEmpty)
+            i = (i + 1) & mask_;
+        ctrl_[i] = p.fp;
+        ++used_;
+        ++size_;
+        return {i, true};
+    }
+
+    void
+    destroySlots()
+    {
+        if constexpr (!std::is_trivially_destructible_v<value_type>) {
+            for (std::size_t i = 0; i < ctrl_.size(); ++i)
+                if (isFull(ctrl_[i]))
+                    slotPtr(i)->~value_type();
+        }
+    }
+
+    void
+    copyFrom(const FlatHashMap &o)
+    {
+        reserve(o.size());
+        for (const value_type &v : o)
+            emplace(v.first, v.second);
+    }
+
+    void
+    swap(FlatHashMap &o) noexcept
+    {
+        std::swap(ctrl_, o.ctrl_);
+        std::swap(slots_, o.slots_);
+        std::swap(mask_, o.mask_);
+        std::swap(size_, o.size_);
+        std::swap(used_, o.used_);
+    }
+
+    struct Slot
+    {
+        alignas(value_type) unsigned char bytes[sizeof(value_type)];
+    };
+
+    std::vector<std::uint8_t> ctrl_;
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0; ///< Live entries.
+    std::size_t used_ = 0; ///< Live entries + tombstones.
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_COMMON_FLAT_MAP_HPP

@@ -12,16 +12,17 @@ const FuncMem::Page *
 FuncMem::findPage(Addr page_base) const
 {
     auto it = pages_.find(page_base);
-    return it == pages_.end() ? nullptr : it->second.get();
+    return it == pages_.end() ? nullptr : it->second;
 }
 
 FuncMem::Page &
 FuncMem::getPage(Addr page_base)
 {
     auto &slot = pages_[page_base];
-    if (!slot) {
-        slot = std::make_unique<Page>();
-        slot->fill(0);
+    if (slot == nullptr) {
+        arena_.emplace_back();
+        arena_.back().fill(0);
+        slot = &arena_.back();
     }
     return *slot;
 }

@@ -13,9 +13,9 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
-#include <memory>
-#include <unordered_map>
+#include <deque>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 
 namespace impsim {
@@ -68,7 +68,13 @@ class FuncMem
     const Page *findPage(Addr page_base) const;
     Page &getPage(Addr page_base);
 
-    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    /**
+     * Pages live in the deque (stable storage, never moved); the flat
+     * table maps page base addresses to them without a per-page heap
+     * node or hash-bucket chase.
+     */
+    std::deque<Page> arena_;
+    FlatHashMap<Addr, Page *> pages_;
 };
 
 } // namespace impsim

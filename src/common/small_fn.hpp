@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Move-only callable with configurable inline storage.
+ *
+ * std::function's small-buffer optimisation (16 bytes in libstdc++)
+ * is too small for the simulator's hot callbacks — a demand-retry
+ * event captures `this`, a MemAccess and the completion callback —
+ * so every simulated access used to heap-allocate at least one
+ * closure. SmallFn inlines callables up to a chosen capacity into the
+ * object itself (events then live entirely inside the event queue's
+ * bucket arena) and falls back to the heap only for oversized or
+ * throwing-move captures.
+ */
+#ifndef IMPSIM_COMMON_SMALL_FN_HPP
+#define IMPSIM_COMMON_SMALL_FN_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace impsim {
+
+template <typename Sig, std::size_t Capacity> class SmallFn;
+
+/**
+ * Move-only function wrapper with @p Capacity bytes of inline
+ * storage. Callables that fit (and are nothrow-move-constructible)
+ * are stored in place; anything else is heap-allocated.
+ */
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFn<R(Args...), Capacity>
+{
+  public:
+    SmallFn() = default;
+    SmallFn(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFn(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= Capacity &&
+                      alignof(Fn) <= alignof(std::uint64_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(storage_)) Fn(std::forward<F>(f));
+            invoke_ = &invokeInline<Fn>;
+            manage_ = &manageInline<Fn>;
+        } else {
+            ::new (static_cast<void *>(storage_))
+                Fn *(new Fn(std::forward<F>(f)));
+            invoke_ = &invokeHeap<Fn>;
+            manage_ = &manageHeap<Fn>;
+        }
+    }
+
+    SmallFn(SmallFn &&o) noexcept
+        : invoke_(o.invoke_), manage_(o.manage_)
+    {
+        if (manage_ != nullptr)
+            manage_(storage_, o.storage_);
+        o.invoke_ = nullptr;
+        o.manage_ = nullptr;
+    }
+
+    SmallFn &
+    operator=(SmallFn &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            invoke_ = o.invoke_;
+            manage_ = o.manage_;
+            if (manage_ != nullptr)
+                manage_(storage_, o.storage_);
+            o.invoke_ = nullptr;
+            o.manage_ = nullptr;
+        }
+        return *this;
+    }
+
+    SmallFn &
+    operator=(std::nullptr_t)
+    {
+        destroy();
+        invoke_ = nullptr;
+        manage_ = nullptr;
+        return *this;
+    }
+
+    ~SmallFn() { destroy(); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    /** Const like std::function's: invokes the (non-const) target. */
+    R
+    operator()(Args... args) const
+    {
+        return invoke_(storage_, std::forward<Args>(args)...);
+    }
+
+  private:
+    /** Moves the callable from @p src into @p dst; @p src is dead
+     *  afterwards. Passing dst == nullptr destroys @p src instead. */
+    using ManageFn = void (*)(void *dst, void *src);
+
+    template <typename Fn>
+    static R
+    invokeInline(void *s, Args... args)
+    {
+        return (*std::launder(reinterpret_cast<Fn *>(s)))(
+            std::forward<Args>(args)...);
+    }
+
+    template <typename Fn>
+    static void
+    manageInline(void *dst, void *src)
+    {
+        Fn *f = std::launder(reinterpret_cast<Fn *>(src));
+        if (dst != nullptr)
+            ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+    }
+
+    template <typename Fn>
+    static R
+    invokeHeap(void *s, Args... args)
+    {
+        return (**std::launder(reinterpret_cast<Fn **>(s)))(
+            std::forward<Args>(args)...);
+    }
+
+    template <typename Fn>
+    static void
+    manageHeap(void *dst, void *src)
+    {
+        Fn **p = std::launder(reinterpret_cast<Fn **>(src));
+        if (dst != nullptr)
+            ::new (dst) Fn *(*p);
+        else
+            delete *p;
+    }
+
+    void
+    destroy()
+    {
+        if (manage_ != nullptr)
+            manage_(nullptr, storage_);
+    }
+
+    // 8-byte alignment (not max_align_t): captures are pointers and
+    // integers, and the looser requirement keeps sizeof(SmallFn) free
+    // of alignment padding — these objects pack into the event arena.
+    alignas(std::uint64_t) mutable unsigned char storage_[Capacity];
+    R (*invoke_)(void *, Args...) = nullptr;
+    ManageFn manage_ = nullptr;
+};
+
+} // namespace impsim
+
+#endif // IMPSIM_COMMON_SMALL_FN_HPP

@@ -38,19 +38,30 @@ struct CoreStats
     void merge(const CoreStats &o);
 };
 
-/** Per-L1 cache + prefetcher effectiveness counters. */
-struct CacheStats
+/**
+ * Per-L1 cache + prefetcher effectiveness counters.
+ *
+ * Field order is the access pattern: the counters bumped on *every*
+ * demand access (accessesByType, hits, misses, missesByType — 64
+ * bytes together) fill the first cache line of the 64-byte-aligned
+ * struct, so the common hit path dirties exactly one line. Fill,
+ * eviction and prefetch bookkeeping follow in miss-path order.
+ */
+struct alignas(64) CacheStats
 {
+    // -- touched every demand access (one cache line) --
+    std::array<std::uint64_t, kNumAccessTypes> accessesByType{};
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;          ///< True misses (no prefetch help).
+    /** Demand misses by ground-truth label (Fig 1). */
+    std::array<std::uint64_t, kNumAccessTypes> missesByType{};
+
+    // -- miss/fill path --
     std::uint64_t sectorMisses = 0;    ///< Line present, sector invalid.
     std::uint64_t demandMerges = 0;    ///< Merged into a demand fill.
     std::uint64_t retries = 0;         ///< Replayed after an unusable fill.
     std::uint64_t evictions = 0;
     std::uint64_t writebacks = 0;
-    /** Demand misses by ground-truth label (Fig 1). */
-    std::array<std::uint64_t, kNumAccessTypes> missesByType{};
-    std::array<std::uint64_t, kNumAccessTypes> accessesByType{};
 
     // Prefetch effectiveness (Table 3).
     std::uint64_t prefIssued = 0;       ///< Prefetch data fills requested.

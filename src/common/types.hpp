@@ -46,7 +46,12 @@ constexpr std::uint32_t lineOffset(Addr a)
 constexpr CoreId
 homeTileOf(Addr line_addr, std::uint32_t num_tiles)
 {
-    return static_cast<CoreId>(lineOf(line_addr) % num_tiles);
+    // Tile counts are powers of two in every machine preset, and this
+    // runs on each fill/evict/coherence hop — mask instead of modulo.
+    return static_cast<CoreId>(
+        (num_tiles & (num_tiles - 1)) == 0
+            ? lineOf(line_addr) & (num_tiles - 1)
+            : lineOf(line_addr) % num_tiles);
 }
 
 /** An invalid / "no address" sentinel. */

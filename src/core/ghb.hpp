@@ -23,7 +23,7 @@
 namespace impsim {
 
 /** The GHB prefetcher. */
-class GhbPrefetcher : public Prefetcher
+class GhbPrefetcher final : public Prefetcher
 {
   public:
     GhbPrefetcher(PrefetchHost &host, const GhbConfig &cfg);

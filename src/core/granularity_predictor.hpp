@@ -14,7 +14,7 @@
 #define IMPSIM_CORE_GRANULARITY_PREDICTOR_HPP
 
 #include <cstdint>
-#include <unordered_map>
+#include "common/flat_map.hpp"
 #include <vector>
 
 #include "common/config.hpp"
@@ -81,7 +81,7 @@ class GranularityPredictor
     std::uint32_t sectorsPerLine_;
     std::vector<Entry> entries_;
     /** line -> (pattern, sample slot) for O(1) touch lookups. */
-    std::unordered_map<Addr, std::pair<std::uint16_t, std::uint32_t>>
+    FlatHashMap<Addr, std::pair<std::uint16_t, std::uint32_t>>
         sampleIndex_;
     Rng rng_;
 };

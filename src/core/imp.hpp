@@ -20,7 +20,7 @@
 #define IMPSIM_CORE_IMP_HPP
 
 #include <cstdint>
-#include <unordered_map>
+#include "common/flat_map.hpp"
 #include <vector>
 
 #include "common/config.hpp"
@@ -45,7 +45,7 @@ struct ImpStats
 };
 
 /** The prefetcher. */
-class ImpPrefetcher : public Prefetcher
+class ImpPrefetcher final : public Prefetcher
 {
   public:
     /**
@@ -92,12 +92,10 @@ class ImpPrefetcher : public Prefetcher
     GranularityPredictor gp_;
 
     /** Index line in flight -> indirect issues waiting on its value. */
-    std::unordered_map<Addr,
-                       std::vector<std::pair<std::int16_t, Addr>>>
+    FlatHashMap<Addr, std::vector<std::pair<std::int16_t, Addr>>>
         pendingIndex_;
     /** Parent prefetch line in flight -> level-2 chains to fire. */
-    std::unordered_map<Addr,
-                       std::vector<std::pair<std::int16_t, Addr>>>
+    FlatHashMap<Addr, std::vector<std::pair<std::int16_t, Addr>>>
         pendingLevel2_;
 
     ImpStats stats_;

@@ -21,7 +21,7 @@
 namespace impsim {
 
 /** The oracle. */
-class PerfectPrefetcher : public Prefetcher
+class PerfectPrefetcher final : public Prefetcher
 {
   public:
     /**

@@ -13,15 +13,24 @@ PrefetchTable::PrefetchTable(const ImpConfig &cfg,
     : cfg_(cfg), streamCfg_(stream_cfg)
 {
     entries_.resize(cfg_.ptEntries);
+    pcHint_.fill(kNoEntry);
 }
 
 std::int16_t
 PrefetchTable::findByPc(std::uint32_t pc) const
 {
+    std::int16_t hint = pcHint_[pc & 0xff];
+    if (hint != kNoEntry) {
+        const PtEntry &e = entries_[hint];
+        if (e.valid && !e.secondary && e.pc == pc)
+            return hint;
+    }
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         const PtEntry &e = entries_[i];
-        if (e.valid && !e.secondary && e.pc == pc)
+        if (e.valid && !e.secondary && e.pc == pc) {
+            pcHint_[pc & 0xff] = static_cast<std::int16_t>(i);
             return static_cast<std::int16_t>(i);
+        }
     }
     return kNoEntry;
 }
@@ -70,6 +79,7 @@ PrefetchTable::allocate(std::uint32_t pc, Addr addr)
     e.streamHits = 0;
     e.nextPrefetchLine = lineOf(addr) + 1;
     e.lru = ++lruClock_;
+    pcHint_[pc & 0xff] = victim;
     return victim;
 }
 

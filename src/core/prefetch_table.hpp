@@ -11,6 +11,7 @@
 #ifndef IMPSIM_CORE_PREFETCH_TABLE_HPP
 #define IMPSIM_CORE_PREFETCH_TABLE_HPP
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -144,6 +145,14 @@ class PrefetchTable
     StreamConfig streamCfg_;
     std::vector<PtEntry> entries_;
     std::uint64_t lruClock_ = 0;
+    /**
+     * Direct-mapped pc -> entry hints accelerating findByPc (the CAM
+     * probe every observed access performs). Hints may be stale —
+     * they are verified against the entry and fall back to the full
+     * scan — so eviction needs no bookkeeping. Primary PCs are unique
+     * in the table, making the hinted result identical to the scan's.
+     */
+    mutable std::array<std::int16_t, 256> pcHint_;
 };
 
 } // namespace impsim

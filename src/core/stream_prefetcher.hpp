@@ -24,7 +24,7 @@ void issueStreamPrefetches(PrefetchHost &host, PtEntry &e,
                            std::uint32_t degree);
 
 /** The baseline stream prefetcher. */
-class StreamPrefetcher : public Prefetcher
+class StreamPrefetcher final : public Prefetcher
 {
   public:
     StreamPrefetcher(PrefetchHost &host, const ImpConfig &imp_cfg,

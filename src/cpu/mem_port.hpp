@@ -8,17 +8,23 @@
 #ifndef IMPSIM_CPU_MEM_PORT_HPP
 #define IMPSIM_CPU_MEM_PORT_HPP
 
-#include <functional>
-
 #include "common/access_type.hpp"
+#include "common/small_fn.hpp"
 #include "common/types.hpp"
 
 namespace impsim {
 
 struct MemAccess;
 
-/** Completion callback: invoked at the tick the data is available. */
-using DemandDoneFn = std::function<void(Tick)>;
+/**
+ * Completion callback: invoked at the tick the data is available.
+ * Move-only; 24 inline bytes hold every core's completion capture
+ * (the largest is a load's `this + issue tick + access type`), so
+ * issuing a load never heap-allocates — and an L1 hit's completion
+ * event (this callback + its tick) still fits the event queue's
+ * 48-byte inline capture.
+ */
+using DemandDoneFn = SmallFn<void(Tick), 24>;
 
 /** Abstract L1 port as seen by a core. */
 class MemPort

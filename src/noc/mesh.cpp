@@ -12,11 +12,10 @@ namespace impsim {
 MeshNoc::MeshNoc(std::uint32_t dim, std::uint32_t hop_cycles,
                  std::uint32_t flit_bytes, std::uint32_t header_flits)
     : dim_(dim), hopCycles_(hop_cycles), flitBytes_(flit_bytes),
-      headerFlits_(header_flits)
+      headerFlits_(header_flits),
+      links_(std::size_t{dim} * dim * 4, 1.0 /* flit per cycle */)
 {
     IMPSIM_CHECK(dim_ > 0, "mesh dimension must be positive");
-    links_.assign(std::size_t{numTiles()} * 4,
-                  BucketedBandwidth(1.0 /* flit per cycle */));
 }
 
 MeshCoord
@@ -54,26 +53,6 @@ MeshNoc::linkIndex(CoreId tile, Dir d) const
     return std::size_t{tile} * 4 + d;
 }
 
-std::uint32_t
-MeshNoc::route(CoreId src, CoreId dst, std::vector<std::size_t> &out) const
-{
-    out.clear();
-    MeshCoord cur = coordOf(src);
-    MeshCoord end = coordOf(dst);
-    // X first, then Y (deterministic, deadlock-free on a mesh).
-    while (cur.x != end.x) {
-        Dir d = cur.x < end.x ? East : West;
-        out.push_back(linkIndex(tileAt(cur), d));
-        cur.x += cur.x < end.x ? 1 : -1;
-    }
-    while (cur.y != end.y) {
-        Dir d = cur.y < end.y ? South : North;
-        out.push_back(linkIndex(tileAt(cur), d));
-        cur.y += cur.y < end.y ? 1 : -1;
-    }
-    return static_cast<std::uint32_t>(out.size());
-}
-
 Tick
 MeshNoc::send(CoreId src, CoreId dst, std::uint32_t payload_bytes,
               Tick when)
@@ -82,16 +61,38 @@ MeshNoc::send(CoreId src, CoreId dst, std::uint32_t payload_bytes,
         return when;
 
     std::uint32_t flits = flitsFor(payload_bytes);
-    std::uint32_t hops = route(src, dst, scratchRoute_);
 
+    // Walk the X-Y route (deterministic, deadlock-free on a mesh) and
+    // claim each link as it is crossed — one fused pass, no route
+    // materialisation. This is the hottest function in whole-system
+    // runs: every L1<->L2 and L2<->MC message lands here.
+    MeshCoord cur = coordOf(src);
+    MeshCoord end = coordOf(dst);
+    CoreId tile = src; // Tracked incrementally: ±1 / ±dim per hop.
     Tick head = when;
-    for (std::size_t link : scratchRoute_) {
-        BwGrant g = links_[link].claim(head, flits);
-        stats_.queueCycles += g.queueDelay;
+    Tick queued = 0;
+    std::uint32_t hops = 0;
+    auto hop = [&](Dir d) {
+        BwGrant g = links_.claim(linkIndex(tile, d), head, flits);
+        queued += g.queueDelay;
         head = g.start + hopCycles_; // Head flit advances one hop.
+        ++hops;
+    };
+    while (cur.x != end.x) {
+        bool east = cur.x < end.x;
+        hop(east ? East : West);
+        cur.x += east ? 1 : -1;
+        tile += east ? 1 : -1;
+    }
+    while (cur.y != end.y) {
+        bool south = cur.y < end.y;
+        hop(south ? South : North);
+        cur.y += south ? 1 : -1;
+        tile += south ? dim_ : -static_cast<std::int32_t>(dim_);
     }
     Tick tail = head + (flits - 1);
 
+    stats_.queueCycles += queued;
     stats_.messages += 1;
     stats_.flits += flits;
     stats_.flitHops += std::uint64_t{flits} * hops;
@@ -113,8 +114,7 @@ MeshNoc::sendUncontended(CoreId src, CoreId dst,
 void
 MeshNoc::reset()
 {
-    for (auto &link : links_)
-        link.reset();
+    links_.reset();
     stats_ = NocStats{};
 }
 

@@ -97,18 +97,13 @@ class MeshNoc
     /** Link register index for @p tile output in direction @p d. */
     std::size_t linkIndex(CoreId tile, Dir d) const;
 
-    /** Appends the X-Y route's link indices to @p out; returns hops. */
-    std::uint32_t route(CoreId src, CoreId dst,
-                        std::vector<std::size_t> &out) const;
-
     std::uint32_t dim_;
     std::uint32_t hopCycles_;
     std::uint32_t flitBytes_;
     std::uint32_t headerFlits_;
-    /** 1 flit/cycle of capacity per directed link. */
-    std::vector<BucketedBandwidth> links_;
+    /** 1 flit/cycle of capacity per directed link, one shared ring. */
+    BandwidthArray links_;
     NocStats stats_;
-    mutable std::vector<std::size_t> scratchRoute_;
 };
 
 } // namespace impsim

@@ -6,6 +6,7 @@
 #include "server/job_queue.hpp"
 
 #include <algorithm>
+#include <vector>
 
 namespace impsim {
 namespace server {
@@ -56,12 +57,67 @@ FairJobQueue::popEligibleLocked()
                 bucket.rotation.push_back(client);
             --count_;
             ++active_[job->clientId];
+            int served = bp.first;
             if (bucket.perClient.empty())
-                buckets_.erase(bp.first);
+                buckets_.erase(served);
+            agePassedOverLocked(served);
             return job;
         }
     }
     return nullptr;
+}
+
+void
+FairJobQueue::agePassedOverLocked(int servedPriority)
+{
+    if (agingThreshold_ == 0)
+        return;
+    // Two passes: detach every job due for promotion first, then
+    // reinsert one level up — reinsertion mutates buckets_ and must
+    // not run under the iteration.
+    std::vector<std::shared_ptr<ServerJob>> promote;
+    for (auto &bp : buckets_) {
+        if (bp.first >= servedPriority)
+            continue; // buckets_ is ordered high-to-low.
+        Bucket &bucket = bp.second;
+        if (bucket.rotation.empty())
+            continue;
+        if (++bucket.skipped < agingThreshold_)
+            continue;
+        bucket.skipped = 0;
+        // The level's next-in-rotation client's oldest job: promoting
+        // front-of-FIFO keeps each client's own submissions in order.
+        std::uint64_t client = bucket.rotation.front();
+        std::deque<std::shared_ptr<ServerJob>> &fifo =
+            bucket.perClient[client];
+        promote.push_back(std::move(fifo.front()));
+        fifo.pop_front();
+        bucket.rotation.pop_front();
+        if (fifo.empty())
+            bucket.perClient.erase(client);
+        else
+            bucket.rotation.push_back(client);
+    }
+    if (promote.empty())
+        return;
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+        if (it->second.perClient.empty())
+            it = buckets_.erase(it);
+        else
+            ++it;
+    }
+    for (std::shared_ptr<ServerJob> &job : promote) {
+        // The bumped priority sticks: once the job runs it also gets
+        // the bigger pool partition, consistent with how it was
+        // scheduled.
+        job->priority = std::min(job->priority + 1, kMaxPriority);
+        Bucket &bucket = buckets_[job->priority];
+        std::deque<std::shared_ptr<ServerJob>> &fifo =
+            bucket.perClient[job->clientId];
+        if (fifo.empty())
+            bucket.rotation.push_back(job->clientId);
+        fifo.push_back(std::move(job));
+    }
 }
 
 std::shared_ptr<ServerJob>

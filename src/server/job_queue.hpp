@@ -87,13 +87,23 @@ struct ServerJob
  * jobs; finished() returns a slot and wakes blocked pop()s. Quota 0
  * means unlimited. Once closed, pop() drains the backlog ignoring
  * quotas (the drain only cancels), then returns nullptr.
+ *
+ * Starvation guard: strict priority order means a steady stream of
+ * high-priority submissions could park a low-priority job forever.
+ * Each time a pop serves a higher level while a lower level holds
+ * jobs, the passed-over level ages; after `agingThreshold` such
+ * pops its oldest next-in-rotation job is promoted one priority
+ * level (repeatedly, so any queued job eventually climbs to the top
+ * and runs). Threshold 0 disables aging.
  */
 class FairJobQueue
 {
   public:
     explicit FairJobQueue(std::size_t capacity,
-                          std::size_t perClientQuota = 0)
-        : capacity_(capacity), quota_(perClientQuota)
+                          std::size_t perClientQuota = 0,
+                          std::uint64_t agingThreshold = 16)
+        : capacity_(capacity), quota_(perClientQuota),
+          agingThreshold_(agingThreshold)
     {
     }
 
@@ -124,6 +134,7 @@ class FairJobQueue
     std::size_t size() const;
     std::size_t capacity() const { return capacity_; }
     std::size_t quota() const { return quota_; }
+    std::uint64_t agingThreshold() const { return agingThreshold_; }
 
   private:
     /** One priority level: per-client FIFOs + rotation order. */
@@ -132,15 +143,24 @@ class FairJobQueue
         std::map<std::uint64_t, std::deque<std::shared_ptr<ServerJob>>>
             perClient;
         std::deque<std::uint64_t> rotation;
+        /** Pops that served a higher level while this one waited. */
+        std::uint64_t skipped = 0;
     };
 
     /** Pops the best eligible job, or nullptr. Caller holds mutex_. */
     std::shared_ptr<ServerJob> popEligibleLocked();
 
+    /**
+     * Ages every non-empty level below @p servedPriority after a pop,
+     * promoting starved jobs one level. Caller holds mutex_.
+     */
+    void agePassedOverLocked(int servedPriority);
+
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::size_t capacity_;
     std::size_t quota_;
+    std::uint64_t agingThreshold_;
     std::size_t count_ = 0;
     bool closed_ = false;
     /** Priority buckets, highest priority first. */

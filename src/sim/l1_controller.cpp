@@ -6,6 +6,9 @@
 
 #include "common/intmath.hpp"
 #include "common/logging.hpp"
+#include "core/ghb.hpp"
+#include "core/imp.hpp"
+#include "core/stream_prefetcher.hpp"
 
 namespace impsim {
 
@@ -31,6 +34,62 @@ void
 L1Controller::attachPrefetcher(std::unique_ptr<Prefetcher> pf)
 {
     prefetcher_ = std::move(pf);
+    pfImp_ = dynamic_cast<ImpPrefetcher *>(prefetcher_.get());
+    pfStream_ = dynamic_cast<StreamPrefetcher *>(prefetcher_.get());
+    pfGhb_ = dynamic_cast<GhbPrefetcher *>(prefetcher_.get());
+    if (prefetcher_ == nullptr)
+        pfKind_ = PfKind::None;
+    else if (pfImp_ != nullptr)
+        pfKind_ = PfKind::Imp;
+    else if (pfStream_ != nullptr)
+        pfKind_ = PfKind::Stream;
+    else if (pfGhb_ != nullptr)
+        pfKind_ = PfKind::Ghb;
+    else
+        pfKind_ = PfKind::Other;
+}
+
+void
+L1Controller::notifyAccess(const AccessInfo &info)
+{
+    // The engine classes are final, so these calls bind statically.
+    switch (pfKind_) {
+    case PfKind::None:
+        break;
+    case PfKind::Imp:
+        pfImp_->onAccess(info);
+        break;
+    case PfKind::Stream:
+        pfStream_->onAccess(info);
+        break;
+    case PfKind::Ghb:
+        pfGhb_->onAccess(info);
+        break;
+    case PfKind::Other:
+        prefetcher_->onAccess(info);
+        break;
+    }
+}
+
+void
+L1Controller::notifyMiss(const AccessInfo &info)
+{
+    switch (pfKind_) {
+    case PfKind::None:
+        break;
+    case PfKind::Imp:
+        pfImp_->onMiss(info);
+        break;
+    case PfKind::Stream:
+        pfStream_->onMiss(info);
+        break;
+    case PfKind::Ghb:
+        pfGhb_->onMiss(info);
+        break;
+    case PfKind::Other:
+        prefetcher_->onMiss(info);
+        break;
+    }
 }
 
 std::uint32_t
@@ -127,8 +186,8 @@ L1Controller::demandAccessImpl(const MemAccess &access, DemandDoneFn done,
         }
         if (access.isWrite())
             applyWrite(access.addr, access.size);
-        if (notify && prefetcher_)
-            prefetcher_->onAccess(info);
+        if (notify)
+            notifyAccess(info);
         Tick when = eq_.now() + cfg_.l1LatencyCycles;
         eq_.schedule(when,
                      [done = std::move(done), when] { done(when); });
@@ -148,8 +207,8 @@ L1Controller::demandAccessImpl(const MemAccess &access, DemandDoneFn done,
                 stats_.demandMerges += 1;
             pf.demandMerged = true;
             pf.waiters.push_back(Waiter{access, std::move(done)});
-            if (notify && prefetcher_)
-                prefetcher_->onAccess(info);
+            if (notify)
+                notifyAccess(info);
             return;
         }
         // Insufficient fill (e.g. needs exclusivity): retry after it.
@@ -185,16 +244,16 @@ L1Controller::demandAccessImpl(const MemAccess &access, DemandDoneFn done,
     if (line != nullptr)
         fetch = sectors_ok ? 0 : (cache_.allSectors() & ~line->validMask);
 
-    launchFill(line_addr, fetch, access.isWrite(), false, false,
-               kNoPattern, notify ? &access : nullptr);
-    auto &pf = pending_.at(line_addr);
-    pf.demandMerged = true;
-    pf.waiters.push_back(Waiter{access, std::move(done)});
+    PendingFill *pf =
+        launchFill(line_addr, fetch, access.isWrite(), false, false,
+                   kNoPattern, notify ? &access : nullptr);
+    pf->demandMerged = true;
+    pf->waiters.push_back(Waiter{access, std::move(done)});
 
-    if (notify && prefetcher_) {
-        prefetcher_->onAccess(info);
+    if (notify) {
+        notifyAccess(info);
         if (!pure_upgrade)
-            prefetcher_->onMiss(info);
+            notifyMiss(info);
     }
 }
 
@@ -227,9 +286,10 @@ L1Controller::perfectAccess(const MemAccess &access, DemandDoneFn done)
         std::uint32_t fetch =
             line != nullptr ? (cache_.allSectors() & ~line->validMask)
                             : cache_.allSectors();
-        launchFill(line_addr, fetch, access.isWrite(), false, false,
-                   kNoPattern, &access);
-        Tick completion = pending_.at(line_addr).completion;
+        Tick completion =
+            launchFill(line_addr, fetch, access.isWrite(), false, false,
+                       kNoPattern, &access)
+                ->completion;
         if (completion > eq_.now() + lead)
             ready = completion - lead;
     }
@@ -275,15 +335,15 @@ L1Controller::issuePrefetch(const PrefetchRequest &req)
          line->state == CState::E || line->state == CState::M)) {
         return false; // Already covered.
     }
-    if (pending_.count(line_addr))
-        return false; // Already in flight.
     if (prefetchesInFlight_ >= kMaxPrefetchFills)
         return false;
 
     std::uint32_t fetch =
         line != nullptr ? (mask & ~line->validMask) : mask;
-    if (!launchFill(line_addr, fetch, req.exclusive, true, req.indirect,
-                    req.patternId))
+    // launchFill rejects lines already in flight, so no separate
+    // pending_ probe here.
+    if (launchFill(line_addr, fetch, req.exclusive, true, req.indirect,
+                   req.patternId) == nullptr)
         return false;
     ++prefetchesInFlight_;
     if (fetch == 0) {
@@ -301,14 +361,14 @@ L1Controller::issuePrefetch(const PrefetchRequest &req)
     return true;
 }
 
-bool
+L1Controller::PendingFill *
 L1Controller::launchFill(Addr line_addr, std::uint32_t mask,
                          bool exclusive, bool is_prefetch, bool indirect,
                          std::uint16_t pattern_id,
                          const MemAccess *origin)
 {
     if (pending_.count(line_addr))
-        return false;
+        return nullptr;
 
     Tick t0 = eq_.now() + cfg_.l1LatencyCycles;
     CoreId home = homeOf(line_addr);
@@ -333,10 +393,12 @@ L1Controller::launchFill(Addr line_addr, std::uint32_t mask,
     pf.indirect = indirect;
     pf.patternId = pattern_id;
     pf.completion = done;
-    pending_.emplace(line_addr, std::move(pf));
+    // Inserted only after handleFill: a back-invalidation raised by the
+    // L2's own evictions must not mark this not-yet-live fill.
+    auto ins = pending_.emplace(line_addr, std::move(pf));
 
     eq_.schedule(done, [this, line_addr] { completeFill(line_addr); });
-    return true;
+    return &ins.first->second;
 }
 
 void

@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/sector_cache.hpp"
+#include "common/flat_map.hpp"
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
 #include "common/func_mem.hpp"
@@ -29,6 +29,10 @@
 #include "sim/l2_controller.hpp"
 
 namespace impsim {
+
+class GhbPrefetcher;
+class ImpPrefetcher;
+class StreamPrefetcher;
 
 /** The per-core L1 data cache controller. */
 class L1Controller final : public MemPort,
@@ -100,15 +104,17 @@ class L1Controller final : public MemPort,
     CoreId homeOf(Addr line_addr) const;
 
     /**
-     * Starts a fill transaction; returns false if one is in flight.
+     * Starts a fill transaction.
      * @param origin demand access behind the fill (forwarded to the L2
      *               for L2-level prefetcher training); null for
      *               prefetch fills
+     * @return the new pending entry (valid until the next pending_
+     *         insertion), or nullptr if a fill is already in flight
      */
-    bool launchFill(Addr line_addr, std::uint32_t mask, bool exclusive,
-                    bool is_prefetch, bool indirect,
-                    std::uint16_t pattern_id,
-                    const MemAccess *origin = nullptr);
+    PendingFill *launchFill(Addr line_addr, std::uint32_t mask,
+                            bool exclusive, bool is_prefetch,
+                            bool indirect, std::uint16_t pattern_id,
+                            const MemAccess *origin = nullptr);
 
     void completeFill(Addr line_addr);
     void perfectAccess(const MemAccess &access, DemandDoneFn done);
@@ -116,6 +122,17 @@ class L1Controller final : public MemPort,
     void applyWrite(Addr addr, std::uint32_t size);
     void finishDemand(const MemAccess &access, DemandDoneFn &done,
                       Tick when);
+
+    /**
+     * The engine's concrete type, resolved once at attach so the
+     * per-access notification is a switch with direct calls into the
+     * final engine classes instead of a virtual dispatch. Composite
+     * ('+'-composed) and unknown engines take the virtual fallback.
+     */
+    enum class PfKind : std::uint8_t { None, Imp, Stream, Ghb, Other };
+
+    void notifyAccess(const AccessInfo &info);
+    void notifyMiss(const AccessInfo &info);
 
     CoreId core_;
     const SystemConfig &cfg_;
@@ -125,7 +142,11 @@ class L1Controller final : public MemPort,
     std::vector<L2Controller *> l2s_;
     SectorCache cache_;
     std::unique_ptr<Prefetcher> prefetcher_;
-    std::unordered_map<Addr, PendingFill> pending_;
+    PfKind pfKind_ = PfKind::None;
+    ImpPrefetcher *pfImp_ = nullptr;
+    StreamPrefetcher *pfStream_ = nullptr;
+    GhbPrefetcher *pfGhb_ = nullptr;
+    FlatHashMap<Addr, PendingFill> pending_;
     std::uint32_t prefetchesInFlight_ = 0;
     CacheStats stats_;
 };

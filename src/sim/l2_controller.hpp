@@ -14,7 +14,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include "common/flat_map.hpp"
 #include <vector>
 
 #include "cache/sector_cache.hpp"
@@ -172,7 +172,7 @@ class L2Controller final : public PrefetchHost
     /** Lines THIS slice is prefetching: every fill arriving before
      *  `ready` waits for the data; the record lives until the issuing
      *  tile's completion event (or an eviction) clears it. */
-    std::unordered_map<Addr, PendingPrefetch> prefetchReady_;
+    FlatHashMap<Addr, PendingPrefetch> prefetchReady_;
     CacheStats stats_;
 };
 

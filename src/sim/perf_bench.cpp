@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Perf-grid execution and JSON emission.
+ */
+#include "sim/perf_bench.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <tuple>
+
+#include "common/logging.hpp"
+#include "sim/presets.hpp"
+#include "sim/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace impsim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** One grid point. */
+struct Point
+{
+    AppId app;
+    ConfigPreset preset;
+    std::uint32_t cores;
+    double scale;
+};
+
+std::vector<Point>
+gridPoints(PerfGrid grid)
+{
+    std::vector<Point> pts;
+    switch (grid) {
+      case PerfGrid::Pinned:
+        for (AppId app : kAllApps) {
+            for (ConfigPreset p :
+                 {ConfigPreset::Baseline, ConfigPreset::Imp}) {
+                for (std::uint32_t cores : {1u, 16u})
+                    pts.push_back(Point{app, p, cores, 1.0});
+            }
+        }
+        return pts;
+      case PerfGrid::Fig9:
+        for (AppId app : kPaperApps) {
+            for (ConfigPreset p :
+                 {ConfigPreset::PerfectPref, ConfigPreset::Baseline,
+                  ConfigPreset::Imp, ConfigPreset::SwPref})
+                pts.push_back(Point{app, p, 16, 1.0});
+        }
+        return pts;
+      case PerfGrid::Smoke:
+        for (AppId app : {AppId::Pagerank, AppId::Graph500, AppId::Spmv,
+                          AppId::Streaming}) {
+            for (ConfigPreset p :
+                 {ConfigPreset::Baseline, ConfigPreset::Imp}) {
+                for (std::uint32_t cores : {1u, 16u})
+                    pts.push_back(Point{app, p, cores, 0.25});
+            }
+        }
+        return pts;
+    }
+    IMPSIM_PANIC("bad perf grid");
+}
+
+} // namespace
+
+const char *
+perfGridName(PerfGrid g)
+{
+    switch (g) {
+      case PerfGrid::Pinned: return "pinned";
+      case PerfGrid::Fig9: return "fig9";
+      case PerfGrid::Smoke: return "smoke";
+    }
+    IMPSIM_PANIC("bad perf grid");
+}
+
+bool
+parsePerfGridName(const std::string &name, PerfGrid &out)
+{
+    for (PerfGrid g :
+         {PerfGrid::Pinned, PerfGrid::Fig9, PerfGrid::Smoke}) {
+        if (name == perfGridName(g)) {
+            out = g;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+PerfGridResult::totalSimCycles() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : runs)
+        n += r.simCycles;
+    return n;
+}
+
+std::uint64_t
+PerfGridResult::totalAccesses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : runs)
+        n += r.accesses;
+    return n;
+}
+
+double
+PerfGridResult::simsPerSec() const
+{
+    return simulateMs > 0 ? 1000.0 * runs.size() / simulateMs : 0.0;
+}
+
+double
+PerfGridResult::cyclesPerSec() const
+{
+    return simulateMs > 0 ? 1000.0 * totalSimCycles() / simulateMs : 0.0;
+}
+
+PerfGridResult
+runPerfGrid(PerfGrid grid, int reps)
+{
+    if (reps < 1)
+        reps = 1;
+    PerfGridResult out;
+    out.name = perfGridName(grid);
+
+    // Workloads are shared between presets that read the same traces,
+    // and their generation cost is reported as its own phase.
+    using WorkloadKey = std::tuple<AppId, std::uint32_t, bool, double>;
+    std::map<WorkloadKey, std::unique_ptr<Workload>> workloads;
+    auto workloadFor = [&](const Point &pt) -> const Workload & {
+        bool swpf = presetWantsSwPrefetch(pt.preset);
+        WorkloadKey key{pt.app, pt.cores, swpf, pt.scale};
+        auto &slot = workloads[key];
+        if (!slot) {
+            WorkloadParams params;
+            params.numCores = pt.cores;
+            params.swPrefetch = swpf;
+            params.scale = pt.scale;
+            params.seed = 42;
+            Clock::time_point t0 = Clock::now();
+            slot = std::make_unique<Workload>(
+                makeWorkload(pt.app, params));
+            out.workloadMs += msSince(t0);
+        }
+        return *slot;
+    };
+
+    for (const Point &pt : gridPoints(grid)) {
+        const Workload &w = workloadFor(pt);
+        SystemConfig cfg = makePreset(pt.preset, pt.cores);
+
+        PerfRunResult run;
+        run.label = std::string(appName(pt.app)) + "/" +
+                    presetName(pt.preset) + "/" +
+                    std::to_string(pt.cores) + "c";
+        for (int rep = 0; rep < reps; ++rep) {
+            System sys(cfg, w.traces, *w.mem);
+            Clock::time_point t0 = Clock::now();
+            SimStats s = sys.run();
+            double ms = msSince(t0);
+            if (rep == 0 || ms < run.simulateMs)
+                run.simulateMs = ms;
+            if (rep == 0) {
+                run.simCycles = s.cycles;
+                run.instructions = s.core.instructions;
+                run.accesses = s.core.memAccesses;
+            } else {
+                // The guardrail the whole perf effort leans on: faster
+                // must never mean different.
+                IMPSIM_CHECK(run.simCycles == s.cycles,
+                             "perf rep changed simulated cycles");
+            }
+        }
+        out.simulateMs += run.simulateMs;
+        out.runs.push_back(std::move(run));
+    }
+    return out;
+}
+
+PerfBenchResult
+runPerfBench(const std::vector<PerfGrid> &grids, int reps)
+{
+    PerfBenchResult r;
+    for (PerfGrid g : grids)
+        r.grids.push_back(runPerfGrid(g, reps));
+    return r;
+}
+
+namespace {
+
+void
+jsonNum(std::ostream &os, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    os << buf;
+}
+
+} // namespace
+
+void
+writePerfJson(std::ostream &os, const PerfBenchResult &r)
+{
+    os << "{\n  \"schema\": \"impsim-perf-v1\",\n  \"grids\": [";
+    bool first_grid = true;
+    for (const PerfGridResult &g : r.grids) {
+        os << (first_grid ? "\n" : ",\n");
+        first_grid = false;
+        os << "    {\n      \"name\": \"" << g.name << "\",\n";
+        os << "      \"sims\": " << g.runs.size() << ",\n";
+        os << "      \"phases\": {\"workload_ms\": ";
+        jsonNum(os, g.workloadMs);
+        os << ", \"simulate_ms\": ";
+        jsonNum(os, g.simulateMs);
+        os << "},\n";
+        os << "      \"sims_per_sec\": ";
+        jsonNum(os, g.simsPerSec());
+        os << ",\n      \"sim_cycles\": " << g.totalSimCycles();
+        os << ",\n      \"sim_cycles_per_sec\": ";
+        jsonNum(os, g.cyclesPerSec());
+        os << ",\n      \"accesses\": " << g.totalAccesses();
+        os << ",\n      \"runs\": [";
+        bool first_run = true;
+        for (const PerfRunResult &run : g.runs) {
+            os << (first_run ? "\n" : ",\n");
+            first_run = false;
+            os << "        {\"label\": \"" << run.label
+               << "\", \"simulate_ms\": ";
+            jsonNum(os, run.simulateMs);
+            os << ", \"sim_cycles\": " << run.simCycles
+               << ", \"instructions\": " << run.instructions
+               << ", \"accesses\": " << run.accesses << "}";
+        }
+        os << "\n      ]\n    }";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+writePerfSummary(std::ostream &os, const PerfBenchResult &r)
+{
+    char buf[160];
+    for (const PerfGridResult &g : r.grids) {
+        std::snprintf(buf, sizeof buf,
+                      "%-8s %3zu sims  %9.1f ms sim (+%.1f ms workload)"
+                      "  %6.2f sims/s  %8.2f Mcycles/s\n",
+                      g.name.c_str(), g.runs.size(), g.simulateMs,
+                      g.workloadMs, g.simsPerSec(),
+                      g.cyclesPerSec() / 1e6);
+        os << buf;
+    }
+}
+
+} // namespace impsim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Simulator-speed benchmark: the pinned perf grids behind
+ * `impsim_cli --bench-json` and `bench/perf_harness`.
+ *
+ * Unlike the `bench/fig*` binaries (which reproduce the *paper's*
+ * numbers), this harness measures how fast the simulator itself runs:
+ * wall time, simulations/second and simulated-cycles/second over
+ * fixed grids with pinned seeds, emitted as machine-readable JSON so
+ * every PR can diff its `BENCH_<n>.json` against the previous one
+ * (docs/perf.md).
+ */
+#ifndef IMPSIM_SIM_PERF_BENCH_HPP
+#define IMPSIM_SIM_PERF_BENCH_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace impsim {
+
+/** The fixed grids the harness knows how to time. */
+enum class PerfGrid {
+    /**
+     * The tracked trajectory grid: all 8 apps x {Base, IMP} x {1, 16}
+     * cores, in-order, scale 1.0, seed 42 — 32 simulations.
+     */
+    Pinned,
+    /**
+     * The Fig 9 16-core panel: 7 paper apps x {PerfPref, Base, IMP,
+     * SWPref} x 16 cores — 28 simulations (the ">=2x sims/sec" gate).
+     */
+    Fig9,
+    /**
+     * CI-sized subset: 4 apps x {Base, IMP} x {1, 16} cores at scale
+     * 0.25 — 16 fast simulations for the perf-smoke regression step.
+     */
+    Smoke,
+};
+
+/** Grid name as used in JSON and on the command line. */
+const char *perfGridName(PerfGrid g);
+
+/** Parses a grid name ("pinned", "fig9", "smoke"). */
+bool parsePerfGridName(const std::string &name, PerfGrid &out);
+
+/** Timing of one simulation point. */
+struct PerfRunResult
+{
+    std::string label;       ///< "app/preset/Nc".
+    double simulateMs = 0;   ///< Best-of-reps System::run wall time.
+    std::uint64_t simCycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t accesses = 0; ///< Architectural memory accesses.
+};
+
+/** Timing of one full grid. */
+struct PerfGridResult
+{
+    std::string name;
+    double workloadMs = 0; ///< Trace/input generation (once per input).
+    double simulateMs = 0; ///< Sum of per-run best-of-reps sim time.
+    std::vector<PerfRunResult> runs;
+
+    std::uint64_t totalSimCycles() const;
+    std::uint64_t totalAccesses() const;
+    /** Simulations per wall-second of simulate phase. */
+    double simsPerSec() const;
+    /** Simulated cycles per wall-second of simulate phase. */
+    double cyclesPerSec() const;
+};
+
+/** A full harness invocation. */
+struct PerfBenchResult
+{
+    std::vector<PerfGridResult> grids;
+};
+
+/**
+ * Runs one grid @p reps times per point (best-of wall time; stats are
+ * deterministic and asserted identical across reps) on the calling
+ * thread, so timings are not polluted by scheduler noise.
+ */
+PerfGridResult runPerfGrid(PerfGrid grid, int reps = 1);
+
+/** Runs several grids. */
+PerfBenchResult runPerfBench(const std::vector<PerfGrid> &grids,
+                             int reps = 1);
+
+/**
+ * Writes the result as JSON (schema "impsim-perf-v1", docs/perf.md).
+ */
+void writePerfJson(std::ostream &os, const PerfBenchResult &r);
+
+/** Prints a human-readable summary table. */
+void writePerfSummary(std::ostream &os, const PerfBenchResult &r);
+
+} // namespace impsim
+
+#endif // IMPSIM_SIM_PERF_BENCH_HPP

@@ -4,6 +4,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include "common/event_queue.hpp"
@@ -93,6 +98,139 @@ TEST(EventQueue, ExecutedCounts)
         eq.schedule(i, [] {});
     eq.run();
     EXPECT_EQ(eq.executed(), 5u);
+}
+
+/**
+ * Reference scheduler: a plain (tick, seq) binary heap — the
+ * pre-calendar implementation's ordering contract.
+ */
+class ModelQueue
+{
+  public:
+    void
+    schedule(Tick when, std::uint64_t id)
+    {
+        heap_.push(Entry{when, seq_++, id});
+    }
+
+    /** Pops every entry in (tick, scheduling-order) order. */
+    std::vector<std::pair<Tick, std::uint64_t>>
+    drain()
+    {
+        std::vector<std::pair<Tick, std::uint64_t>> out;
+        while (!heap_.empty()) {
+            out.emplace_back(heap_.top().when, heap_.top().id);
+            heap_.pop();
+        }
+        return out;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint64_t id;
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        heap_;
+    std::uint64_t seq_ = 0;
+};
+
+/**
+ * The calendar queue's ordering must be indistinguishable from the
+ * reference heap under randomized schedules — including delays far
+ * past the ring horizon (overflow-heap migration) and ties, which
+ * must break by scheduling order.
+ */
+TEST(EventQueue, RandomizedOrderingMatchesReferenceHeap)
+{
+    std::mt19937_64 rng(2015);
+    for (int round = 0; round < 20; ++round) {
+        EventQueue eq;
+        ModelQueue model;
+        std::vector<std::pair<Tick, std::uint64_t>> fired;
+        std::uint64_t id = 0;
+
+        // Mixed horizon: mostly near-future (in-ring), a slice far
+        // enough out to exercise the overflow heap, and heavy tick
+        // collisions from the small modulus.
+        for (int i = 0; i < 2000; ++i) {
+            Tick when;
+            switch (rng() % 8) {
+              case 0: when = rng() % 100000; break; // far: overflow
+              case 1: when = rng() % 3000; break;   // ring boundary
+              default: when = rng() % 300; break;   // dense ties
+            }
+            eq.schedule(when, [&fired, &eq, when, id] {
+                EXPECT_EQ(eq.now(), when);
+                fired.emplace_back(when, id);
+            });
+            model.schedule(when, id);
+            ++id;
+        }
+        EXPECT_TRUE(eq.run());
+        EXPECT_EQ(fired, model.drain()) << "round " << round;
+    }
+}
+
+/** Same equivalence when callbacks schedule follow-up events. */
+TEST(EventQueue, RandomizedSelfSchedulingMatchesReferenceHeap)
+{
+    std::mt19937_64 rng(90);
+    EventQueue eq;
+    ModelQueue model;
+    std::vector<std::pair<Tick, std::uint64_t>> fired;
+    std::uint64_t id = 0;
+
+    // Each event spawns up to two children at deterministic offsets
+    // (including same-tick ones), so drains interleave with appends
+    // exactly like controller callbacks do.
+    std::function<void(Tick, std::uint64_t, int)> fire =
+        [&](Tick when, std::uint64_t my_id, int depth) {
+            fired.emplace_back(when, my_id);
+            if (depth >= 3)
+                return;
+            std::uint64_t h = (when * 2654435761u) ^ my_id;
+            for (int c = 0; c < 2; ++c) {
+                Tick delta = (h >> (c * 8)) % 5000; // 0 = same tick
+                std::uint64_t child = id++;
+                model.schedule(when + delta, child);
+                eq.schedule(when + delta,
+                            [&fire, when, delta, child, depth] {
+                                fire(when + delta, child, depth + 1);
+                            });
+            }
+        };
+    for (int i = 0; i < 64; ++i) {
+        Tick when = rng() % 4096;
+        std::uint64_t root = id++;
+        model.schedule(when, root);
+        eq.schedule(when,
+                    [&fire, when, root] { fire(when, root, 0); });
+    }
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, model.drain());
+}
+
+TEST(EventQueue, OverflowEventsMigrateAheadOfLaterRingEvents)
+{
+    // An event scheduled far out (overflow heap) then joined at the
+    // same tick by a near event scheduled *later* must still fire
+    // first: ties break by scheduling order across both stores.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50000, [&] { order.push_back(1); });
+    eq.schedule(49999, [&] {
+        eq.schedule(50000, [&] { order.push_back(2); });
+    });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 TEST(EventQueueDeath, SchedulingInThePastPanics)

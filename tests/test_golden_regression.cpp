@@ -105,6 +105,22 @@ INSTANTIATE_TEST_SUITE_P(Presets, GoldenPreset,
                          ::testing::Values("NoPref", "Base", "SWPref",
                                            "IMP", "GHB", "PerfPref"));
 
+TEST(GoldenOoo, SixteenCoreOooMatchesCheckedInGolden)
+{
+    // The 16-core out-of-order configuration (Fig 13's machine) pins
+    // the ROB model, the OoO completion callbacks and the full-mesh
+    // NoC/coherence paths that the 4-core smoke machine only grazes.
+    const std::string text =
+        "[system]\n"
+        "preset     = IMP\n"
+        "core_model = ooo\n"
+        "app        = spmv\n"
+        "cores      = 16\n"
+        "scale      = 0.05\n"
+        "seed       = 42\n";
+    expectMatchesGolden("imp_ooo_16c", currentCsv("golden:ooo16", text));
+}
+
 TEST(GoldenSweep, ShippedSmokeConfigMatchesCheckedInGolden)
 {
     // The shipped smoke sweep (2 presets x 2 PT sizes) locks the

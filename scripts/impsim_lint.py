@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""impsim domain lint: grep/tokenizer-style checks for the simulator's
+standing invariants, with file:line diagnostics.
+
+Rules (docs/static_analysis.md has the rationale and suppression
+policy):
+
+  no-unordered-container   std::unordered_map/set anywhere but
+                           src/common/flat_map.hpp: hot paths use
+                           FlatHashMap (PR 6), and unordered_*
+                           iteration order is a per-libstdc++
+                           accident the goldens must never depend on.
+  no-wallclock-entropy     rand()/srand()/time()/clock(),
+                           std::random_device, std::mt19937,
+                           system_clock anywhere but
+                           src/common/rng.hpp: all randomness flows
+                           through the seeded SplitMix64 Rng so runs
+                           replay bit-identically.
+  no-unsorted-flat-emission  a range-for over a FlatHashMap member
+                           feeding stream/printf/CSV emission within
+                           a few lines, with no ordering sort in
+                           between: FlatHashMap iterates in table
+                           order, which insertion history — not the
+                           key set — determines.
+  no-naked-mutex           std::mutex / lock_guard / unique_lock /
+                           scoped_lock / condition_variable, or
+                           .lock()/.unlock() on a mutex-named
+                           receiver, anywhere but
+                           src/common/thread_annotations.hpp: only
+                           the annotated Mutex/MutexLock/CondVar
+                           wrappers are visible to clang's
+                           thread-safety analysis.
+
+Suppress a finding with a justified comment on the same or previous
+line:  // impsim-lint: allow(rule-name) <why>
+
+Exit status: 0 clean, 1 violations, 2 usage/self-test failure.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+SCAN_DIRS = ("src", "examples", "bench")
+SUFFIXES = (".cpp", ".hpp")
+
+ALLOW_RE = re.compile(r"impsim-lint:\s*allow\(([a-z-]+)\)")
+
+# How far (in lines) after a FlatHashMap range-for an emission call
+# still counts as "directly feeding" it.
+EMISSION_WINDOW = 10
+
+UNORDERED_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\b"
+    r"|#\s*include\s*<unordered_(?:map|set)>")
+
+ENTROPY_RES = [
+    (re.compile(r"std::random_device\b"), "std::random_device"),
+    (re.compile(r"std::mt19937(?:_64)?\b"), "std::mt19937"),
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\btime\s*\("), "time()"),
+    (re.compile(r"\bclock\s*\("), "clock()"),
+    (re.compile(r"\bsystem_clock\b"), "system_clock"),
+]
+
+MUTEX_RES = [
+    (re.compile(r"std::(?:recursive_|timed_|shared_)?mutex\b"),
+     "std::mutex family"),
+    (re.compile(r"std::condition_variable(?:_any)?\b"),
+     "std::condition_variable"),
+    (re.compile(r"std::(?:lock_guard|unique_lock|scoped_lock)\b"),
+     "std::lock_guard/unique_lock/scoped_lock"),
+    (re.compile(r"\b\w*[mM]utex\w*\s*\.\s*(?:un)?lock\s*\("),
+     "manual mutex .lock()/.unlock()"),
+]
+
+FLAT_DECL_RE = re.compile(r"FlatHashMap<[^;{}]*>\s*(\w+)\s*[;={(]")
+RANGE_FOR_RE = re.compile(
+    r"for\s*\([^;()]*:\s*(?:\w+(?:\.|->))?(\w+)\s*\)")
+EMISSION_RE = re.compile(
+    r"<<\s*[\"']|\b(?:printf|fprintf)\s*\(|appendCsv")
+SORT_RE = re.compile(r"\bsort\w*\s*\(|\bsorted|std::map\b")
+
+
+def strip_code(text):
+    """Blanks comments and string/char-literal *contents* (the quote
+    delimiters stay), preserving line structure so match positions
+    map back to real line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+            elif c == "'":
+                state = "chr"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # str / chr
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            else:
+                out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    def __init__(self, path, root):
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = text.splitlines()
+        self.lines = strip_code(text).splitlines()
+
+    def allowed(self, rule, lineno):
+        """True when line `lineno` (1-based) or the one above carries
+        an impsim-lint: allow(<rule>) directive."""
+        for ln in (lineno, lineno - 1):
+            if 1 <= ln <= len(self.raw_lines):
+                m = ALLOW_RE.search(self.raw_lines[ln - 1])
+                if m and m.group(1) == rule:
+                    return True
+        return False
+
+
+class Violation:
+    def __init__(self, rel, lineno, rule, message):
+        self.rel = rel
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.rel}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def check_simple(sf, rule, patterns, out):
+    for lineno, line in enumerate(sf.lines, 1):
+        for regex, what in patterns:
+            if regex.search(line) and not sf.allowed(rule, lineno):
+                out.append(Violation(sf.rel, lineno, rule,
+                                     f"{what} is banned here"))
+
+
+def flat_names_by_stem(files):
+    """FlatHashMap variable names declared per path stem, so foo.cpp
+    sees the members foo.hpp declares — and nothing from unrelated
+    files whose members merely share a name."""
+    names = {}
+    for sf in files:
+        found = set()
+        for line in sf.lines:
+            for m in FLAT_DECL_RE.finditer(line):
+                found.add(m.group(1))
+        if found:
+            names.setdefault(sf.path.stem, set()).update(found)
+    return names
+
+
+def check_flat_emission(sf, stem_names, out):
+    rule = "no-unsorted-flat-emission"
+    names = stem_names.get(sf.path.stem, set())
+    if not names:
+        return
+    for lineno, line in enumerate(sf.lines, 1):
+        m = RANGE_FOR_RE.search(line)
+        if not m or m.group(1) not in names:
+            continue
+        if sf.allowed(rule, lineno):
+            continue
+        window = sf.lines[lineno - 1:lineno - 1 + EMISSION_WINDOW]
+        hit = None
+        for off, wline in enumerate(window):
+            if SORT_RE.search(wline):
+                hit = None
+                break
+            if EMISSION_RE.search(wline):
+                hit = off
+                break
+        if hit is not None:
+            out.append(Violation(
+                sf.rel, lineno, rule,
+                f"range-for over FlatHashMap '{m.group(1)}' feeds "
+                f"emission on line {lineno + hit} without an ordering "
+                "sort; FlatHashMap iterates in table order"))
+
+
+def lint_paths(root, paths):
+    files = [SourceFile(p, root) for p in sorted(paths)]
+    stem_names = flat_names_by_stem(files)
+    violations = []
+    for sf in files:
+        if sf.path.name != "flat_map.hpp":
+            check_simple(sf, "no-unordered-container",
+                         [(UNORDERED_RE, "std::unordered_*")], violations)
+        if sf.path.name != "rng.hpp":
+            check_simple(sf, "no-wallclock-entropy", ENTROPY_RES,
+                         violations)
+        if sf.path.name != "thread_annotations.hpp":
+            check_simple(sf, "no-naked-mutex", MUTEX_RES, violations)
+        check_flat_emission(sf, stem_names, violations)
+    return files, violations
+
+
+def tree_paths(root):
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in SUFFIXES and p.is_file():
+                yield p
+
+
+def self_test(root):
+    """Every tests/lint_fixtures/<rule>.cpp must trigger exactly its
+    rule; clean.cpp must trigger nothing. Keeps the rules from
+    silently rotting."""
+    fixtures = root / "tests" / "lint_fixtures"
+    expected = {
+        "unordered_container.cpp": "no-unordered-container",
+        "wallclock_entropy.cpp": "no-wallclock-entropy",
+        "unsorted_flat_emission.cpp": "no-unsorted-flat-emission",
+        "naked_mutex.cpp": "no-naked-mutex",
+        "clean.cpp": None,
+    }
+    missing = [n for n in expected if not (fixtures / n).is_file()]
+    if missing:
+        print(f"impsim_lint self-test: fixtures missing: {missing}",
+              file=sys.stderr)
+        return 2
+    _, violations = lint_paths(root, [fixtures / n for n in expected])
+    by_file = {}
+    for v in violations:
+        by_file.setdefault(pathlib.PurePosixPath(v.rel).name,
+                           set()).add(v.rule)
+    failures = []
+    for name, rule in expected.items():
+        got = by_file.get(name, set())
+        want = {rule} if rule else set()
+        if got != want:
+            failures.append(f"{name}: expected {sorted(want) or 'clean'},"
+                            f" got {sorted(got) or 'clean'}")
+    if failures:
+        print("impsim_lint self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 2
+    print(f"impsim_lint self-test: OK ({len(expected)} fixtures)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="impsim domain lint (see docs/static_analysis.md)")
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[1],
+                        help="repository root (default: script's repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the rules against tests/lint_fixtures")
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+
+    if args.self_test:
+        return self_test(root)
+
+    files, violations = lint_paths(root, tree_paths(root))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"impsim_lint: {len(violations)} violation(s) in "
+              f"{len(files)} files", file=sys.stderr)
+        return 1
+    print(f"impsim_lint: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

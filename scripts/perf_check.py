@@ -35,6 +35,33 @@ def grids_by_name(doc):
     return {g["name"]: g for g in doc.get("grids", [])}
 
 
+def load_grids(path, label):
+    """Reads a perf JSON, or explains why it can't. BENCH_6.json is
+    the trajectory's only datapoint so far, so a missing, empty, or
+    truncated file is an expected state, not a stack trace: return
+    None and let the caller decide whether that skips or fails."""
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as e:
+        print(f"perf_check: cannot read {label} {path}: {e.strerror}")
+        return None
+    if not text.strip():
+        print(f"perf_check: {label} {path} is empty")
+        return None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        print(f"perf_check: {label} {path} is not valid JSON "
+              f"(line {e.lineno}: {e.msg})")
+        return None
+    if not isinstance(doc, dict) or "grids" not in doc:
+        print(f"perf_check: {label} {path} has no 'grids' array; "
+              "was it written by perf_harness --json?")
+        return None
+    return grids_by_name(doc)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--current", required=True)
@@ -52,10 +79,22 @@ def main():
         print("perf_check: no committed BENCH_*.json baseline; skipping")
         return 0
 
-    with open(baseline_path) as f:
-        base = grids_by_name(json.load(f))
-    with open(args.current) as f:
-        cur = grids_by_name(json.load(f))
+    # An unusable baseline only skips the comparison (same as having
+    # no baseline at all); an unusable *current* file means the bench
+    # that was supposed to produce it went wrong, which the strict
+    # mode must surface.
+    base = load_grids(baseline_path, "baseline")
+    if base is None:
+        print("perf_check: baseline unusable; skipping comparison")
+        return 0
+    cur = load_grids(args.current, "current")
+    if cur is None:
+        if strict:
+            print("perf_check: FAIL (IMPSIM_PERF_STRICT)")
+            return 1
+        print("perf_check: current result unusable (warn-only; set "
+              "IMPSIM_PERF_STRICT=1 to enforce)")
+        return 0
 
     failed = False
     for name in args.grid.split(","):

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Clang thread-safety annotations and the annotated lock primitives.
+ *
+ * The simulator's two standing invariants — bit-identical output under
+ * any concurrency and a data-race-free server — are enforced
+ * dynamically by the TSan CI tier, which only sees races the test
+ * workload happens to execute. These macros let clang check lock
+ * discipline *statically*: every mutex-guarded field declares its
+ * mutex with IMPSIM_GUARDED_BY, every hold-the-lock helper declares it
+ * with IMPSIM_REQUIRES, and a `-DIMPSIM_THREAD_SAFETY=ON` build under
+ * clang turns any missed lock into a compile error
+ * (-Werror=thread-safety). Under gcc the macros expand to nothing and
+ * the wrappers cost exactly a std::mutex.
+ *
+ * Concurrent code must use the annotated primitives below instead of
+ * naked std::mutex / std::lock_guard / std::condition_variable —
+ * libstdc++'s types carry no capability attributes, so clang cannot
+ * reason about them. scripts/impsim_lint.py (rule `no-naked-mutex`)
+ * enforces this outside this header. How-to: docs/static_analysis.md.
+ */
+#ifndef IMPSIM_COMMON_THREAD_ANNOTATIONS_HPP
+#define IMPSIM_COMMON_THREAD_ANNOTATIONS_HPP
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define IMPSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IMPSIM_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability (clang tracks instances). */
+#define IMPSIM_CAPABILITY(name) IMPSIM_THREAD_ANNOTATION(capability(name))
+/** Marks an RAII type whose lifetime holds a capability. */
+#define IMPSIM_SCOPED_CAPABILITY IMPSIM_THREAD_ANNOTATION(scoped_lockable)
+/** Field may only be read/written with @p x held. */
+#define IMPSIM_GUARDED_BY(x) IMPSIM_THREAD_ANNOTATION(guarded_by(x))
+/** Pointee may only be dereferenced with @p x held. */
+#define IMPSIM_PT_GUARDED_BY(x) IMPSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+/** Caller must already hold the listed capabilities. */
+#define IMPSIM_REQUIRES(...) \
+    IMPSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/** Function acquires the listed capabilities (and does not release). */
+#define IMPSIM_ACQUIRE(...) \
+    IMPSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/** Function releases the listed capabilities. */
+#define IMPSIM_RELEASE(...) \
+    IMPSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/** Function acquires on a @p ret-valued return (try_lock shape). */
+#define IMPSIM_TRY_ACQUIRE(...) \
+    IMPSIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/** Caller must NOT hold the listed capabilities (deadlock guard). */
+#define IMPSIM_EXCLUDES(...) \
+    IMPSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/** Declares lock-ordering constraints between capabilities. */
+#define IMPSIM_ACQUIRED_BEFORE(...) \
+    IMPSIM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define IMPSIM_ACQUIRED_AFTER(...) \
+    IMPSIM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/** Function returns a reference to the named capability. */
+#define IMPSIM_RETURN_CAPABILITY(x) \
+    IMPSIM_THREAD_ANNOTATION(lock_returned(x))
+/**
+ * Escape hatch: suppresses the analysis for one function. Every use
+ * must carry a comment justifying why the analysis cannot see the
+ * invariant (docs/static_analysis.md has the policy).
+ */
+#define IMPSIM_NO_THREAD_SAFETY_ANALYSIS \
+    IMPSIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace impsim {
+
+/**
+ * std::mutex with a capability annotation, so fields can be declared
+ * IMPSIM_GUARDED_BY(mutex_) and clang can enforce it.
+ */
+class IMPSIM_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() IMPSIM_ACQUIRE() { m_.lock(); }
+    void unlock() IMPSIM_RELEASE() { m_.unlock(); }
+    bool try_lock() IMPSIM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    std::mutex m_;
+};
+
+/**
+ * Annotated RAII lock: the std::lock_guard / std::unique_lock of the
+ * annotated world. Also BasicLockable, so CondVar::wait(lock) can
+ * drop and retake the mutex — wait() returns with the lock re-held,
+ * leaving the scoped state unchanged across the call.
+ */
+class IMPSIM_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) IMPSIM_ACQUIRE(m) : mu_(m)
+    {
+        mu_.lock();
+    }
+    ~MutexLock() IMPSIM_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** BasicLockable, for CondVar::wait only — not for manual use. */
+    void lock() IMPSIM_ACQUIRE() { mu_.lock(); }
+    void unlock() IMPSIM_RELEASE() { mu_.unlock(); }
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Condition variable usable with Mutex/MutexLock.
+ *
+ * std::condition_variable demands a std::unique_lock<std::mutex>,
+ * which the analysis cannot track; condition_variable_any takes any
+ * BasicLockable, so waits keep their annotations. Prefer the explicit
+ * `while (!pred) cv.wait(lock);` shape over the predicate-lambda
+ * overload: the lambda body is analyzed as a separate function that
+ * does not hold the lock, so guarded reads inside it would
+ * false-positive.
+ */
+using CondVar = std::condition_variable_any;
+
+} // namespace impsim
+
+#endif // IMPSIM_COMMON_THREAD_ANNOTATIONS_HPP

@@ -20,6 +20,9 @@ GhbPrefetcher::GhbPrefetcher(PrefetchHost &host, const GhbConfig &cfg)
     : host_(host), cfg_(cfg)
 {
     history_.resize(cfg_.historyEntries);
+    // The index never outgrows its bound, so size it once up front
+    // and the hot path never rehashes.
+    index_.reserve(cfg_.indexEntries);
 }
 
 void
@@ -71,9 +74,18 @@ GhbPrefetcher::onMiss(const AccessInfo &info)
     }
     slot.line = line;
     slot.prevOccurrence = static_cast<std::int32_t>(prev < 0 ? -1 : 0);
-    // Bound the index table like hardware would.
-    if (index_.size() >= cfg_.indexEntries && !index_.count(line))
-        index_.erase(index_.begin());
+    // Bound the index table like hardware would: evict the mapping
+    // whose history position is oldest. (The unordered_map original
+    // erased begin() — whatever hashed first, a layout accident; the
+    // stalest mapping is the deterministic choice and the one least
+    // likely to still be linked from the circular history.)
+    if (index_.size() >= cfg_.indexEntries && !index_.count(line)) {
+        auto victim = index_.begin();
+        for (auto it = index_.begin(); it != index_.end(); ++it)
+            if (it->second < victim->second)
+                victim = it;
+        index_.erase(victim);
+    }
     index_[line] = head_;
     ++head_;
 }

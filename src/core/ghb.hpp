@@ -14,10 +14,10 @@
 #define IMPSIM_CORE_GHB_HPP
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "core/prefetcher.hpp"
 
 namespace impsim {
@@ -46,7 +46,7 @@ class GhbPrefetcher final : public Prefetcher
     std::vector<Slot> history_;
     std::int64_t head_ = 0; ///< Total pushes (mod size gives slot).
     /** line -> most recent history position (absolute). */
-    std::unordered_map<Addr, std::int64_t> index_;
+    FlatHashMap<Addr, std::int64_t> index_;
 };
 
 } // namespace impsim

@@ -15,7 +15,7 @@ bool
 FairJobQueue::push(std::shared_ptr<ServerJob> job)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (closed_ || count_ >= capacity_)
             return false;
         Bucket &bucket = buckets_[job->priority];
@@ -123,7 +123,7 @@ FairJobQueue::agePassedOverLocked(int servedPriority)
 std::shared_ptr<ServerJob>
 FairJobQueue::pop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (;;) {
         if (std::shared_ptr<ServerJob> job = popEligibleLocked())
             return job;
@@ -137,7 +137,7 @@ void
 FairJobQueue::finished(std::uint64_t clientId)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = active_.find(clientId);
         if (it != active_.end() && --it->second == 0)
             active_.erase(it);
@@ -149,7 +149,7 @@ FairJobQueue::finished(std::uint64_t clientId)
 std::shared_ptr<ServerJob>
 FairJobQueue::remove(std::uint64_t id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto &bp : buckets_) {
         Bucket &bucket = bp.second;
         for (auto it = bucket.perClient.begin();
@@ -183,7 +183,7 @@ void
 FairJobQueue::close()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         closed_ = true;
     }
     cv_.notify_all();
@@ -192,7 +192,7 @@ FairJobQueue::close()
 std::size_t
 FairJobQueue::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return count_;
 }
 

@@ -8,16 +8,15 @@
 #define IMPSIM_SERVER_JOB_QUEUE_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/config_file.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/sweep_runner.hpp"
 
 namespace impsim {
@@ -108,7 +107,7 @@ class FairJobQueue
     }
 
     /** Enqueues @p job. @return false if the queue is full or closed. */
-    bool push(std::shared_ptr<ServerJob> job);
+    bool push(std::shared_ptr<ServerJob> job) IMPSIM_EXCLUDES(mutex_);
 
     /**
      * Blocks for the next job eligible under the quota, highest
@@ -117,21 +116,22 @@ class FairJobQueue
      * finished(). @return nullptr once the queue is closed and
      * drained.
      */
-    std::shared_ptr<ServerJob> pop();
+    std::shared_ptr<ServerJob> pop() IMPSIM_EXCLUDES(mutex_);
 
     /** Returns a popped job's quota slot and wakes blocked pop()s. */
-    void finished(std::uint64_t clientId);
+    void finished(std::uint64_t clientId) IMPSIM_EXCLUDES(mutex_);
 
     /**
      * Removes a still-queued job (CANCEL before it ran).
      * @return the job, or nullptr if @p id was not queued here.
      */
-    std::shared_ptr<ServerJob> remove(std::uint64_t id);
+    std::shared_ptr<ServerJob> remove(std::uint64_t id)
+        IMPSIM_EXCLUDES(mutex_);
 
     /** Wakes pop(); further push()es are refused. */
-    void close();
+    void close() IMPSIM_EXCLUDES(mutex_);
 
-    std::size_t size() const;
+    std::size_t size() const IMPSIM_EXCLUDES(mutex_);
     std::size_t capacity() const { return capacity_; }
     std::size_t quota() const { return quota_; }
     std::uint64_t agingThreshold() const { return agingThreshold_; }
@@ -147,26 +147,30 @@ class FairJobQueue
         std::uint64_t skipped = 0;
     };
 
-    /** Pops the best eligible job, or nullptr. Caller holds mutex_. */
-    std::shared_ptr<ServerJob> popEligibleLocked();
+    /** Pops the best eligible job, or nullptr. */
+    std::shared_ptr<ServerJob> popEligibleLocked()
+        IMPSIM_REQUIRES(mutex_);
 
     /**
      * Ages every non-empty level below @p servedPriority after a pop,
-     * promoting starved jobs one level. Caller holds mutex_.
+     * promoting starved jobs one level.
      */
-    void agePassedOverLocked(int servedPriority);
+    void agePassedOverLocked(int servedPriority) IMPSIM_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::size_t capacity_;
-    std::size_t quota_;
-    std::uint64_t agingThreshold_;
-    std::size_t count_ = 0;
-    bool closed_ = false;
+    mutable Mutex mutex_;
+    CondVar cv_;
+    /** Fixed at construction, so lock-free readers stay honest. */
+    const std::size_t capacity_;
+    const std::size_t quota_;
+    const std::uint64_t agingThreshold_;
+    std::size_t count_ IMPSIM_GUARDED_BY(mutex_) = 0;
+    bool closed_ IMPSIM_GUARDED_BY(mutex_) = false;
     /** Priority buckets, highest priority first. */
-    std::map<int, Bucket, std::greater<int>> buckets_;
+    std::map<int, Bucket, std::greater<int>> buckets_
+        IMPSIM_GUARDED_BY(mutex_);
     /** Popped-but-unfinished jobs per client (quota accounting). */
-    std::map<std::uint64_t, std::size_t> active_;
+    std::map<std::uint64_t, std::size_t> active_
+        IMPSIM_GUARDED_BY(mutex_);
 };
 
 } // namespace server

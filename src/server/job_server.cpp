@@ -91,7 +91,7 @@ listenTcp(int port, std::uint16_t &boundPort)
 bool
 JobServer::Connection::write(const std::string &s)
 {
-    std::lock_guard<std::mutex> lock(writeMutex);
+    MutexLock lock(writeMutex);
     int f = fd.load();
     if (f < 0)
         return false;
@@ -115,7 +115,7 @@ JobServer::Connection::shutdownFd()
 void
 JobServer::Connection::closeFd()
 {
-    std::lock_guard<std::mutex> lock(writeMutex);
+    MutexLock lock(writeMutex);
     int f = fd.exchange(-1);
     if (f >= 0)
         ::close(f);
@@ -147,8 +147,13 @@ JobServer::start()
 
     // Index archived results before taking submissions: job ids must
     // resume above everything on disk, or a fresh job could shadow a
-    // stored result a reconnecting client still wants to FETCH.
-    nextJobId_ = store_.load() + 1;
+    // stored result a reconnecting client still wants to FETCH. No
+    // other thread exists yet, but the lock keeps the discipline
+    // uniform (and the analysis quiet) for free.
+    {
+        MutexLock lock(jobsMutex_);
+        nextJobId_ = store_.load() + 1;
+    }
 
     if (!cfg_.socketPath.empty())
         listenFds_.push_back(listenUnix(cfg_.socketPath));
@@ -183,7 +188,7 @@ JobServer::stop()
     // also why this must not take the write mutexes). Readers wake
     // too and their threads run out.
     {
-        std::lock_guard<std::mutex> lock(connMutex_);
+        MutexLock lock(connMutex_);
         for (ConnSlot &slot : connections_)
             slot.conn->shutdownFd();
     }
@@ -192,7 +197,7 @@ JobServer::stop()
     // pool close additionally fails workers blocked waiting for a
     // slot, so a runner cannot sit out a long lease queue first.
     {
-        std::lock_guard<std::mutex> lock(jobsMutex_);
+        MutexLock lock(jobsMutex_);
         for (auto &entry : jobs_)
             entry.second->control.cancel();
     }
@@ -204,7 +209,7 @@ JobServer::stop()
 
     std::vector<ConnSlot> slots;
     {
-        std::lock_guard<std::mutex> lock(connMutex_);
+        MutexLock lock(connMutex_);
         slots.swap(connections_);
     }
     for (ConnSlot &slot : slots) {
@@ -250,7 +255,7 @@ JobServer::listenLoop(int listenFd)
 
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
-        std::lock_guard<std::mutex> lock(connMutex_);
+        MutexLock lock(connMutex_);
         if (stopping_.load()) {
             ::close(fd);
             return;
@@ -367,7 +372,7 @@ JobServer::handleSubmit(Connection &conn, LineReader &reader,
 
     std::shared_ptr<Connection> self;
     {
-        std::lock_guard<std::mutex> lock(connMutex_);
+        MutexLock lock(connMutex_);
         for (const ConnSlot &slot : connections_) {
             if (slot.conn.get() == &conn) {
                 self = slot.conn;
@@ -376,7 +381,7 @@ JobServer::handleSubmit(Connection &conn, LineReader &reader,
         }
     }
     {
-        std::lock_guard<std::mutex> lock(jobsMutex_);
+        MutexLock lock(jobsMutex_);
         job->id = nextJobId_++;
         jobs_[job->id] = job;
         if (self)
@@ -386,7 +391,7 @@ JobServer::handleSubmit(Connection &conn, LineReader &reader,
     // Holding writeMutex across push + QUEUED pins the wire order:
     // the scheduler cannot squeeze this job's RESULT in front of its
     // QUEUED, because delivery takes the same mutex.
-    std::lock_guard<std::mutex> wlock(conn.writeMutex);
+    MutexLock wlock(conn.writeMutex);
     int fd = conn.fd.load();
     auto writeOrKill = [fd](const std::string &frame) {
         if (fd >= 0 && !writeAll(fd, frame))
@@ -394,7 +399,7 @@ JobServer::handleSubmit(Connection &conn, LineReader &reader,
     };
     if (!queue_.push(job)) {
         {
-            std::lock_guard<std::mutex> lock(jobsMutex_);
+            MutexLock lock(jobsMutex_);
             jobs_.erase(job->id);
             jobConns_.erase(job->id);
         }
@@ -412,7 +417,7 @@ JobServer::findJob(const std::string &idToken)
     std::uint64_t id = 0;
     if (!parseNumber(idToken, id))
         return nullptr;
-    std::lock_guard<std::mutex> lock(jobsMutex_);
+    MutexLock lock(jobsMutex_);
     auto it = jobs_.find(id);
     return it == jobs_.end() ? nullptr : it->second;
 }
@@ -420,7 +425,7 @@ JobServer::findJob(const std::string &idToken)
 std::shared_ptr<JobServer::Connection>
 JobServer::takeSubmitter(std::uint64_t jobId)
 {
-    std::lock_guard<std::mutex> lock(jobsMutex_);
+    MutexLock lock(jobsMutex_);
     auto it = jobConns_.find(jobId);
     if (it == jobConns_.end())
         return nullptr;
@@ -542,7 +547,7 @@ JobServer::handleList(Connection &conn)
                          escapeToken(meta.origin) + "\n";
     }
     {
-        std::lock_guard<std::mutex> lock(jobsMutex_);
+        MutexLock lock(jobsMutex_);
         for (const auto &entry : jobs_) {
             const ServerJob &job = *entry.second;
             lines[job.id] = std::to_string(job.id) + " " +
@@ -577,7 +582,7 @@ JobServer::finishJob(const std::shared_ptr<ServerJob> &job,
 
     std::shared_ptr<Connection> submitter = takeSubmitter(job->id);
     {
-        std::lock_guard<std::mutex> lock(jobsMutex_);
+        MutexLock lock(jobsMutex_);
         jobs_.erase(job->id);
     }
     if (!submitter)

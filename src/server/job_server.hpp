@@ -24,11 +24,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "server/job_queue.hpp"
 #include "server/protocol.hpp"
 #include "server/result_store.hpp"
@@ -84,7 +84,7 @@ class JobServer
     void start();
 
     /** Idempotent; cancels jobs, closes sockets, joins threads. */
-    void stop();
+    void stop() IMPSIM_EXCLUDES(connMutex_, jobsMutex_);
 
     /** Actual TCP port once started (0 when TCP is disabled). */
     std::uint16_t tcpPort() const { return tcpPort_; }
@@ -107,18 +107,18 @@ class JobServer
     {
         std::atomic<int> fd{-1};
         std::uint64_t clientId = 0;
-        std::mutex writeMutex;
+        Mutex writeMutex;
         std::atomic<bool> done{false};
 
         /** Serialized write. @return false on a closed/broken peer. */
-        bool write(const std::string &s);
+        bool write(const std::string &s) IMPSIM_EXCLUDES(writeMutex);
         /** Wakes blocked reads/writes; never closes. Lock-free. */
         void shutdownFd();
         /** Closes; only call once the reader thread is joined. */
-        void closeFd();
+        void closeFd() IMPSIM_EXCLUDES(writeMutex);
     };
 
-    void listenLoop(int listenFd);
+    void listenLoop(int listenFd) IMPSIM_EXCLUDES(connMutex_);
     void connectionLoop(std::shared_ptr<Connection> conn);
     /** One of cfg_.maxActive job-execution threads. */
     void runnerLoop();
@@ -130,20 +130,24 @@ class JobServer
      * the submitter (RESULT or CANCELLED) when still connected.
      */
     void finishJob(const std::shared_ptr<ServerJob> &job,
-                   const std::string &payload);
+                   const std::string &payload)
+        IMPSIM_EXCLUDES(jobsMutex_);
 
     void handleSubmit(Connection &conn, LineReader &reader,
-                      const std::vector<std::string> &tokens);
+                      const std::vector<std::string> &tokens)
+        IMPSIM_EXCLUDES(connMutex_, jobsMutex_);
     void handleStatus(Connection &conn,
                       const std::vector<std::string> &tokens);
     void handleCancel(Connection &conn,
                       const std::vector<std::string> &tokens);
     void handleFetch(Connection &conn,
                      const std::vector<std::string> &tokens);
-    void handleList(Connection &conn);
-    std::shared_ptr<ServerJob> findJob(const std::string &idToken);
+    void handleList(Connection &conn) IMPSIM_EXCLUDES(jobsMutex_);
+    std::shared_ptr<ServerJob> findJob(const std::string &idToken)
+        IMPSIM_EXCLUDES(jobsMutex_);
     /** The submitting connection of @p jobId, unregistered. */
-    std::shared_ptr<Connection> takeSubmitter(std::uint64_t jobId);
+    std::shared_ptr<Connection> takeSubmitter(std::uint64_t jobId)
+        IMPSIM_EXCLUDES(jobsMutex_);
 
     /** The full ERROR frame (header line + payload) for @p message. */
     static std::string errorFrame(std::string message);
@@ -171,16 +175,18 @@ class JobServer
         std::shared_ptr<Connection> conn;
         std::thread thread;
     };
-    std::mutex connMutex_;
-    std::vector<ConnSlot> connections_;
-    std::uint64_t nextClientId_ = 1;
+    Mutex connMutex_;
+    std::vector<ConnSlot> connections_ IMPSIM_GUARDED_BY(connMutex_);
+    std::uint64_t nextClientId_ IMPSIM_GUARDED_BY(connMutex_) = 1;
 
-    std::mutex jobsMutex_;
+    Mutex jobsMutex_;
     /** Live (queued or running) jobs; terminal ones move to store_. */
-    std::map<std::uint64_t, std::shared_ptr<ServerJob>> jobs_;
+    std::map<std::uint64_t, std::shared_ptr<ServerJob>> jobs_
+        IMPSIM_GUARDED_BY(jobsMutex_);
     /** Submitting connection per unfinished job (result delivery). */
-    std::map<std::uint64_t, std::shared_ptr<Connection>> jobConns_;
-    std::uint64_t nextJobId_ = 1;
+    std::map<std::uint64_t, std::shared_ptr<Connection>> jobConns_
+        IMPSIM_GUARDED_BY(jobsMutex_);
+    std::uint64_t nextJobId_ IMPSIM_GUARDED_BY(jobsMutex_) = 1;
 };
 
 } // namespace server

@@ -127,7 +127,7 @@ ResultStore::payloadPath(std::uint64_t id) const
 std::uint64_t
 ResultStore::load()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (dir_.empty())
         return 0;
     if (!makeDirs(dir_))
@@ -189,7 +189,7 @@ ResultStore::writeManifest(const StoredResult &meta) const
 void
 ResultStore::put(StoredResult meta, const std::string &payload)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     meta.bytes = payload.size();
     meta.seq = ++seq_;
     if (!dir_.empty()) {
@@ -231,7 +231,7 @@ ResultStore::put(StoredResult meta, const std::string &payload)
 bool
 ResultStore::manifest(std::uint64_t id, StoredResult &out) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(id);
     if (it == entries_.end())
         return false;
@@ -243,7 +243,7 @@ bool
 ResultStore::fetch(std::uint64_t id, StoredResult &meta,
                    std::string &payload)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(id);
     if (it == entries_.end())
         return false;
@@ -266,7 +266,7 @@ ResultStore::fetch(std::uint64_t id, StoredResult &meta,
 std::vector<StoredResult>
 ResultStore::list() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<StoredResult> out;
     out.reserve(entries_.size());
     for (const auto &entry : entries_)
@@ -277,14 +277,14 @@ ResultStore::list() const
 std::uint64_t
 ResultStore::totalBytes() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return bytesTotal_;
 }
 
 std::size_t
 ResultStore::entries() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return entries_.size();
 }
 

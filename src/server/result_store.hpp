@@ -22,9 +22,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace impsim {
 namespace server {
@@ -72,47 +73,52 @@ class ResultStore
      *         collide with archived results.
      * @throws std::runtime_error if the directory cannot be created.
      */
-    std::uint64_t load();
+    std::uint64_t load() IMPSIM_EXCLUDES(mutex_);
 
     /** Archives a terminal job (payload empty for cancelled). */
-    void put(StoredResult meta, const std::string &payload);
+    void put(StoredResult meta, const std::string &payload)
+        IMPSIM_EXCLUDES(mutex_);
 
     /** Manifest lookup without touching LRU order. */
-    bool manifest(std::uint64_t id, StoredResult &out) const;
+    bool manifest(std::uint64_t id, StoredResult &out) const
+        IMPSIM_EXCLUDES(mutex_);
 
     /**
      * Reads a stored payload back and refreshes its LRU stamp.
      * @return false if @p id is unknown (or its files were removed
      *         behind the store's back).
      */
-    bool fetch(std::uint64_t id, StoredResult &meta, std::string &payload);
+    bool fetch(std::uint64_t id, StoredResult &meta,
+               std::string &payload) IMPSIM_EXCLUDES(mutex_);
 
     /** All manifests, ascending id. */
-    std::vector<StoredResult> list() const;
+    std::vector<StoredResult> list() const IMPSIM_EXCLUDES(mutex_);
 
     /** Payload bytes currently stored. */
-    std::uint64_t totalBytes() const;
-    std::size_t entries() const;
+    std::uint64_t totalBytes() const IMPSIM_EXCLUDES(mutex_);
+    std::size_t entries() const IMPSIM_EXCLUDES(mutex_);
     bool persistent() const { return !dir_.empty(); }
 
   private:
-    /** Evicts LRU entries beyond the bounds. Caller holds mutex_. */
-    void evictLocked();
-    void eraseEntryLocked(std::uint64_t id);
+    /** Evicts LRU entries beyond the bounds. */
+    void evictLocked() IMPSIM_REQUIRES(mutex_);
+    void eraseEntryLocked(std::uint64_t id) IMPSIM_REQUIRES(mutex_);
     std::string manifestPath(std::uint64_t id) const;
     std::string payloadPath(std::uint64_t id) const;
     /** Writes @p meta's manifest file (tmp + rename). */
     bool writeManifest(const StoredResult &meta) const;
 
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     const std::string dir_;
     const std::uint64_t maxBytes_;
     const std::size_t maxEntries_;
-    std::uint64_t seq_ = 0;
-    std::uint64_t bytesTotal_ = 0;
-    std::map<std::uint64_t, StoredResult> entries_;
+    std::uint64_t seq_ IMPSIM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t bytesTotal_ IMPSIM_GUARDED_BY(mutex_) = 0;
+    std::map<std::uint64_t, StoredResult> entries_
+        IMPSIM_GUARDED_BY(mutex_);
     /** Memory mode only: payloads keyed like entries_. */
-    std::map<std::uint64_t, std::string> payloads_;
+    std::map<std::uint64_t, std::string> payloads_
+        IMPSIM_GUARDED_BY(mutex_);
 };
 
 } // namespace server

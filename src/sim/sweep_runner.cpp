@@ -6,7 +6,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 #include "common/logging.hpp"
@@ -38,22 +37,19 @@ WorkerPool::~WorkerPool()
     close();
     // Leases outliving their pool would dereference it; that is a
     // caller bug, made loud here instead of a later wild pointer.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     IMPSIM_CHECK(leases_.empty(), "WorkerPool destroyed with open leases");
-}
-
-WorkerPool::Lease::Lease(WorkerPool &pool, double weight)
-    : pool_(&pool), weight_(weight > 0 ? weight : 1.0)
-{
 }
 
 WorkerPool::Lease::~Lease()
 {
-    std::lock_guard<std::mutex> lock(pool_->mutex_);
-    IMPSIM_CHECK(held_ == 0 && waitTickets_.empty(),
+    MutexLock lock(pool_->mutex_);
+    auto it = pool_->leases_.find(this);
+    IMPSIM_CHECK(it != pool_->leases_.end(),
+                 "WorkerPool lease unknown to its pool");
+    IMPSIM_CHECK(it->second.held == 0 && it->second.waitTickets.empty(),
                  "WorkerPool lease destroyed while in use");
-    pool_->leases_.erase(std::find(pool_->leases_.begin(),
-                                   pool_->leases_.end(), this));
+    pool_->leases_.erase(it);
     pool_->recompute();
     pool_->cv_.notify_all();
 }
@@ -61,18 +57,30 @@ WorkerPool::Lease::~Lease()
 std::unique_ptr<WorkerPool::Lease>
 WorkerPool::lease(double weight)
 {
-    std::unique_ptr<Lease> l(new Lease(*this, weight));
-    std::lock_guard<std::mutex> lock(mutex_);
-    leases_.push_back(l.get());
+    std::unique_ptr<Lease> l(new Lease(*this));
+    MutexLock lock(mutex_);
+    LeaseState st;
+    st.weight = weight > 0 ? weight : 1.0;
+    st.order = ++leaseSeq_;
+    leases_.emplace(l.get(), std::move(st));
     recompute();
     return l;
+}
+
+WorkerPool::LeaseState &
+WorkerPool::stateOf(const Lease &l)
+{
+    auto it = leases_.find(&l);
+    IMPSIM_CHECK(it != leases_.end(),
+                 "WorkerPool lease unknown to its pool");
+    return it->second;
 }
 
 void
 WorkerPool::close()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         closed_ = true;
     }
     cv_.notify_all();
@@ -83,14 +91,15 @@ WorkerPool::recompute()
 {
     // Only leases with demand — a worker running or blocked — take
     // part; an open but idle lease consumes nothing.
-    std::vector<Lease *> active;
+    std::vector<LeaseState *> active;
     double weightSum = 0.0;
-    for (Lease *l : leases_) {
-        if (l->held_ > 0 || !l->waitTickets_.empty()) {
-            active.push_back(l);
-            weightSum += l->weight_;
+    for (auto &entry : leases_) {
+        LeaseState &st = entry.second;
+        if (st.held > 0 || !st.waitTickets.empty()) {
+            active.push_back(&st);
+            weightSum += st.weight;
         } else {
-            l->target_ = 0;
+            st.target = 0;
         }
     }
     if (active.empty())
@@ -98,18 +107,20 @@ WorkerPool::recompute()
 
     // Weighted shares, floored, at least 1 while slots remain.
     // Heaviest first, so when leases outnumber slots the min-1
-    // guarantee starves the lightest, not the heaviest.
-    std::stable_sort(active.begin(), active.end(),
-                     [](const Lease *a, const Lease *b) {
-                         return a->weight_ > b->weight_;
-                     });
+    // guarantee starves the lightest, not the heaviest; equal
+    // weights keep lease-creation order, as the old stable_sort did.
+    std::sort(active.begin(), active.end(),
+              [](const LeaseState *a, const LeaseState *b) {
+                  return a->weight != b->weight ? a->weight > b->weight
+                                                : a->order < b->order;
+              });
     unsigned remaining = slots_;
-    for (Lease *l : active) {
+    for (LeaseState *st : active) {
         auto share = static_cast<unsigned>(
-            static_cast<double>(slots_) * (l->weight_ / weightSum));
+            static_cast<double>(slots_) * (st->weight / weightSum));
         share = std::max(share, 1u);
         share = std::min(share, remaining);
-        l->target_ = share;
+        st->target = share;
         remaining -= share;
     }
 
@@ -119,39 +130,40 @@ WorkerPool::recompute()
     for (;;) {
         if (remaining == 0)
             return;
-        Lease *pick = nullptr;
-        for (Lease *l : active) {
-            if (l->waitTickets_.empty())
+        LeaseState *pick = nullptr;
+        for (LeaseState *st : active) {
+            if (st->waitTickets.empty())
                 continue;
-            if (l->target_ >= l->held_ + l->waitTickets_.size())
+            if (st->target >= st->held + st->waitTickets.size())
                 continue; // demand already satisfied
             if (!pick ||
-                l->waitTickets_.front() < pick->waitTickets_.front())
-                pick = l;
+                st->waitTickets.front() < pick->waitTickets.front())
+                pick = st;
         }
         if (!pick)
             return;
-        ++pick->target_;
+        ++pick->target;
         --remaining;
     }
 }
 
 bool
-WorkerPool::canGrant(const Lease &l) const
+WorkerPool::canGrant(const LeaseState &st) const
 {
     if (heldTotal_ >= slots_)
         return false;
-    if (l.held_ < l.target_)
+    if (st.held < st.target)
         return true;
     // Borrowing an idle slot beyond the target: only when nobody
     // under-target is waiting, and only for the longest-waiting of
     // the over-target leases.
-    for (const Lease *o : leases_) {
-        if (o->waitTickets_.empty())
+    for (const auto &entry : leases_) {
+        const LeaseState &o = entry.second;
+        if (o.waitTickets.empty())
             continue;
-        if (o->held_ < o->target_)
+        if (o.held < o.target)
             return false;
-        if (o != &l && o->waitTickets_.front() < l.waitTickets_.front())
+        if (&o != &st && o.waitTickets.front() < st.waitTickets.front())
             return false;
     }
     return true;
@@ -160,20 +172,20 @@ WorkerPool::canGrant(const Lease &l) const
 bool
 WorkerPool::Lease::acquire()
 {
-    std::unique_lock<std::mutex> lock(pool_->mutex_);
+    MutexLock lock(pool_->mutex_);
+    LeaseState &st = pool_->stateOf(*this);
     const std::uint64_t ticket = ++pool_->ticketSeq_;
-    waitTickets_.push_back(ticket);
+    st.waitTickets.push_back(ticket);
     pool_->recompute();
-    pool_->cv_.wait(lock, [&] {
-        return pool_->closed_ || pool_->canGrant(*this);
-    });
-    waitTickets_.erase(std::find(waitTickets_.begin(), waitTickets_.end(),
-                                 ticket));
+    while (!pool_->closed_ && !pool_->canGrant(st))
+        pool_->cv_.wait(lock);
+    st.waitTickets.erase(
+        std::find(st.waitTickets.begin(), st.waitTickets.end(), ticket));
     if (pool_->closed_) {
         pool_->recompute();
         return false;
     }
-    ++held_;
+    ++st.held;
     ++pool_->heldTotal_;
     // Taking a slot shrinks this lease's unmet demand; leftover
     // redistribution may now favour another lease's waiter, so wake
@@ -187,9 +199,10 @@ void
 WorkerPool::Lease::release()
 {
     {
-        std::lock_guard<std::mutex> lock(pool_->mutex_);
-        IMPSIM_CHECK(held_ > 0, "WorkerPool release without acquire");
-        --held_;
+        MutexLock lock(pool_->mutex_);
+        LeaseState &st = pool_->stateOf(*this);
+        IMPSIM_CHECK(st.held > 0, "WorkerPool release without acquire");
+        --st.held;
         --pool_->heldTotal_;
         pool_->recompute();
     }
@@ -199,15 +212,15 @@ WorkerPool::Lease::release()
 unsigned
 WorkerPool::Lease::held() const
 {
-    std::lock_guard<std::mutex> lock(pool_->mutex_);
-    return held_;
+    MutexLock lock(pool_->mutex_);
+    return pool_->stateOf(*this).held;
 }
 
 unsigned
 WorkerPool::Lease::target() const
 {
-    std::lock_guard<std::mutex> lock(pool_->mutex_);
-    return target_;
+    MutexLock lock(pool_->mutex_);
+    return pool_->stateOf(*this).target;
 }
 
 // ---- SweepRunner -----------------------------------------------------
@@ -229,8 +242,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs, SweepControl *ctl,
     for (SweepResult &r : results)
         r.ran = false;
     std::atomic<std::size_t> next{0};
-    std::size_t done = 0; // guarded by progress_mutex
-    std::mutex progress_mutex;
+    std::size_t done = 0; // guarded by progressMutex
+    Mutex progressMutex;
 
     auto worker = [&]() {
         for (;;) {
@@ -255,7 +268,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs, SweepControl *ctl,
             if (ctl && ctl->onProgress) {
                 // Count and notify under one lock so done counts
                 // arrive strictly monotone 1..N.
-                std::lock_guard<std::mutex> lock(progress_mutex);
+                MutexLock lock(progressMutex);
                 ctl->onProgress(++done, jobs.size());
             }
         }

@@ -14,17 +14,17 @@
 #define IMPSIM_SIM_SWEEP_RUNNER_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/func_mem.hpp"
 #include "common/stats.hpp"
 #include "cpu/trace.hpp"
@@ -120,7 +120,15 @@ class WorkerPool
     WorkerPool(const WorkerPool &) = delete;
     WorkerPool &operator=(const WorkerPool &) = delete;
 
-    /** One batch's slice of the pool. Destroy only with no slot held. */
+    /**
+     * One batch's slice of the pool. Destroy only with no slot held.
+     *
+     * A Lease is only a handle: its allocator state (weight, held and
+     * target slot counts, wait tickets) lives in the pool's
+     * mutex-guarded lease table, so clang's thread-safety analysis
+     * checks every access against one capability — the pool mutex —
+     * from both sides of the Lease/WorkerPool friendship.
+     */
     class Lease
     {
       public:
@@ -132,52 +140,64 @@ class WorkerPool
          * Blocks until a slot is granted (or the pool closes).
          * @return false iff the pool was closed — stop running.
          */
-        bool acquire();
+        bool acquire() IMPSIM_EXCLUDES(pool_->mutex_);
         /** Returns a slot granted by acquire() to the pool. */
-        void release();
+        void release() IMPSIM_EXCLUDES(pool_->mutex_);
 
         /** Slots this lease currently holds. */
-        unsigned held() const;
+        unsigned held() const IMPSIM_EXCLUDES(pool_->mutex_);
         /** Slots the allocator currently assigns this lease. */
-        unsigned target() const;
+        unsigned target() const IMPSIM_EXCLUDES(pool_->mutex_);
 
       private:
         friend class WorkerPool;
-        Lease(WorkerPool &pool, double weight);
+        explicit Lease(WorkerPool &pool) : pool_(&pool) {}
 
         WorkerPool *pool_;
-        const double weight_;
-        // All below guarded by pool_->mutex_.
-        unsigned held_ = 0;
-        unsigned target_ = 0;
-        /** Tickets of blocked acquire()s, oldest first. */
-        std::deque<std::uint64_t> waitTickets_;
     };
 
     /**
      * Opens a lease with the given allocation weight (a job-server
      * priority, typically). Thread-safe.
      */
-    std::unique_ptr<Lease> lease(double weight = 1.0);
+    std::unique_ptr<Lease> lease(double weight = 1.0)
+        IMPSIM_EXCLUDES(mutex_);
 
     /** Fails every blocked and future acquire(); for shutdown. */
-    void close();
+    void close() IMPSIM_EXCLUDES(mutex_);
 
     unsigned slots() const { return slots_; }
 
   private:
-    /** Recomputes every lease's target. Caller holds mutex_. */
-    void recompute();
-    /** May @p l take a slot right now? Caller holds mutex_. */
-    bool canGrant(const Lease &l) const;
+    /** Per-lease allocator state; reachable only through leases_. */
+    struct LeaseState
+    {
+        double weight = 1.0;
+        /** Creation order: the weight tie-breaker in recompute(). */
+        std::uint64_t order = 0;
+        unsigned held = 0;
+        unsigned target = 0;
+        /** Tickets of blocked acquire()s, oldest first. */
+        std::deque<std::uint64_t> waitTickets;
+    };
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    unsigned slots_;
-    unsigned heldTotal_ = 0;
-    bool closed_ = false;
-    std::uint64_t ticketSeq_ = 0;
-    std::vector<Lease *> leases_;
+    /** Recomputes every lease's target. */
+    void recompute() IMPSIM_REQUIRES(mutex_);
+    /** May the lease in state @p st take a slot right now? */
+    bool canGrant(const LeaseState &st) const IMPSIM_REQUIRES(mutex_);
+    /** @p l's state; IMPSIM_CHECK-fails on an unregistered lease. */
+    LeaseState &stateOf(const Lease &l) IMPSIM_REQUIRES(mutex_);
+
+    mutable Mutex mutex_;
+    CondVar cv_;
+    const unsigned slots_;
+    unsigned heldTotal_ IMPSIM_GUARDED_BY(mutex_) = 0;
+    bool closed_ IMPSIM_GUARDED_BY(mutex_) = false;
+    std::uint64_t ticketSeq_ IMPSIM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t leaseSeq_ IMPSIM_GUARDED_BY(mutex_) = 0;
+    /** Open leases -> allocator state (reference-stable map). */
+    std::map<const Lease *, LeaseState> leases_
+        IMPSIM_GUARDED_BY(mutex_);
 };
 
 /** Runs batches of SweepJobs across worker threads. */

@@ -1,0 +1,33 @@
+// Lint fixture: MUST pass every rule. It exercises the blessed
+// patterns — annotated Mutex/MutexLock, FlatHashMap emission behind
+// an ordering sort, and one justified suppression — so the rules and
+// their escape hatches can't silently rot. Never compiled.
+#include <algorithm>
+#include <ctime>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "common/flat_map.hpp"
+#include "common/thread_annotations.hpp"
+
+struct CleanReport
+{
+    impsim::FlatHashMap<int, long> counts_;
+    mutable impsim::Mutex mutex_;
+
+    void
+    emit(std::ostream &os) const
+    {
+        impsim::MutexLock lock(mutex_);
+        std::vector<std::pair<int, long>> rows;
+        for (const auto &entry : counts_)
+            rows.emplace_back(entry.first, entry.second);
+        std::sort(rows.begin(), rows.end());
+        for (const auto &row : rows)
+            os << row.first << "," << row.second << "\n";
+    }
+
+    // impsim-lint: allow(no-wallclock-entropy) fixture: exercises the
+    long stamp() const { return time(nullptr); }
+};

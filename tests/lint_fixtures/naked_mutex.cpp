@@ -1,0 +1,17 @@
+// Lint fixture: MUST trigger no-naked-mutex and nothing else. Never
+// compiled — scripts/impsim_lint.py --self-test asserts the
+// diagnostics.
+#include <mutex>
+
+struct Counter
+{
+    std::mutex mutex_;
+    long value_ = 0;
+
+    void
+    add(long d)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        value_ += d;
+    }
+};

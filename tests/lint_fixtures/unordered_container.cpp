@@ -1,0 +1,13 @@
+// Lint fixture: MUST trigger no-unordered-container and nothing
+// else. Never compiled — scripts/impsim_lint.py --self-test asserts
+// the diagnostics.
+#include <unordered_map>
+
+int
+countDistinct(const int *v, int n)
+{
+    std::unordered_map<int, int> seen;
+    for (int i = 0; i < n; ++i)
+        ++seen[v[i]];
+    return static_cast<int>(seen.size());
+}

@@ -1,0 +1,19 @@
+// Lint fixture: MUST trigger no-unsorted-flat-emission and nothing
+// else. Never compiled — scripts/impsim_lint.py --self-test asserts
+// the diagnostics.
+#include <ostream>
+
+#include "common/flat_map.hpp"
+
+struct HistogramReport
+{
+    impsim::FlatHashMap<int, long> counts_;
+
+    void
+    emit(std::ostream &os) const
+    {
+        for (const auto &entry : counts_)
+            os << "bucket," << entry.first << "," << entry.second
+               << "\n";
+    }
+};

@@ -1,0 +1,12 @@
+// Lint fixture: MUST trigger no-wallclock-entropy and nothing else.
+// Never compiled — scripts/impsim_lint.py --self-test asserts the
+// diagnostics.
+#include <cstdlib>
+#include <ctime>
+
+unsigned
+seedFromWallClock()
+{
+    return static_cast<unsigned>(time(nullptr)) ^
+           static_cast<unsigned>(rand());
+}

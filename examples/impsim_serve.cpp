@@ -8,6 +8,8 @@
  *   impsim_serve --socket PATH [--tcp PORT] [--jobs N] [--queue N]
  *                [--max-active K] [--per-client-quota Q]
  *                [--results-dir DIR] [--results-max-bytes N]
+ *                [--lease-runs R] [--ready-file PATH]
+ *   impsim_serve --worker-of ADDR [--slots S] [--jobs N]
  *                [--ready-file PATH]
  *
  * --socket PATH        Unix-domain socket to listen on (created, and
@@ -27,10 +29,19 @@
  *                      default is in-memory only
  * --results-max-bytes N  result-store payload bound before LRU
  *                      eviction (default 268435456)
+ * --lease-runs R       runs per sub-batch when sweeps are sharded
+ *                      over remote workers (default 4)
  * --ready-file PATH    touch PATH once all listeners are bound — a
  *                      race-free readiness signal for scripts and CI
  *                      (contents: one "unix PATH" / "tcp PORT" line
- *                      per listener)
+ *                      per listener; empty in worker mode, written
+ *                      once registered)
+ *
+ * Worker mode (the distributed sweep fabric, docs/job_server.md):
+ * --worker-of ADDR     do not listen; connect to the coordinator at
+ *                      ADDR (socket path or tcp:HOST:PORT), register,
+ *                      and serve leased sub-batches until it hangs up
+ * --slots S            concurrent leases to ask for (default 1)
  *
  * Clients speak the line protocol in docs/job_server.md; the
  * matching client is `impsim_cli --submit FILE --server PATH`, whose
@@ -48,6 +59,7 @@
 #include <string>
 
 #include "server/job_server.hpp"
+#include "server/worker.hpp"
 
 using namespace impsim;
 
@@ -55,6 +67,7 @@ int
 main(int argc, char **argv)
 {
     server::JobServerConfig cfg;
+    server::WorkerOptions worker;
     std::string readyFile;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -109,6 +122,14 @@ main(int argc, char **argv)
         } else if (a == "--results-max-bytes") {
             cfg.resultsMaxBytes = static_cast<std::uint64_t>(
                 parseInt(next(), 0, LONG_MAX));
+        } else if (a == "--lease-runs") {
+            cfg.leaseRuns =
+                static_cast<std::size_t>(parseInt(next(), 1, 1 << 20));
+        } else if (a == "--worker-of") {
+            worker.coordinator = next();
+        } else if (a == "--slots") {
+            worker.slots =
+                static_cast<unsigned>(parseInt(next(), 1, 1024));
         } else if (a == "--ready-file") {
             readyFile = next();
         } else {
@@ -116,12 +137,26 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    if (!worker.coordinator.empty()) {
+        if (!cfg.socketPath.empty() || cfg.tcpPort >= 0) {
+            std::fprintf(stderr, "--worker-of excludes --socket/--tcp: "
+                                 "a worker dials out, it does not "
+                                 "listen\n");
+            return 1;
+        }
+        worker.jobs = cfg.workers;
+        worker.readyFile = readyFile;
+        return server::runWorker(worker);
+    }
     if (cfg.socketPath.empty() && cfg.tcpPort < 0) {
         std::fprintf(stderr,
                      "usage: impsim_serve --socket PATH [--tcp PORT] "
                      "[--jobs N] [--queue N] [--max-active K] "
                      "[--per-client-quota Q] [--results-dir DIR] "
-                     "[--results-max-bytes N] [--ready-file PATH]\n");
+                     "[--results-max-bytes N] [--lease-runs R] "
+                     "[--ready-file PATH]\n"
+                     "   or: impsim_serve --worker-of ADDR [--slots S] "
+                     "[--jobs N] [--ready-file PATH]\n");
         return 1;
     }
 

@@ -17,6 +17,7 @@
 
 #include "common/config_file.hpp"
 #include "common/thread_annotations.hpp"
+#include "server/protocol.hpp"
 #include "sim/sweep_runner.hpp"
 
 namespace impsim {
@@ -43,6 +44,15 @@ struct ServerJob
     std::string origin;
     /** Bound experiment; cleared after the run to bound memory. */
     Experiment exp;
+    /**
+     * Verbatim SUBMIT config text plus the parsed request line, kept
+     * so the distributed fabric can re-ship the job to remote workers
+     * in LEASE frames; workers re-bind it themselves with the same
+     * binder, so run indices agree (docs/job_server.md). Cleared with
+     * `exp` after the run.
+     */
+    std::string configText;
+    SubmitRequest submit;
     /** Force CSV for single-run configs (the CLI's --csv). */
     bool csv = false;
     /**

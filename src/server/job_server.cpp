@@ -5,7 +5,10 @@
  */
 #include "server/job_server.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -302,6 +305,12 @@ JobServer::connectionLoop(std::shared_ptr<Connection> conn)
             handleFetch(*conn, tokens);
         } else if (cmd == "LIST") {
             handleList(*conn);
+        } else if (cmd == "WORKER") {
+            // The connection becomes a worker for good: handleWorker
+            // runs its whole lease-serving life and only returns when
+            // the peer is gone (or was rejected).
+            handleWorker(conn, reader, tokens);
+            break;
         } else if (cmd == "QUIT") {
             break;
         } else {
@@ -365,6 +374,11 @@ JobServer::handleSubmit(Connection &conn, LineReader &reader,
     job->csv = req.csv;
     job->priority = req.priority;
     job->total = job->exp.runs.size();
+    // Kept verbatim so the fabric can re-ship the job in LEASE
+    // frames; the worker re-binds with the same binder, so both ends
+    // expand the identical run list.
+    job->configText = std::move(text);
+    job->submit = req;
     ServerJob *raw = job.get();
     job->control.onProgress = [raw](std::size_t done, std::size_t) {
         raw->done.store(done, std::memory_order_relaxed);
@@ -458,6 +472,14 @@ JobServer::handleStatus(Connection &conn,
                    std::to_string(meta.total) + "\n");
         return;
     }
+    // "gone" and "unknown" are different answers: gone means the id
+    // was real and finished, but its archived result has since been
+    // evicted — retrying cannot bring it back.
+    if (parseNumber(tokens[1], id) && store_.wasEvicted(id)) {
+        conn.write(errorFrame("STATUS: job " + std::to_string(id) +
+                              " gone: its stored result was evicted"));
+        return;
+    }
     conn.write(errorFrame("STATUS: unknown job"));
 }
 
@@ -528,8 +550,12 @@ JobServer::handleFetch(Connection &conn,
                               "; try again when done"));
         return;
     }
-    conn.write(errorFrame("FETCH: unknown job (never existed, or its "
-                          "stored result was evicted)"));
+    if (store_.wasEvicted(id)) {
+        conn.write(errorFrame("FETCH: job " + std::to_string(id) +
+                              " gone: its stored result was evicted"));
+        return;
+    }
+    conn.write(errorFrame("FETCH: unknown job"));
 }
 
 void
@@ -603,21 +629,29 @@ JobServer::executeJob(const std::shared_ptr<ServerJob> &job)
     }
     job->state.store(ServerJob::State::Running);
 
-    // Lease a weighted slice of the shared pool for this job; the
-    // allocator rebalances between simulations as jobs come and go
-    // (each progress step releases and re-acquires a slot).
-    std::unique_ptr<WorkerPool::Lease> lease =
-        pool_.lease(static_cast<double>(job->priority));
-    std::ostringstream out;
-    ExperimentRunOptions opt;
-    opt.csv = job->csv;
-    opt.runner = &runner_;
-    opt.control = &job->control;
-    opt.lease = lease.get();
-    bool completed = runExperiment(job->exp, out, opt);
-    lease.reset();
+    bool completed;
+    std::string payload;
+    if (job->total > 0 && hasWorkers()) {
+        completed = executeDistributed(job, payload);
+    } else {
+        // Lease a weighted slice of the shared pool for this job; the
+        // allocator rebalances between simulations as jobs come and
+        // go (each progress step releases and re-acquires a slot).
+        std::unique_ptr<WorkerPool::Lease> lease =
+            pool_.lease(static_cast<double>(job->priority));
+        std::ostringstream out;
+        ExperimentRunOptions opt;
+        opt.csv = job->csv;
+        opt.runner = &runner_;
+        opt.control = &job->control;
+        opt.lease = lease.get();
+        completed = runExperiment(job->exp, out, opt);
+        lease.reset();
+        payload = out.str();
+    }
 
     job->exp = Experiment{}; // the bound grid can be large
+    job->configText = std::string();
     if (!completed) {
         job->state.store(ServerJob::State::Cancelled);
         finishJob(job, std::string());
@@ -625,7 +659,395 @@ JobServer::executeJob(const std::shared_ptr<ServerJob> &job)
     }
     job->done.store(job->total);
     job->state.store(ServerJob::State::Done);
-    finishJob(job, out.str());
+    finishJob(job, payload);
+}
+
+// ---- Distributed sweep fabric (worker mode) --------------------------
+
+namespace {
+
+/** Bound on one ROW payload: a CSV row or a full single-run report. */
+constexpr std::uint64_t kMaxRowBytes = 4u << 20;
+
+} // namespace
+
+bool
+JobServer::hasWorkers()
+{
+    MutexLock lock(fabricMutex_);
+    return !workers_.empty();
+}
+
+void
+JobServer::handleWorker(const std::shared_ptr<Connection> &conn,
+                        LineReader &reader,
+                        const std::vector<std::string> &tokens)
+{
+    std::uint64_t version = 0;
+    if (tokens.size() < 2 || !parseNumber(tokens[1], version) ||
+        version != static_cast<std::uint64_t>(kProtocolVersion)) {
+        // A worker from a different build could expand a different
+        // run list for the same config; refusing outright beats
+        // silently corrupting a sweep.
+        conn->write(errorFrame(
+            "WORKER: protocol version mismatch (coordinator speaks " +
+            std::to_string(kProtocolVersion) + ")"));
+        return;
+    }
+    unsigned slots = 1;
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        std::size_t eq = tok.find('=');
+        if (eq == std::string::npos)
+            continue; // unknown flag token: forwards compatibility
+        const std::string key = tok.substr(0, eq);
+        const std::string value = tok.substr(eq + 1);
+        std::uint64_t n = 0;
+        if (key == "slots") {
+            if (!parseNumber(value, n, 1024) || n == 0) {
+                conn->write(errorFrame("WORKER: bad slots '" + value +
+                                       "' (want 1..1024)"));
+                return;
+            }
+            slots = static_cast<unsigned>(n);
+        }
+    }
+
+    // REGISTERED goes out before the worker becomes visible to the
+    // lease assigner, so no LEASE can overtake it on the wire.
+    if (!conn->write("REGISTERED " + std::to_string(conn->clientId) +
+                     "\n"))
+        return;
+    {
+        MutexLock lock(fabricMutex_);
+        RemoteWorker &w = workers_[conn->clientId];
+        w.conn = conn;
+        w.slots = slots;
+        fabricCv_.notify_all();
+    }
+    assignPendingLeases();
+
+    std::string line;
+    while (reader.readLine(line)) {
+        std::vector<std::string> t = splitTokens(line);
+        if (t.empty())
+            continue;
+        std::uint64_t leaseId = 0;
+        if (t[0] == "ROW" && t.size() == 4) {
+            std::uint64_t run = 0;
+            std::uint64_t nbytes = 0;
+            if (!parseNumber(t[1], leaseId) || !parseNumber(t[2], run) ||
+                !parseNumber(t[3], nbytes, kMaxRowBytes))
+                break; // unframed stream: drop the worker
+            std::string row;
+            if (!reader.readBytes(row,
+                                  static_cast<std::size_t>(nbytes)))
+                break;
+            handleWorkerRow(conn->clientId, leaseId, run, row);
+        } else if (t[0] == "LEASEDONE" && t.size() == 2) {
+            if (!parseNumber(t[1], leaseId))
+                break;
+            handleLeaseDone(conn->clientId, leaseId);
+        } else if (t[0] == "LEASEFAIL" && t.size() == 3) {
+            std::uint64_t nbytes = 0;
+            if (!parseNumber(t[1], leaseId) ||
+                !parseNumber(t[2], nbytes, kMaxRowBytes))
+                break;
+            std::string diag;
+            if (!reader.readBytes(diag,
+                                  static_cast<std::size_t>(nbytes)))
+                break;
+            // The worker could not even bind the lease's config — a
+            // build-skew symptom. Drop the worker; its leases
+            // re-queue to healthier peers (or the local fallback).
+            std::fprintf(stderr,
+                         "job server: worker %llu failed lease %llu: "
+                         "%s\n",
+                         static_cast<unsigned long long>(conn->clientId),
+                         static_cast<unsigned long long>(leaseId),
+                         diag.c_str());
+            break;
+        } else {
+            break; // protocol violation
+        }
+    }
+    unregisterWorker(conn->clientId);
+}
+
+void
+JobServer::handleWorkerRow(std::uint64_t workerId, std::uint64_t leaseId,
+                           std::uint64_t run, const std::string &row)
+{
+    MutexLock lock(fabricMutex_);
+    auto lit = leases_.find(leaseId);
+    if (lit == leases_.end() || lit->second.workerId != workerId)
+        return; // stale: the lease was withdrawn or re-queued
+    const Lease &lease = lit->second;
+    if (run < lease.first || run >= lease.first + lease.count)
+        return; // outside the leased range: ignore
+    auto jit = distJobs_.find(lease.jobId);
+    if (jit == distJobs_.end())
+        return;
+    DistJob &dj = *jit->second;
+    const auto idx = static_cast<std::size_t>(run);
+    // A re-run after lease recovery can duplicate a row; the bytes
+    // are identical by the determinism invariant, so first-in wins
+    // and the count stays exact.
+    if (dj.have[idx])
+        return;
+    dj.rows[idx] = row;
+    dj.have[idx] = true;
+    ++dj.haveCount;
+    dj.job->done.store(dj.haveCount, std::memory_order_relaxed);
+    fabricCv_.notify_all();
+}
+
+void
+JobServer::handleLeaseDone(std::uint64_t workerId, std::uint64_t leaseId)
+{
+    {
+        MutexLock lock(fabricMutex_);
+        auto lit = leases_.find(leaseId);
+        if (lit == leases_.end() || lit->second.workerId != workerId)
+            return; // stale
+        const Lease lease = lit->second;
+        auto wit = workers_.find(workerId);
+        if (wit != workers_.end())
+            wit->second.leases.erase(leaseId);
+        auto jit = distJobs_.find(lease.jobId);
+        bool complete = true;
+        if (jit != distJobs_.end()) {
+            for (std::size_t i = lease.first;
+                 i < lease.first + lease.count; ++i) {
+                if (!jit->second->have[i]) {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if (complete || jit == distJobs_.end()) {
+            leases_.erase(lit);
+        } else {
+            // Given back with rows missing (the worker's batch was
+            // revoked or cut short): someone else must run the rest.
+            lit->second.workerId = 0;
+            pendingLeases_.push_back(leaseId);
+        }
+        fabricCv_.notify_all();
+    }
+    assignPendingLeases(); // a slot just freed up
+}
+
+void
+JobServer::unregisterWorker(std::uint64_t clientId)
+{
+    {
+        MutexLock lock(fabricMutex_);
+        auto wit = workers_.find(clientId);
+        if (wit == workers_.end())
+            return;
+        // Re-queue everything the worker still owed — the core of
+        // lease recovery: a SIGKILLed or severed worker loses work,
+        // never the job.
+        for (std::uint64_t leaseId : wit->second.leases) {
+            auto lit = leases_.find(leaseId);
+            if (lit == leases_.end())
+                continue;
+            if (distJobs_.count(lit->second.jobId)) {
+                lit->second.workerId = 0;
+                pendingLeases_.push_back(leaseId);
+            } else {
+                leases_.erase(lit);
+            }
+        }
+        workers_.erase(wit);
+        fabricCv_.notify_all();
+    }
+    assignPendingLeases();
+}
+
+void
+JobServer::assignPendingLeases()
+{
+    struct Dispatch
+    {
+        std::shared_ptr<Connection> conn;
+        std::string frame;
+    };
+    std::vector<Dispatch> out;
+    {
+        MutexLock lock(fabricMutex_);
+        while (!pendingLeases_.empty()) {
+            // Least-loaded worker with a free slot takes the oldest
+            // pending lease.
+            RemoteWorker *pick = nullptr;
+            std::uint64_t pickId = 0;
+            for (auto &entry : workers_) {
+                RemoteWorker &w = entry.second;
+                if (w.leases.size() >= w.slots)
+                    continue;
+                if (!pick || w.leases.size() < pick->leases.size()) {
+                    pick = &w;
+                    pickId = entry.first;
+                }
+            }
+            if (!pick)
+                break;
+            const std::uint64_t leaseId = pendingLeases_.front();
+            pendingLeases_.pop_front();
+            auto lit = leases_.find(leaseId);
+            if (lit == leases_.end())
+                continue; // withdrawn while queued
+            auto jit = distJobs_.find(lit->second.jobId);
+            if (jit == distJobs_.end()) {
+                leases_.erase(lit);
+                continue;
+            }
+            const std::shared_ptr<ServerJob> &job = jit->second->job;
+            lit->second.workerId = pickId;
+            pick->leases.insert(leaseId);
+            LeaseRequest lr;
+            lr.leaseId = leaseId;
+            lr.firstRun = lit->second.first;
+            lr.runCount = lit->second.count;
+            lr.submit = job->submit;
+            lr.submit.configBytes = job->configText.size();
+            out.push_back(Dispatch{pick->conn, formatLeaseLine(lr) +
+                                                   "\n" +
+                                                   job->configText});
+        }
+    }
+    // Written after dropping the lock: a stalled worker must not
+    // pin the fabric for its 30s send timeout. A failed write shuts
+    // the connection down; its reader exits and unregisterWorker
+    // re-queues the lease.
+    for (Dispatch &d : out)
+        d.conn->write(d.frame);
+}
+
+bool
+JobServer::executeDistributed(const std::shared_ptr<ServerJob> &job,
+                              std::string &payload)
+{
+    const std::size_t total = job->total;
+    auto dist = std::make_shared<DistJob>();
+    dist->job = job;
+    dist->rows.assign(total, std::string());
+    dist->have.assign(total, false);
+    {
+        MutexLock lock(fabricMutex_);
+        distJobs_[job->id] = dist;
+        for (const auto &batch :
+             splitSubBatches(total, cfg_.leaseRuns)) {
+            Lease lease;
+            lease.id = nextLeaseId_++;
+            lease.jobId = job->id;
+            lease.first = batch.first;
+            lease.count = batch.second;
+            leases_[lease.id] = lease;
+            pendingLeases_.push_back(lease.id);
+        }
+    }
+    assignPendingLeases();
+
+    bool abort = false;
+    struct Revoke
+    {
+        std::shared_ptr<Connection> conn;
+        std::uint64_t id;
+    };
+    std::vector<Revoke> revokes;
+    std::vector<std::size_t> missing;
+    {
+        MutexLock lock(fabricMutex_);
+        for (;;) {
+            if (dist->haveCount == total)
+                break;
+            if (job->control.cancelled() || stopping_.load()) {
+                abort = true;
+                break;
+            }
+            if (workers_.empty())
+                break; // local fallback finishes the job
+            // Timed wait: CANCEL flips an atomic the fabric is not
+            // notified about, so poll it on a short period.
+            fabricCv_.wait_for(lock, std::chrono::milliseconds(100));
+        }
+        // Withdraw the job from the fabric whatever the exit: erase
+        // its leases, revoke the assigned ones (late ROW frames fail
+        // the ownership check and fall harmlessly).
+        std::set<std::uint64_t> withdrawn;
+        for (auto it = leases_.begin(); it != leases_.end();) {
+            if (it->second.jobId != job->id) {
+                ++it;
+                continue;
+            }
+            if (it->second.workerId != 0) {
+                auto wit = workers_.find(it->second.workerId);
+                if (wit != workers_.end()) {
+                    wit->second.leases.erase(it->first);
+                    revokes.push_back(
+                        Revoke{wit->second.conn, it->first});
+                }
+            }
+            withdrawn.insert(it->first);
+            it = leases_.erase(it);
+        }
+        pendingLeases_.erase(
+            std::remove_if(pendingLeases_.begin(), pendingLeases_.end(),
+                           [&withdrawn](std::uint64_t id) {
+                               return withdrawn.count(id) != 0;
+                           }),
+            pendingLeases_.end());
+        distJobs_.erase(job->id);
+        for (std::size_t i = 0; i < total; ++i) {
+            if (!dist->have[i])
+                missing.push_back(i);
+        }
+    }
+    for (Revoke &r : revokes)
+        r.conn->write("REVOKE " + std::to_string(r.id) + "\n");
+    if (!revokes.empty())
+        assignPendingLeases(); // their slots just freed up
+
+    if (abort)
+        return false;
+    if (!missing.empty()) {
+        // Every worker is gone: run the missing rows on the local
+        // pool. Progress resumes where the fabric left off.
+        ServerJob *raw = job.get();
+        const std::size_t base = total - missing.size();
+        job->control.onProgress = [raw,
+                                   base](std::size_t done, std::size_t) {
+            raw->done.store(base + done, std::memory_order_relaxed);
+        };
+        std::unique_ptr<WorkerPool::Lease> lease =
+            pool_.lease(static_cast<double>(job->priority));
+        ExperimentRunOptions opt;
+        opt.csv = job->csv;
+        opt.runner = &runner_;
+        opt.control = &job->control;
+        opt.lease = lease.get();
+        std::vector<std::string> rows;
+        bool ok = runExperimentRuns(job->exp, missing, opt, rows);
+        lease.reset();
+        if (!ok)
+            return false;
+        for (std::size_t i = 0; i < missing.size(); ++i)
+            dist->rows[missing[i]] = std::move(rows[i]);
+    }
+
+    // Assemble exactly what a local runExperiment() would have
+    // written: rows spliced by run index, so the bytes cannot depend
+    // on which host ran which simulation.
+    if (total == 1 && !job->csv) {
+        payload = std::move(dist->rows[0]);
+    } else {
+        payload = csvHeader();
+        for (const std::string &row : dist->rows)
+            payload += row;
+    }
+    return true;
 }
 
 void

@@ -22,8 +22,10 @@
 #define IMPSIM_SERVER_JOB_SERVER_HPP
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,6 +64,12 @@ struct JobServerConfig
     std::string resultsDir;
     /** Result-store payload-byte bound before LRU eviction. */
     std::uint64_t resultsMaxBytes = 256ull << 20;
+    /**
+     * Runs per LEASE sub-batch when sweeps are sharded over remote
+     * workers — the trade between load-balance granularity and
+     * framing overhead. Local execution ignores it.
+     */
+    std::size_t leaseRuns = 4;
 };
 
 /**
@@ -125,6 +133,18 @@ class JobServer
     /** Runs one popped job to a terminal state and delivers it. */
     void executeJob(const std::shared_ptr<ServerJob> &job);
     /**
+     * Runs @p job sharded across the registered remote workers,
+     * falling back to the local pool for whatever runs are missing
+     * when the last worker drops out. On success @p payload holds
+     * the assembled output — byte-identical to a local
+     * runExperiment() because rows are spliced by run index.
+     * @return false iff the job was cancelled (or the server is
+     *         stopping) before every run's row arrived.
+     */
+    bool executeDistributed(const std::shared_ptr<ServerJob> &job,
+                            std::string &payload)
+        IMPSIM_EXCLUDES(fabricMutex_);
+    /**
      * Terminal bookkeeping shared by every exit path: archives the
      * job in the store, drops it from the live table, and notifies
      * the submitter (RESULT or CANCELLED) when still connected.
@@ -148,6 +168,38 @@ class JobServer
     /** The submitting connection of @p jobId, unregistered. */
     std::shared_ptr<Connection> takeSubmitter(std::uint64_t jobId)
         IMPSIM_EXCLUDES(jobsMutex_);
+
+    // ---- Distributed sweep fabric (worker mode) -------------------
+
+    /**
+     * Serves one connection that sent WORKER: registration handshake,
+     * then the ROW/LEASEDONE/LEASEFAIL loop until the peer drops.
+     * The connection never returns to the client command set.
+     */
+    void handleWorker(const std::shared_ptr<Connection> &conn,
+                      LineReader &reader,
+                      const std::vector<std::string> &tokens)
+        IMPSIM_EXCLUDES(fabricMutex_);
+    /** Records one run's output bytes; stale/duplicate rows ignored. */
+    void handleWorkerRow(std::uint64_t workerId, std::uint64_t leaseId,
+                         std::uint64_t run, const std::string &row)
+        IMPSIM_EXCLUDES(fabricMutex_);
+    /**
+     * Retires a finished lease — or re-queues it when the worker gave
+     * it back with rows missing (revoked mid-batch).
+     */
+    void handleLeaseDone(std::uint64_t workerId, std::uint64_t leaseId)
+        IMPSIM_EXCLUDES(fabricMutex_);
+    /** Re-queues @p clientId's leases and forgets the worker. */
+    void unregisterWorker(std::uint64_t clientId)
+        IMPSIM_EXCLUDES(fabricMutex_);
+    /**
+     * Hands pending leases to the least-loaded workers with free
+     * slots. LEASE frames are written after dropping the fabric lock,
+     * so a stalled worker cannot hold it for a send timeout.
+     */
+    void assignPendingLeases() IMPSIM_EXCLUDES(fabricMutex_);
+    bool hasWorkers() IMPSIM_EXCLUDES(fabricMutex_);
 
     /** The full ERROR frame (header line + payload) for @p message. */
     static std::string errorFrame(std::string message);
@@ -187,6 +239,58 @@ class JobServer
     std::map<std::uint64_t, std::shared_ptr<Connection>> jobConns_
         IMPSIM_GUARDED_BY(jobsMutex_);
     std::uint64_t nextJobId_ IMPSIM_GUARDED_BY(jobsMutex_) = 1;
+
+    /** One registered remote worker connection. */
+    struct RemoteWorker
+    {
+        std::shared_ptr<Connection> conn;
+        /** Concurrent leases it asked for (the WORKER slots= token). */
+        unsigned slots = 1;
+        /** Lease ids currently assigned here. */
+        std::set<std::uint64_t> leases;
+    };
+
+    /** One sub-batch of a distributed job, pending or leased out. */
+    struct Lease
+    {
+        std::uint64_t id = 0;
+        std::uint64_t jobId = 0;
+        /** Run range [first, first + count) of the job's experiment. */
+        std::size_t first = 0;
+        std::size_t count = 0;
+        /** Owning worker's clientId; 0 while waiting in the queue. */
+        std::uint64_t workerId = 0;
+    };
+
+    /** Row-assembly state of one job sharded over the fabric. */
+    struct DistJob
+    {
+        std::shared_ptr<ServerJob> job;
+        /** Per-run output bytes, indexed by run. */
+        std::vector<std::string> rows;
+        std::vector<bool> have;
+        std::size_t haveCount = 0;
+    };
+
+    /**
+     * Fabric state. Lock ordering: never taken while holding — or
+     * held while taking — connMutex_/jobsMutex_, and never held
+     * across a socket write (frames are staged under the lock,
+     * written after).
+     */
+    Mutex fabricMutex_;
+    /** Signals row arrival, lease churn, worker arrival/departure. */
+    CondVar fabricCv_;
+    std::map<std::uint64_t, RemoteWorker> workers_
+        IMPSIM_GUARDED_BY(fabricMutex_);
+    std::map<std::uint64_t, Lease> leases_
+        IMPSIM_GUARDED_BY(fabricMutex_);
+    /** Unassigned lease ids, oldest first. */
+    std::deque<std::uint64_t> pendingLeases_
+        IMPSIM_GUARDED_BY(fabricMutex_);
+    std::map<std::uint64_t, std::shared_ptr<DistJob>> distJobs_
+        IMPSIM_GUARDED_BY(fabricMutex_);
+    std::uint64_t nextLeaseId_ IMPSIM_GUARDED_BY(fabricMutex_) = 1;
 };
 
 } // namespace server

@@ -136,8 +136,15 @@ parseSubmitLine(const std::vector<std::string> &tokens, SubmitRequest &out,
         return false;
     }
     out.configBytes = static_cast<std::size_t>(nbytes);
+    return parseSubmitOptions(tokens, 2, out, error);
+}
 
-    for (std::size_t i = 2; i < tokens.size(); ++i) {
+bool
+parseSubmitOptions(const std::vector<std::string> &tokens,
+                   std::size_t firstOption, SubmitRequest &out,
+                   std::string &error)
+{
+    for (std::size_t i = firstOption; i < tokens.size(); ++i) {
         const std::string &tok = tokens[i];
         std::size_t eq = tok.find('=');
         if (eq == std::string::npos || eq == 0) {
@@ -213,7 +220,14 @@ parseSubmitLine(const std::vector<std::string> &tokens, SubmitRequest &out,
 std::string
 formatSubmitLine(const SubmitRequest &req)
 {
-    std::string line = "SUBMIT " + std::to_string(req.configBytes);
+    return "SUBMIT " + std::to_string(req.configBytes) +
+           formatSubmitOptions(req);
+}
+
+std::string
+formatSubmitOptions(const SubmitRequest &req)
+{
+    std::string line;
     line += " origin=" + escapeToken(req.origin);
     if (req.csv)
         line += " csv=1";
@@ -243,6 +257,53 @@ formatSubmitLine(const SubmitRequest &req)
     if (c.l2Prefetcher)
         line += " l2=" + escapeToken(*c.l2Prefetcher);
     return line;
+}
+
+bool
+parseLeaseLine(const std::vector<std::string> &tokens, LeaseRequest &out,
+               std::string &error)
+{
+    if (tokens.size() < 5) {
+        error = "LEASE needs <leaseId> <first> <count> <nbytes>";
+        return false;
+    }
+    std::uint64_t lease = 0, first = 0, count = 0, nbytes = 0;
+    if (!parseNumber(tokens[1], lease)) {
+        error = "LEASE id '" + tokens[1] + "' is not a number";
+        return false;
+    }
+    if (!parseNumber(tokens[2], first) || !parseNumber(tokens[3], count)) {
+        error = "LEASE run range '" + tokens[2] + " " + tokens[3] +
+                "' is not numeric";
+        return false;
+    }
+    // A zero-run lease is never produced; reject it so a worker loop
+    // cannot spin on an empty sub-batch.
+    if (count == 0 || first > UINT64_MAX - count) {
+        error = "LEASE run range [" + tokens[2] + ", " + tokens[2] + "+" +
+                tokens[3] + ") is empty or overflows";
+        return false;
+    }
+    if (!parseNumber(tokens[4], nbytes, 4u << 20)) {
+        error = "LEASE byte count '" + tokens[4] +
+                "' is not a number in [0, 4194304]";
+        return false;
+    }
+    out.leaseId = lease;
+    out.firstRun = static_cast<std::size_t>(first);
+    out.runCount = static_cast<std::size_t>(count);
+    out.submit.configBytes = static_cast<std::size_t>(nbytes);
+    return parseSubmitOptions(tokens, 5, out.submit, error);
+}
+
+std::string
+formatLeaseLine(const LeaseRequest &req)
+{
+    return "LEASE " + std::to_string(req.leaseId) + " " +
+           std::to_string(req.firstRun) + " " +
+           std::to_string(req.runCount) + " " +
+           std::to_string(req.submit.configBytes) +
+           formatSubmitOptions(req.submit);
 }
 
 bool

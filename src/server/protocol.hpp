@@ -28,6 +28,28 @@
  *   JOBS <nbytes>                     then <nbytes> of job listing,
  *                                     one "<id> <state> <done>/<total>
  *                                     <bytes> <origin>" line per job
+ *
+ * Worker mode (the distributed sweep fabric, docs/job_server.md): a
+ * connection that registers as a worker leaves the client command set
+ * and speaks only these frames from then on.
+ *
+ * Worker -> coordinator:
+ *   WORKER <version> [slots=N]        register as a remote worker
+ *   ROW <leaseId> <run> <nbytes>      then <nbytes> of one run's output
+ *   LEASEDONE <leaseId>               sub-batch processing ended
+ *   LEASEFAIL <leaseId> <nbytes>      then <nbytes> of diagnostics;
+ *                                     the worker could not run the
+ *                                     lease at all (version skew)
+ *
+ * Coordinator -> worker:
+ *   REGISTERED <workerId>             WORKER accepted
+ *   LEASE <leaseId> <first> <count> <nbytes> [key=value ...]
+ *                                     then <nbytes> of config text:
+ *                                     run runs [first, first+count) of
+ *                                     the experiment the payload plus
+ *                                     the SUBMIT-style options bind to
+ *   REVOKE <leaseId>                  stop working on a lease (the job
+ *                                     was cancelled)
  */
 #ifndef IMPSIM_SERVER_PROTOCOL_HPP
 #define IMPSIM_SERVER_PROTOCOL_HPP
@@ -42,10 +64,12 @@
 namespace impsim {
 namespace server {
 
-/** Protocol version announced in the greeting line (2: FETCH/LIST,
- *  priority= submit token, jobs survive their submitter's
- *  disconnect). */
-inline constexpr int kProtocolVersion = 2;
+/** Protocol version announced in the greeting line (3: worker mode —
+ *  WORKER/REGISTERED registration, LEASE/ROW/LEASEDONE/LEASEFAIL/
+ *  REVOKE sub-batch frames, `gone` diagnostics for evicted results).
+ *  2 added FETCH/LIST, the priority= submit token, and jobs surviving
+ *  their submitter's disconnect. */
+inline constexpr int kProtocolVersion = 3;
 
 /**
  * Percent-escapes @p s so it is a single space-free token: '%', ' ',
@@ -101,8 +125,52 @@ struct SubmitRequest
 bool parseSubmitLine(const std::vector<std::string> &tokens,
                      SubmitRequest &out, std::string &error);
 
+/**
+ * Parses only the key=value option tokens of a SUBMIT-shaped line,
+ * starting at tokens[firstOption]. SUBMIT and LEASE lines carry the
+ * same option set, so both parsers share this one interpreter.
+ * @return false and sets @p error on any malformed token.
+ */
+bool parseSubmitOptions(const std::vector<std::string> &tokens,
+                        std::size_t firstOption, SubmitRequest &out,
+                        std::string &error);
+
+/**
+ * Serializes @p req's options as " key=value ..." tokens (leading
+ * space, empty only if nothing is set) — the shared tail of SUBMIT
+ * and LEASE lines.
+ */
+std::string formatSubmitOptions(const SubmitRequest &req);
+
 /** Serializes @p req back into a SUBMIT line (no trailing newline). */
 std::string formatSubmitLine(const SubmitRequest &req);
+
+/**
+ * One leased sub-batch of an experiment: run runs
+ * [firstRun, firstRun+runCount) of the experiment that
+ * `submit.configBytes` bytes of config text (the byte-counted payload
+ * after the LEASE line) bind to under `submit`'s overrides — the same
+ * binder as SUBMIT, so coordinator and worker expand the identical
+ * run list and a run index means the same simulation on both ends.
+ */
+struct LeaseRequest
+{
+    std::uint64_t leaseId = 0;
+    std::size_t firstRun = 0;
+    std::size_t runCount = 0;
+    /** Origin/csv/overrides plus the config payload byte count. */
+    SubmitRequest submit;
+};
+
+/**
+ * Parses the tokens of a "LEASE ..." line (tokens[0] == "LEASE").
+ * @return false and sets @p error on any malformed token.
+ */
+bool parseLeaseLine(const std::vector<std::string> &tokens,
+                    LeaseRequest &out, std::string &error);
+
+/** Serializes @p req into a LEASE line (no trailing newline). */
+std::string formatLeaseLine(const LeaseRequest &req);
 
 // ---- Blocking socket I/O helpers ----------------------------------
 

@@ -225,6 +225,7 @@ ResultStore::put(StoredResult meta, const std::string &payload)
         bytesTotal_ -= it->second.bytes; // overwrite: drop old size
     entries_[meta.id] = meta;
     bytesTotal_ += meta.bytes;
+    evicted_.erase(meta.id); // re-archived: no longer "gone"
     evictLocked();
 }
 
@@ -288,6 +289,13 @@ ResultStore::entries() const
     return entries_.size();
 }
 
+bool
+ResultStore::wasEvicted(std::uint64_t id) const
+{
+    MutexLock lock(mutex_);
+    return evicted_.count(id) != 0;
+}
+
 void
 ResultStore::eraseEntryLocked(std::uint64_t id)
 {
@@ -296,6 +304,7 @@ ResultStore::eraseEntryLocked(std::uint64_t id)
         return;
     bytesTotal_ -= it->second.bytes;
     entries_.erase(it);
+    evicted_.insert(id);
     if (dir_.empty()) {
         payloads_.erase(id);
     } else {

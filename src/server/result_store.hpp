@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,16 @@ class ResultStore
     /** All manifests, ascending id. */
     std::vector<StoredResult> list() const IMPSIM_EXCLUDES(mutex_);
 
+    /**
+     * True iff @p id was archived here once but has since been
+     * evicted (LRU bounds, or its files vanished behind the store's
+     * back) — lets FETCH/STATUS answer "gone" instead of the
+     * unknown-id error. In-memory bookkeeping only: a restart forgets
+     * evictions, and those ids answer as unknown again. One id per
+     * evicted job, so the set grows with jobs served, not payload.
+     */
+    bool wasEvicted(std::uint64_t id) const IMPSIM_EXCLUDES(mutex_);
+
     /** Payload bytes currently stored. */
     std::uint64_t totalBytes() const IMPSIM_EXCLUDES(mutex_);
     std::size_t entries() const IMPSIM_EXCLUDES(mutex_);
@@ -119,6 +130,8 @@ class ResultStore
     /** Memory mode only: payloads keyed like entries_. */
     std::map<std::uint64_t, std::string> payloads_
         IMPSIM_GUARDED_BY(mutex_);
+    /** Ids archived once and evicted since (wasEvicted). */
+    std::set<std::uint64_t> evicted_ IMPSIM_GUARDED_BY(mutex_);
 };
 
 } // namespace server

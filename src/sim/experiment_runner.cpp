@@ -7,30 +7,32 @@
 #include <map>
 #include <memory>
 #include <ostream>
+#include <sstream>
 #include <tuple>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "sim/report.hpp"
 #include "sim/system.hpp"
 #include "workloads/workload.hpp"
 
 namespace impsim {
 
-bool
-runExperiment(const Experiment &exp, std::ostream &os,
-              const ExperimentRunOptions &opt)
-{
-    SweepControl *ctl = opt.control;
-    if (ctl && ctl->cancelled())
-        return false;
+namespace {
 
-    // One workload per distinct (app, cores, swpf, scale, seed).
-    using WorkloadKey =
-        std::tuple<AppId, std::uint32_t, bool, double, std::uint64_t>;
-    std::map<WorkloadKey, std::unique_ptr<Workload>> workloads;
-    auto workloadFor = [&](const ExperimentRun &r) -> Workload & {
-        auto &slot = workloads[WorkloadKey{r.app, r.cfg.numCores,
-                                           r.swPrefetch, r.scale, r.seed}];
+/**
+ * One workload per distinct (app, cores, swpf, scale, seed): runs of
+ * a sweep share trace generation, whether the whole grid or a leased
+ * slice of it executes here.
+ */
+class WorkloadCache
+{
+  public:
+    Workload &
+    get(const ExperimentRun &r)
+    {
+        auto &slot = workloads_[Key{r.app, r.cfg.numCores, r.swPrefetch,
+                                    r.scale, r.seed}];
         if (!slot) {
             WorkloadParams params;
             params.numCores = r.cfg.numCores;
@@ -40,35 +42,63 @@ runExperiment(const Experiment &exp, std::ostream &os,
             slot = std::make_unique<Workload>(makeWorkload(r.app, params));
         }
         return *slot;
-    };
+    }
 
-    if (exp.runs.size() == 1 && !opt.csv) {
-        const ExperimentRun &r = exp.runs[0];
-        Workload &w = workloadFor(r);
-        if (ctl && ctl->cancelled())
-            return false;
-        // Single-run reports burn a pool slot too — K tiny jobs must
-        // not dodge the partition K sweeps are held to.
-        if (opt.lease && !opt.lease->acquire())
-            return false;
-        if (ctl && ctl->cancelled()) {
-            if (opt.lease)
-                opt.lease->release();
-            return false;
-        }
-        System sys(r.cfg, w.traces, *w.mem);
-        SimStats s = sys.run();
+  private:
+    using Key =
+        std::tuple<AppId, std::uint32_t, bool, double, std::uint64_t>;
+    std::map<Key, std::unique_ptr<Workload>> workloads_;
+};
+
+/**
+ * Runs a single-run report experiment (the non-CSV shape) to @p os.
+ * @return false iff cancelled before the simulation ran.
+ */
+bool
+runSingleReport(const ExperimentRun &r, Workload &w, std::ostream &os,
+                const ExperimentRunOptions &opt)
+{
+    SweepControl *ctl = opt.control;
+    if (ctl && ctl->cancelled())
+        return false;
+    // Single-run reports burn a pool slot too — K tiny jobs must
+    // not dodge the partition K sweeps are held to.
+    if (opt.lease && !opt.lease->acquire())
+        return false;
+    if (ctl && ctl->cancelled()) {
         if (opt.lease)
             opt.lease->release();
-        if (ctl && ctl->onProgress)
-            ctl->onProgress(1, 1);
-        writeReport(os, r.label, s);
-        return true;
+        return false;
+    }
+    System sys(r.cfg, w.traces, *w.mem);
+    SimStats s = sys.run();
+    if (opt.lease)
+        opt.lease->release();
+    if (ctl && ctl->onProgress)
+        ctl->onProgress(1, 1);
+    writeReport(os, r.label, s);
+    return true;
+}
+
+} // namespace
+
+bool
+runExperiment(const Experiment &exp, std::ostream &os,
+              const ExperimentRunOptions &opt)
+{
+    SweepControl *ctl = opt.control;
+    if (ctl && ctl->cancelled())
+        return false;
+
+    WorkloadCache workloads;
+    if (exp.runs.size() == 1 && !opt.csv) {
+        const ExperimentRun &r = exp.runs[0];
+        return runSingleReport(r, workloads.get(r), os, opt);
     }
 
     std::vector<SweepJob> sweep;
     for (const ExperimentRun &r : exp.runs) {
-        Workload &w = workloadFor(r);
+        Workload &w = workloads.get(r);
         sweep.push_back(SweepJob{r.label, r.cfg, &w.traces, w.mem.get()});
     }
     if (ctl && ctl->cancelled())
@@ -93,6 +123,70 @@ runExperiment(const Experiment &exp, std::ostream &os,
     for (const SweepResult &r : results)
         writeCsvRow(os, r.name, r.stats);
     return true;
+}
+
+bool
+runExperimentRuns(const Experiment &exp,
+                  const std::vector<std::size_t> &indices,
+                  const ExperimentRunOptions &opt,
+                  std::vector<std::string> &rows)
+{
+    rows.assign(indices.size(), std::string());
+    SweepControl *ctl = opt.control;
+    if (ctl && ctl->cancelled())
+        return false;
+    for (std::size_t idx : indices)
+        IMPSIM_CHECK(idx < exp.runs.size(),
+                     "experiment run index out of range");
+
+    WorkloadCache workloads;
+    if (exp.runs.size() == 1 && !opt.csv) {
+        // The whole output is one report; only index 0 can be asked
+        // for, and its "row" is the full report.
+        if (indices.empty())
+            return true;
+        const ExperimentRun &r = exp.runs[0];
+        std::ostringstream os;
+        if (!runSingleReport(r, workloads.get(r), os, opt))
+            return false;
+        for (std::string &row : rows)
+            row = os.str();
+        return true;
+    }
+
+    std::vector<SweepJob> sweep;
+    for (std::size_t idx : indices) {
+        const ExperimentRun &r = exp.runs[idx];
+        Workload &w = workloads.get(r);
+        sweep.push_back(SweepJob{r.label, r.cfg, &w.traces, w.mem.get()});
+    }
+    if (ctl && ctl->cancelled())
+        return false;
+
+    std::vector<SweepResult> results;
+    if (opt.runner) {
+        results = opt.runner->run(sweep, ctl, opt.lease);
+    } else {
+        results = SweepRunner(opt.jobs).run(sweep, ctl, opt.lease);
+    }
+    if (ctl && ctl->cancelled())
+        return false;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ran)
+            return false;
+        std::ostringstream os;
+        writeCsvRow(os, results[i].name, results[i].stats);
+        rows[i] = os.str();
+    }
+    return true;
+}
+
+std::string
+csvHeader()
+{
+    std::ostringstream os;
+    writeCsvHeader(os);
+    return os.str();
 }
 
 } // namespace impsim

@@ -50,6 +50,29 @@ struct ExperimentRunOptions
 bool runExperiment(const Experiment &exp, std::ostream &os,
                    const ExperimentRunOptions &opt = {});
 
+/**
+ * Runs only the runs of @p exp named by @p indices (each <
+ * exp.runs.size()) and returns the output bytes per run:
+ * rows[i] holds exactly what run indices[i] contributes to the full
+ * experiment's output — one CSV row normally, or the whole report for
+ * a single-run report experiment (exp.runs.size() == 1 and !opt.csv).
+ * Concatenating csvHeader() with every run's row in run order is
+ * therefore byte-identical to runExperiment() on the whole experiment
+ * — the splice the distributed sweep fabric is built on
+ * (docs/job_server.md).
+ *
+ * @return false iff cancelled through opt.control (or the pool
+ *         closed) before every indexed run finished; @p rows is
+ *         unspecified then.
+ */
+bool runExperimentRuns(const Experiment &exp,
+                       const std::vector<std::size_t> &indices,
+                       const ExperimentRunOptions &opt,
+                       std::vector<std::string> &rows);
+
+/** The CSV header line runExperiment() writes ahead of sweep rows. */
+std::string csvHeader();
+
 } // namespace impsim
 
 #endif // IMPSIM_SIM_EXPERIMENT_RUNNER_HPP

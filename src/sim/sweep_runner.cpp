@@ -223,6 +223,20 @@ WorkerPool::Lease::target() const
     return pool_->stateOf(*this).target;
 }
 
+// ---- Sub-batch splitting ---------------------------------------------
+
+std::vector<std::pair<std::size_t, std::size_t>>
+splitSubBatches(std::size_t total, std::size_t chunk)
+{
+    if (chunk == 0)
+        chunk = 1;
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    out.reserve(total / chunk + 1);
+    for (std::size_t first = 0; first < total; first += chunk)
+        out.emplace_back(first, std::min(chunk, total - first));
+    return out;
+}
+
 // ---- SweepRunner -----------------------------------------------------
 
 SweepRunner::SweepRunner(unsigned workers)

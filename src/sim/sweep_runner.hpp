@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
@@ -199,6 +200,16 @@ class WorkerPool
     std::map<const Lease *, LeaseState> leases_
         IMPSIM_GUARDED_BY(mutex_);
 };
+
+/**
+ * Splits @p total runs into contiguous (first, count) sub-batches of
+ * at most @p chunk runs each, in run order — the lease granularity of
+ * the distributed sweep fabric. A chunk of 0 is treated as 1; the
+ * last sub-batch carries the remainder. Splitting never affects
+ * output bytes (rows are indexed by run), only scheduling.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+splitSubBatches(std::size_t total, std::size_t chunk);
 
 /** Runs batches of SweepJobs across worker threads. */
 class SweepRunner

@@ -24,6 +24,7 @@
 #include "server/client.hpp"
 #include "server/job_queue.hpp"
 #include "server/job_server.hpp"
+#include "server/protocol.hpp"
 #include "sim/experiment_runner.hpp"
 
 namespace impsim {
@@ -763,6 +764,71 @@ TEST(JobServer, DisconnectMidSweepThenReconnectAndFetch)
         << listErr.str();
     EXPECT_NE(listOut.str().find(id + " done 8/8"), std::string::npos)
         << listOut.str();
+    srv.stop();
+}
+
+TEST(JobServer, EvictedResultGetsGoneDiagnosticNotUnknown)
+{
+    JobServerConfig cfg;
+    cfg.socketPath = tempSocketPath("gone");
+    cfg.workers = 1;
+    cfg.resultsMaxBytes = 1; // every archive evicts its predecessor
+    JobServer srv(cfg);
+    srv.start();
+
+    RawClient client(cfg.socketPath);
+    const std::string text =
+        "[system]\napp = spmv\ncores = 4\nscale = 0.05\n";
+
+    // Submit and drain the pushed RESULT so later frames line up.
+    auto runOne = [&]() -> std::string {
+        std::string reply = client.submit(text);
+        EXPECT_EQ(reply.rfind("QUEUED ", 0), 0u) << reply;
+        std::string id = reply.substr(7);
+        std::string line;
+        while (client.readLine(line)) {
+            std::vector<std::string> t = server::splitTokens(line);
+            if (t.size() == 3 && t[0] == "RESULT" && t[1] == id) {
+                std::string payload;
+                EXPECT_TRUE(
+                    client.readBytes(payload, std::stoul(t[2])));
+                client.readLine(line); // the trailing "DONE <id>"
+                return id;
+            }
+        }
+        ADD_FAILURE() << "no RESULT frame for job " << id;
+        return id;
+    };
+    auto errorPayload = [&](const std::string &frame) -> std::string {
+        EXPECT_TRUE(client.send(frame));
+        std::string line;
+        EXPECT_TRUE(client.readLine(line));
+        EXPECT_EQ(line.rfind("ERROR ", 0), 0u) << line;
+        std::string payload;
+        EXPECT_TRUE(
+            client.readBytes(payload, std::stoul(line.substr(6))));
+        return payload;
+    };
+
+    const std::string id1 = runOne();
+    const std::string id2 = runOne(); // archiving id2 evicts id1
+
+    // "gone" is a different answer from "unknown": the id existed,
+    // its stored result was LRU-evicted.
+    EXPECT_NE(errorPayload("STATUS " + id1 + "\n").find("gone"),
+              std::string::npos);
+    EXPECT_NE(errorPayload("FETCH " + id1 + "\n").find("gone"),
+              std::string::npos);
+    EXPECT_NE(errorPayload("STATUS 987654\n").find("unknown"),
+              std::string::npos);
+    EXPECT_NE(errorPayload("FETCH 987654\n").find("unknown"),
+              std::string::npos);
+
+    // The surviving newest entry still FETCHes normally.
+    EXPECT_TRUE(client.send("FETCH " + id2 + "\n"));
+    std::string line;
+    ASSERT_TRUE(client.readLine(line));
+    EXPECT_EQ(line.rfind("RESULT " + id2 + " ", 0), 0u) << line;
     srv.stop();
 }
 

@@ -115,6 +115,26 @@ TEST(ResultStore, FetchRefreshesLruOrder)
     EXPECT_EQ(payload, std::string(60, 'a'));
 }
 
+TEST(ResultStore, WasEvictedDistinguishesGoneFromNeverSeen)
+{
+    ResultStore store("", /*maxBytes=*/100);
+    store.put(meta(1), std::string(60, 'a'));
+    EXPECT_FALSE(store.wasEvicted(1)) << "still archived, not gone";
+    EXPECT_FALSE(store.wasEvicted(99)) << "never archived at all";
+
+    store.put(meta(2), std::string(60, 'b')); // pushes 1 out
+    EXPECT_TRUE(store.wasEvicted(1));
+    EXPECT_FALSE(store.wasEvicted(2));
+
+    // Re-archiving the same id clears the tombstone again.
+    store.put(meta(1), "tiny");
+    EXPECT_FALSE(store.wasEvicted(1));
+    StoredResult m;
+    std::string payload;
+    ASSERT_TRUE(store.fetch(1, m, payload));
+    EXPECT_EQ(payload, "tiny");
+}
+
 TEST(ResultStore, EntryBoundCoversZeroByteManifests)
 {
     // Cancelled jobs archive zero payload bytes; only the entry cap

@@ -17,8 +17,21 @@
  *   impsim_cli --list --server ADDR
  *   impsim_cli --bench-json FILE [--bench-grid NAME[,NAME...]]
  *              [--bench-reps N]
+ *   impsim_cli --record-trace FILE [--app NAME] [--cores N]
+ *              [--scale F] [--seed N] [--preset NAME]
  *
  * Flags accept both "--flag value" and "--flag=value".
+ *
+ * --app also accepts "trace:<path>": instead of generating a kernel,
+ * the run replays a trace recorded with --record-trace (format spec
+ * in docs/traces.md). The path is relative to the working directory
+ * in flag mode, and to the config file's directory inside a config.
+ *
+ * --record-trace FILE builds the flag-selected workload and writes it
+ * as an IMPTRACE file instead of simulating — ".gz"/".xz" suffixes
+ * compress through gzip/xz. Replaying the file reproduces the
+ * recorded run bit-exactly. --preset only picks the software-prefetch
+ * flavor here (SWPref records the sw-prefetch variant).
  *
  * --bench-json FILE times the pinned simulator-speed grids (default
  * "pinned,fig9"; see docs/perf.md) and writes machine-readable JSON
@@ -91,6 +104,7 @@
 #include "sim/report.hpp"
 #include "sim/sweep_runner.hpp"
 #include "sim/system.hpp"
+#include "workloads/trace_io.hpp"
 #include "workloads/workload.hpp"
 
 using namespace impsim;
@@ -103,7 +117,8 @@ parseApp(const std::string &name)
     AppId app;
     if (parseAppName(name, app))
         return app;
-    std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
+    std::fprintf(stderr, "unknown app '%s' (or trace:<path>)\n",
+                 name.c_str());
     std::exit(1);
 }
 
@@ -238,7 +253,14 @@ runConfigExperiment(const std::string &path, const CliOverrides &cli,
     ExperimentRunOptions opt;
     opt.csv = csv;
     opt.jobs = jobs;
-    runExperiment(exp, std::cout, opt);
+    try {
+        runExperiment(exp, std::cout, opt);
+    } catch (const TraceError &e) {
+        // The bind-time probe only reads the header; a trace that
+        // rots past it (or disappears) surfaces here.
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
     return 0;
 }
 
@@ -270,6 +292,7 @@ main(int argc, char **argv)
     std::string benchJson;
     std::string benchGrids = "pinned,fig9";
     std::uint32_t benchReps = 1;
+    std::string recordTracePath;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -350,6 +373,8 @@ main(int argc, char **argv)
             l2Prefetcher = next();
         else if (a == "--jobs")
             jobs = parseU32(a, next());
+        else if (a == "--record-trace")
+            recordTracePath = next();
         else if (a == "--bench-json")
             benchJson = next();
         else if (a == "--bench-grid")
@@ -399,11 +424,11 @@ main(int argc, char **argv)
         return 1;
     }
     if ((!submit.empty()) + (!fetchId.empty()) + (list ? 1 : 0) +
-            (!config.empty()) >
+            (!config.empty()) + (!recordTracePath.empty()) >
         1) {
         std::fprintf(stderr,
-                     "--submit, --fetch, --list and --config are "
-                     "exclusive\n");
+                     "--submit, --fetch, --list, --config and "
+                     "--record-trace are exclusive\n");
         return 1;
     }
     const bool wantsServer = !submit.empty() || !fetchId.empty() || list;
@@ -472,7 +497,19 @@ main(int argc, char **argv)
     }
 
     // Flag mode: the pre-config behavior, defaults included.
-    AppId app = appName_.empty() ? AppId::Spmv : parseApp(appName_);
+    AppId app = AppId::Spmv;
+    std::string tracePath;
+    if (isTraceAppSpec(appName_)) {
+        app = AppId::Trace;
+        tracePath = traceAppPath(appName_);
+        if (tracePath.empty()) {
+            std::fprintf(stderr,
+                         "--app trace:<path> needs a file path\n");
+            return 1;
+        }
+    } else if (!appName_.empty()) {
+        app = parseApp(appName_);
+    }
     if (presets.empty())
         presets = "IMP";
     if (!cores)
@@ -492,6 +529,7 @@ main(int argc, char **argv)
     wp.numCores = cores;
     wp.scale = scale;
     wp.seed = seed;
+    wp.tracePath = tracePath;
     std::unique_ptr<Workload> plain, swpf;
     auto workloadFor = [&](ConfigPreset p) -> Workload & {
         std::unique_ptr<Workload> &slot =
@@ -514,10 +552,19 @@ main(int argc, char **argv)
         }
         return tag;
     };
+    // Trace runs are labelled by basename so CSV labels don't depend
+    // on where the trace lives on this machine.
+    std::string appLabel = appName(app);
+    if (app == AppId::Trace) {
+        std::size_t slash = tracePath.find_last_of('/');
+        appLabel += ":" + (slash == std::string::npos
+                               ? tracePath
+                               : tracePath.substr(slash + 1));
+    }
     auto labelFor = [&](ConfigPreset p) {
-        std::string label = std::string(appName(app)) + "/" +
-                            presetName(p) + "/" + std::to_string(cores) +
-                            "c" + (ooo ? "/ooo" : "");
+        std::string label = specTag(appLabel) + "/" + presetName(p) +
+                            "/" + std::to_string(cores) + "c" +
+                            (ooo ? "/ooo" : "");
         if (!prefetcher.empty())
             label += "/" + specTag(prefetcher);
         if (!l2Prefetcher.empty())
@@ -525,37 +572,62 @@ main(int argc, char **argv)
         return label;
     };
 
-    if (preset_list.size() == 1) {
-        ConfigPreset preset = preset_list[0];
-        Workload &w = workloadFor(preset);
-        SystemConfig cfg = makePreset(preset, cores, model);
-        applyOverrides(cfg, pt, ipd, distance, prefetcher, l2Prefetcher,
-                       cores);
-
-        System sys(cfg, w.traces, *w.mem);
-        SimStats s = sys.run();
-        if (csv) {
-            writeCsvHeader(std::cout);
-            writeCsvRow(std::cout, labelFor(preset), s);
-        } else {
-            writeReport(std::cout, labelFor(preset), s);
+    try {
+        if (!recordTracePath.empty()) {
+            if (preset_list.size() != 1) {
+                std::fprintf(stderr,
+                             "--record-trace takes a single --preset "
+                             "(it only picks the sw-prefetch flavor)\n");
+                return 1;
+            }
+            Workload &w = workloadFor(preset_list[0]);
+            TraceWriteStats st =
+                recordTrace(recordTracePath, w.traces, *w.mem);
+            std::printf("wrote %s: %llu records, %llu memory chunks "
+                        "(%llu bytes before compression)\n",
+                        recordTracePath.c_str(),
+                        static_cast<unsigned long long>(st.recordCount),
+                        static_cast<unsigned long long>(st.memChunkCount),
+                        static_cast<unsigned long long>(st.decodedBytes));
+            return 0;
         }
-        return 0;
-    }
 
-    // Several presets: run them in parallel, report CSV rows in order.
-    std::vector<SweepJob> sweep;
-    for (ConfigPreset preset : preset_list) {
-        Workload &w = workloadFor(preset);
-        SystemConfig cfg = makePreset(preset, cores, model);
-        applyOverrides(cfg, pt, ipd, distance, prefetcher, l2Prefetcher,
-                       cores);
-        sweep.push_back(
-            SweepJob{labelFor(preset), cfg, &w.traces, w.mem.get()});
+        if (preset_list.size() == 1) {
+            ConfigPreset preset = preset_list[0];
+            Workload &w = workloadFor(preset);
+            SystemConfig cfg = makePreset(preset, cores, model);
+            applyOverrides(cfg, pt, ipd, distance, prefetcher,
+                           l2Prefetcher, cores);
+
+            System sys(cfg, w.traces, *w.mem);
+            SimStats s = sys.run();
+            if (csv) {
+                writeCsvHeader(std::cout);
+                writeCsvRow(std::cout, labelFor(preset), s);
+            } else {
+                writeReport(std::cout, labelFor(preset), s);
+            }
+            return 0;
+        }
+
+        // Several presets: run in parallel, report CSV rows in order.
+        std::vector<SweepJob> sweep;
+        for (ConfigPreset preset : preset_list) {
+            Workload &w = workloadFor(preset);
+            SystemConfig cfg = makePreset(preset, cores, model);
+            applyOverrides(cfg, pt, ipd, distance, prefetcher,
+                           l2Prefetcher, cores);
+            sweep.push_back(
+                SweepJob{labelFor(preset), cfg, &w.traces, w.mem.get()});
+        }
+        std::vector<SweepResult> results = SweepRunner(jobs).run(sweep);
+        writeCsvHeader(std::cout);
+        for (const SweepResult &r : results)
+            writeCsvRow(std::cout, r.name, r.stats);
+        return 0;
+    } catch (const TraceError &e) {
+        // Trace replay/recording problems: bad file, bad codec, I/O.
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
     }
-    std::vector<SweepResult> results = SweepRunner(jobs).run(sweep);
-    writeCsvHeader(std::cout);
-    for (const SweepResult &r : results)
-        writeCsvRow(std::cout, r.name, r.stats);
-    return 0;
 }

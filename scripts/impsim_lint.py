@@ -30,6 +30,16 @@ policy):
                            the annotated Mutex/MutexLock/CondVar
                            wrappers are visible to clang's
                            thread-safety analysis.
+  no-unbounded-trace-read  whole-stream slurps (rdbuf,
+                           istreambuf_iterator) and random-access
+                           repositioning (seekg/tellg/ios::ate,
+                           fseek/ftell) in trace-handling files
+                           (name contains "trace"): the trace
+                           frontend must stream through a bounded
+                           buffer so a huge or adversarial file can
+                           cost at most O(buffer) memory, and must
+                           stay seek-free so the same code path
+                           serves pipes (gzip/xz popen filters).
 
 Suppress a finding with a justified comment on the same or previous
 line:  // impsim-lint: allow(rule-name) <why>
@@ -63,6 +73,16 @@ ENTROPY_RES = [
     (re.compile(r"\btime\s*\("), "time()"),
     (re.compile(r"\bclock\s*\("), "clock()"),
     (re.compile(r"\bsystem_clock\b"), "system_clock"),
+]
+
+TRACE_READ_RES = [
+    (re.compile(r"\brdbuf\s*\("), "whole-stream rdbuf() slurp"),
+    (re.compile(r"\bistreambuf_iterator\b"),
+     "istreambuf_iterator whole-stream read"),
+    (re.compile(r"\b(?:seekg|tellg|seekp|tellp)\s*\("),
+     "stream repositioning (seekg/tellg)"),
+    (re.compile(r"\bios(?:_base)?::ate\b"), "ios::ate open mode"),
+    (re.compile(r"\bf(?:seek|tell)o?\s*\("), "fseek()/ftell()"),
 ]
 
 MUTEX_RES = [
@@ -232,6 +252,9 @@ def lint_paths(root, paths):
                          violations)
         if sf.path.name != "thread_annotations.hpp":
             check_simple(sf, "no-naked-mutex", MUTEX_RES, violations)
+        if "trace" in sf.path.name:
+            check_simple(sf, "no-unbounded-trace-read", TRACE_READ_RES,
+                         violations)
         check_flat_emission(sf, stem_names, violations)
     return files, violations
 
@@ -256,6 +279,7 @@ def self_test(root):
         "wallclock_entropy.cpp": "no-wallclock-entropy",
         "unsorted_flat_emission.cpp": "no-unsorted-flat-emission",
         "naked_mutex.cpp": "no-naked-mutex",
+        "unbounded_trace_read.cpp": "no-unbounded-trace-read",
         "clean.cpp": None,
     }
     missing = [n for n in expected if not (fixtures / n).is_file()]

@@ -8,11 +8,13 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 
 #include "common/intmath.hpp"
 #include "core/prefetcher_registry.hpp"
 #include "sim/presets.hpp"
+#include "workloads/trace_io.hpp"
 
 namespace impsim {
 
@@ -444,7 +446,50 @@ struct Bound
     AppId app = AppId::Spmv;
     double scale = 1.0;
     std::uint64_t seed = 42;
+    /** Resolved trace path (app == AppId::Trace only). */
+    std::string tracePath;
 };
+
+/**
+ * Bind-scoped memo of probed trace headers, so a sweep expanding the
+ * same "trace:<path>" into many combinations opens the file once.
+ * Probing happens at bind time on purpose: that is what gives
+ * `--check` and SUBMIT their early file:line:col trace diagnostics,
+ * and what turns a missing trace on a fabric worker into a clean
+ * LEASEFAIL (the worker re-binds the shipped config text).
+ */
+struct TraceProbeCache
+{
+    std::map<std::string, TraceSummary> ok;
+    std::map<std::string, std::string> bad; ///< path -> diagnostic
+};
+
+std::string
+pathBaseName(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/**
+ * Resolves a relative trace path against the directory of the config
+ * file that names it (pseudo-origins like "<command line>" resolve
+ * against the CWD). A worker re-binding the same config text with the
+ * same origin computes the same string, so a lease's trace lookup is
+ * reproducible — just against the worker's local filesystem.
+ */
+std::string
+resolveTracePath(const std::string &origin, const std::string &rel)
+{
+    if (rel.empty() || rel[0] == '/')
+        return rel;
+    if (origin.empty() || origin[0] == '<')
+        return rel;
+    std::size_t slash = origin.find_last_of('/');
+    if (slash == std::string::npos)
+        return rel;
+    return origin.substr(0, slash + 1) + rel;
+}
 
 const std::vector<std::pair<std::string, std::vector<std::string>>> &
 schema()
@@ -613,9 +658,57 @@ asApp(const Setting &s)
         std::vector<std::string> known;
         for (AppId a : kAllApps)
             known.push_back(appName(a));
+        known.push_back("trace:<path>");
         failAt(s, "unknown app '" + name + "' (known: " + join(known) + ")");
     }
     return app;
+}
+
+/**
+ * Binds a [system] app setting — a built-in kernel name or a
+ * "trace:<path>" replay spec. Trace specs are validated on the spot:
+ * the header is probed (memoized in @p traces across sweep
+ * combinations) and its core count checked against this
+ * combination's, so every problem surfaces at bind time with the app
+ * key's location.
+ */
+void
+applyAppSetting(const Setting &s, Bound &b, TraceProbeCache &traces)
+{
+    std::string name = asString(s);
+    if (!isTraceAppSpec(name)) {
+        b.app = asApp(s);
+        b.tracePath.clear();
+        return;
+    }
+    std::string rel = traceAppPath(name);
+    if (rel.empty())
+        failAt(s, "trace app spec needs a file: trace:<path>");
+    std::string path = resolveTracePath(s.origin, rel);
+    auto okIt = traces.ok.find(path);
+    if (okIt == traces.ok.end()) {
+        auto badIt = traces.bad.find(path);
+        if (badIt == traces.bad.end()) {
+            try {
+                okIt = traces.ok.emplace(path, probeTraceHeader(path))
+                           .first;
+            } catch (const TraceError &e) {
+                badIt = traces.bad.emplace(path, e.what()).first;
+            }
+        }
+        if (badIt != traces.bad.end())
+            failAt(s, badIt->second);
+    }
+    const TraceSummary &sum = okIt->second;
+    if (sum.numCores != b.cfg.numCores)
+        failAt(s, "trace '" + rel + "' was recorded for " +
+                      std::to_string(sum.numCores) +
+                      " cores, but this run has " +
+                      std::to_string(b.cfg.numCores) +
+                      " (set [system] cores = " +
+                      std::to_string(sum.numCores) + ")");
+    b.app = AppId::Trace;
+    b.tracePath = std::move(path);
 }
 
 ConfigPreset
@@ -694,10 +787,11 @@ setPerCoreSpec(const Setting &s, std::vector<std::string> &specs,
 /**
  * Applies one non-structural setting. The structural keys
  * (system.preset / cores / core_model) are resolved before the base
- * SystemConfig exists and must be skipped by the caller.
+ * SystemConfig exists and must be skipped by the caller. @p traces
+ * memoizes trace-header probes across sweep combinations.
  */
 void
-applySetting(const Setting &s, Bound &b)
+applySetting(const Setting &s, Bound &b, TraceProbeCache &traces)
 {
     const std::string &sec = s.path.section;
     const std::string &key = s.path.key;
@@ -705,7 +799,7 @@ applySetting(const Setting &s, Bound &b)
 
     if (sec == "system") {
         if (key == "app")
-            b.app = asApp(s);
+            applyAppSetting(s, b, traces);
         else if (key == "scale") {
             b.scale = asDouble(s);
             if (b.scale <= 0.0)
@@ -1058,6 +1152,7 @@ bindExperiment(const ConfigFile &file, const CliOverrides &cli)
 
     // 5. Expand: the first declared axis varies slowest.
     Experiment exp;
+    TraceProbeCache traces; // one header probe per file, not per combo
     std::vector<std::size_t> idx(axes.size(), 0);
     for (std::size_t combo = 0; combo < total; ++combo) {
         std::vector<Setting> axis_settings;
@@ -1118,11 +1213,11 @@ bindExperiment(const ConfigFile &file, const CliOverrides &cli)
 
         for (const Setting &s : file_settings) {
             if (!isStructural(s.path))
-                applySetting(s, b);
+                applySetting(s, b, traces);
         }
         for (const Setting &s : axis_settings) {
             if (!isStructural(s.path))
-                applySetting(s, b);
+                applySetting(s, b, traces);
         }
         for (const Setting &s : cli_settings) {
             if (isStructural(s.path))
@@ -1136,7 +1231,7 @@ bindExperiment(const ConfigFile &file, const CliOverrides &cli)
                                  b.cfg.l2PrefetcherSpec,
                                  b.cfg.l2SlicePrefetcherSpecs);
             } else {
-                applySetting(s, b);
+                applySetting(s, b, traces);
             }
         }
         if (cli.seed)
@@ -1147,8 +1242,20 @@ bindExperiment(const ConfigFile &file, const CliOverrides &cli)
         run.app = b.app;
         run.scale = b.scale;
         run.seed = b.seed;
+        run.tracePath = b.tracePath;
         run.swPrefetch = has_preset && presetWantsSwPrefetch(preset);
-        run.label = std::string(appName(b.app)) + "/" +
+        // Trace runs are labelled by basename so CSVs don't depend on
+        // where the trace lives on this machine; commas would split
+        // the label column.
+        std::string appLabel = appName(b.app);
+        if (b.app == AppId::Trace) {
+            appLabel += ":" + pathBaseName(b.tracePath);
+            for (char &ch : appLabel) {
+                if (ch == ',')
+                    ch = '|';
+            }
+        }
+        run.label = appLabel + "/" +
                     (has_preset ? presetName(preset) : "custom") + "/" +
                     std::to_string(cores) + "c" +
                     (model == CoreModel::OutOfOrder ? "/ooo" : "");

@@ -155,6 +155,14 @@ struct ExperimentRun
     std::uint64_t seed = 42;
     /** Run the software-prefetch trace variant (SWPref preset). */
     bool swPrefetch = false;
+    /**
+     * Trace file to replay when app == AppId::Trace ("trace:<path>"
+     * specs). Relative paths are resolved against the config file's
+     * directory at bind time, so this is ready to open as-is; the
+     * label carries only the basename, keeping CSV output
+     * machine-independent.
+     */
+    std::string tracePath;
 };
 
 /** A bound experiment: every sweep combination, in axis order. */
@@ -168,7 +176,11 @@ struct Experiment
  * Interprets @p file against the config schema and expands its sweep
  * axes. @throws ConfigError citing the offending line for unknown
  * sections or keys, type mismatches, out-of-range values, unknown
- * app/preset/engine names, and malformed sweep axes.
+ * app/preset/engine names, and malformed sweep axes. "trace:<path>"
+ * app specs are validated here too — the trace header is opened and
+ * checked (existence, version, core count) at bind time, so --check
+ * and SUBMIT surface trace problems with file:line:col diagnostics
+ * before any simulation runs.
  */
 Experiment bindExperiment(const ConfigFile &file,
                           const CliOverrides &cli = {});

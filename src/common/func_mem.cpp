@@ -4,6 +4,10 @@
  */
 #include "common/func_mem.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/logging.hpp"
 
 namespace impsim {
@@ -58,6 +62,20 @@ FuncMem::write(Addr addr, const void *in, std::uint32_t len)
         addr += chunk;
         len -= chunk;
     }
+}
+
+void
+FuncMem::forEachPage(
+    const std::function<void(Addr, const std::uint8_t *)> &fn) const
+{
+    std::vector<std::pair<Addr, const Page *>> sorted;
+    sorted.reserve(pages_.size());
+    for (const auto &entry : pages_)
+        sorted.emplace_back(entry.first, entry.second);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (const auto &entry : sorted)
+        fn(entry.first, entry.second->data());
 }
 
 std::uint64_t

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <functional>
 
 #include "common/flat_map.hpp"
 #include "common/types.hpp"
@@ -61,6 +62,13 @@ class FuncMem
 
     /** Number of pages currently materialised. */
     std::size_t pageCount() const { return pages_.size(); }
+
+    /**
+     * Visits every materialised page in ascending base-address order
+     * (deterministic emission — the trace writer depends on it).
+     */
+    void forEachPage(
+        const std::function<void(Addr, const std::uint8_t *)> &fn) const;
 
   private:
     using Page = std::array<std::uint8_t, kPageBytes>;

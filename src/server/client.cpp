@@ -283,6 +283,43 @@ listJobs(const std::string &address, std::ostream &out, std::ostream &err)
                    unescapeToken(line.substr(sp + 1));
         out << line << "\n";
     }
+
+    // The worker fleet rides along on the same listing. A pre-v4
+    // server answers WORKERS with an ERROR frame; swallow it and skip
+    // the section rather than failing a listing that already printed.
+    if (!writeAll(ch.fd, "WORKERS\n"))
+        return 0;
+    if (!ch.reader->readLine(line))
+        return 0;
+    tokens = splitTokens(line);
+    if (tokens.size() != 2 || tokens[0] != "FLEET") {
+        if (tokens.size() == 2 && tokens[0] == "ERROR") {
+            std::size_t skip = static_cast<std::size_t>(
+                std::strtoull(tokens[1].c_str(), nullptr, 10));
+            ch.reader->readBytes(payload, skip);
+        }
+        return 0;
+    }
+    n = static_cast<std::size_t>(
+        std::strtoull(tokens[1].c_str(), nullptr, 10));
+    if (!ch.reader->readBytes(payload, n)) {
+        err << "connection lost mid-list\n";
+        return 1;
+    }
+    if (payload.empty()) {
+        out << "workers: none\n";
+        return 0;
+    }
+    out << "workers:\n";
+    std::istringstream fleet(payload);
+    while (std::getline(fleet, line)) {
+        FleetEntry e;
+        std::string perr;
+        if (parseFleetLine(line, e, perr)) {
+            out << "  " << e.workerId << " slots=" << e.slots
+                << " active=" << e.activeLeases << "\n";
+        }
+    }
     return 0;
 }
 

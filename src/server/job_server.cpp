@@ -22,6 +22,7 @@
 #include <unistd.h>
 
 #include "sim/experiment_runner.hpp"
+#include "workloads/trace_io.hpp"
 
 namespace impsim {
 namespace server {
@@ -305,6 +306,8 @@ JobServer::connectionLoop(std::shared_ptr<Connection> conn)
             handleFetch(*conn, tokens);
         } else if (cmd == "LIST") {
             handleList(*conn);
+        } else if (cmd == "WORKERS") {
+            handleWorkers(*conn);
         } else if (cmd == "WORKER") {
             // The connection becomes a worker for good: handleWorker
             // runs its whole lease-serving life and only returns when
@@ -590,6 +593,27 @@ JobServer::handleList(Connection &conn)
 }
 
 void
+JobServer::handleWorkers(Connection &conn)
+{
+    // Stage the payload under the fabric lock, write after — the lock
+    // is never held across a socket write (a stalled client must not
+    // block lease assignment).
+    std::string payload;
+    {
+        MutexLock lock(fabricMutex_);
+        for (const auto &entry : workers_) {
+            FleetEntry e;
+            e.workerId = entry.first;
+            e.slots = entry.second.slots;
+            e.activeLeases = entry.second.leases.size();
+            payload += formatFleetLine(e) + "\n";
+        }
+    }
+    conn.write("FLEET " + std::to_string(payload.size()) + "\n" +
+               payload);
+}
+
+void
 JobServer::finishJob(const std::shared_ptr<ServerJob> &job,
                      const std::string &payload)
 {
@@ -645,7 +669,17 @@ JobServer::executeJob(const std::shared_ptr<ServerJob> &job)
         opt.runner = &runner_;
         opt.control = &job->control;
         opt.lease = lease.get();
-        completed = runExperiment(job->exp, out, opt);
+        try {
+            completed = runExperiment(job->exp, out, opt);
+        } catch (const TraceError &e) {
+            // The SUBMIT-time bind only probed the trace header; a
+            // trace that rots (or vanishes) between bind and run
+            // surfaces here. Cancel the job, don't kill the runner.
+            std::fprintf(stderr, "impsim_serve: job %llu: %s\n",
+                         static_cast<unsigned long long>(job->id),
+                         e.what());
+            completed = false;
+        }
         lease.reset();
         payload = out.str();
     }
@@ -1029,7 +1063,17 @@ JobServer::executeDistributed(const std::shared_ptr<ServerJob> &job,
         opt.control = &job->control;
         opt.lease = lease.get();
         std::vector<std::string> rows;
-        bool ok = runExperimentRuns(job->exp, missing, opt, rows);
+        bool ok;
+        try {
+            ok = runExperimentRuns(job->exp, missing, opt, rows);
+        } catch (const TraceError &e) {
+            // Same window as the local path: the trace passed its
+            // SUBMIT-time header probe but failed to replay.
+            std::fprintf(stderr, "impsim_serve: job %llu: %s\n",
+                         static_cast<unsigned long long>(job->id),
+                         e.what());
+            ok = false;
+        }
         lease.reset();
         if (!ok)
             return false;

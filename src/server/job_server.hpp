@@ -163,6 +163,8 @@ class JobServer
     void handleFetch(Connection &conn,
                      const std::vector<std::string> &tokens);
     void handleList(Connection &conn) IMPSIM_EXCLUDES(jobsMutex_);
+    /** Answers WORKERS with a FLEET frame enumerating the fabric. */
+    void handleWorkers(Connection &conn) IMPSIM_EXCLUDES(fabricMutex_);
     std::shared_ptr<ServerJob> findJob(const std::string &idToken)
         IMPSIM_EXCLUDES(jobsMutex_);
     /** The submitting connection of @p jobId, unregistered. */

@@ -15,6 +15,7 @@
  *   CANCEL <id>
  *   FETCH <id>                        re-read a stored finished result
  *   LIST                              enumerate known jobs
+ *   WORKERS                           enumerate the worker fleet
  *
  * Server -> client:
  *   IMPSIM <version>                  greeting on connect
@@ -28,6 +29,10 @@
  *   JOBS <nbytes>                     then <nbytes> of job listing,
  *                                     one "<id> <state> <done>/<total>
  *                                     <bytes> <origin>" line per job
+ *   FLEET <nbytes>                    then <nbytes> of fleet listing,
+ *                                     one "<workerId> <slots>
+ *                                     <activeLeases>" line per
+ *                                     registered worker
  *
  * Worker mode (the distributed sweep fabric, docs/job_server.md): a
  * connection that registers as a worker leaves the client command set
@@ -64,12 +69,13 @@
 namespace impsim {
 namespace server {
 
-/** Protocol version announced in the greeting line (3: worker mode —
- *  WORKER/REGISTERED registration, LEASE/ROW/LEASEDONE/LEASEFAIL/
- *  REVOKE sub-batch frames, `gone` diagnostics for evicted results).
- *  2 added FETCH/LIST, the priority= submit token, and jobs surviving
- *  their submitter's disconnect. */
-inline constexpr int kProtocolVersion = 3;
+/** Protocol version announced in the greeting line (4: WORKERS/FLEET
+ *  fleet enumeration). 3 added worker mode — WORKER/REGISTERED
+ *  registration, LEASE/ROW/LEASEDONE/LEASEFAIL/REVOKE sub-batch
+ *  frames, `gone` diagnostics for evicted results. 2 added
+ *  FETCH/LIST, the priority= submit token, and jobs surviving their
+ *  submitter's disconnect. */
+inline constexpr int kProtocolVersion = 4;
 
 /**
  * Percent-escapes @p s so it is a single space-free token: '%', ' ',
@@ -171,6 +177,24 @@ bool parseLeaseLine(const std::vector<std::string> &tokens,
 
 /** Serializes @p req into a LEASE line (no trailing newline). */
 std::string formatLeaseLine(const LeaseRequest &req);
+
+/** One registered worker in a FLEET payload line. */
+struct FleetEntry
+{
+    std::uint64_t workerId = 0;
+    unsigned slots = 1;         ///< Parallel lease capacity.
+    std::size_t activeLeases = 0; ///< Leases currently outstanding.
+};
+
+/** Serializes @p e as one FLEET payload line (no trailing newline). */
+std::string formatFleetLine(const FleetEntry &e);
+
+/**
+ * Parses one FLEET payload line ("<workerId> <slots> <activeLeases>").
+ * @return false and sets @p error on any malformed token.
+ */
+bool parseFleetLine(const std::string &line, FleetEntry &out,
+                    std::string &error);
 
 // ---- Blocking socket I/O helpers ----------------------------------
 

@@ -26,6 +26,7 @@
 #include "server/client.hpp"
 #include "server/protocol.hpp"
 #include "sim/experiment_runner.hpp"
+#include "workloads/trace_io.hpp"
 
 namespace impsim {
 namespace server {
@@ -155,9 +156,11 @@ serveLease(int fd, const LeaseTask &task, SweepControl &ctl,
             ConfigFile::parseString(task.text, req.submit.origin),
             req.submit.cli);
     } catch (const ConfigError &e) {
-        // Binding succeeded on the coordinator, so this means the
-        // two ends run different builds; LEASEFAIL tells it to stop
-        // trusting this worker.
+        // Binding succeeded on the coordinator, so either the two
+        // ends run different builds, or the config replays a trace
+        // this host doesn't have (workers re-open trace files from
+        // their local filesystem — the bytes never travel in the
+        // LEASE). LEASEFAIL carries the diagnostic back.
         return writeAll(fd, leaseFailFrame(req.leaseId, e.what()));
     }
     if (req.firstRun + req.runCount > exp.runs.size() ||
@@ -181,7 +184,14 @@ serveLease(int fd, const LeaseTask &task, SweepControl &ctl,
     opt.jobs = jobs;
     opt.control = &ctl;
     std::vector<std::string> rows;
-    const bool ok = runExperimentRuns(exp, indices, opt, rows);
+    bool ok;
+    try {
+        ok = runExperimentRuns(exp, indices, opt, rows);
+    } catch (const TraceError &e) {
+        // The trace bound (header OK) but failed to replay — corrupt
+        // past the header, or truncated on this host's copy.
+        return writeAll(fd, leaseFailFrame(req.leaseId, e.what()));
+    }
 
     std::string frames;
     if (ok) {

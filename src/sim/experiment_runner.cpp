@@ -21,9 +21,9 @@ namespace impsim {
 namespace {
 
 /**
- * One workload per distinct (app, cores, swpf, scale, seed): runs of
- * a sweep share trace generation, whether the whole grid or a leased
- * slice of it executes here.
+ * One workload per distinct (app, cores, swpf, scale, seed, trace):
+ * runs of a sweep share trace generation, whether the whole grid or a
+ * leased slice of it executes here.
  */
 class WorkloadCache
 {
@@ -32,21 +32,22 @@ class WorkloadCache
     get(const ExperimentRun &r)
     {
         auto &slot = workloads_[Key{r.app, r.cfg.numCores, r.swPrefetch,
-                                    r.scale, r.seed}];
+                                    r.scale, r.seed, r.tracePath}];
         if (!slot) {
             WorkloadParams params;
             params.numCores = r.cfg.numCores;
             params.swPrefetch = r.swPrefetch;
             params.scale = r.scale;
             params.seed = r.seed;
+            params.tracePath = r.tracePath;
             slot = std::make_unique<Workload>(makeWorkload(r.app, params));
         }
         return *slot;
     }
 
   private:
-    using Key =
-        std::tuple<AppId, std::uint32_t, bool, double, std::uint64_t>;
+    using Key = std::tuple<AppId, std::uint32_t, bool, double,
+                           std::uint64_t, std::string>;
     std::map<Key, std::unique_ptr<Workload>> workloads_;
 };
 

@@ -40,8 +40,8 @@ struct ExperimentRunOptions
 /**
  * Runs every expanded run of @p exp and writes the report (single
  * run) or CSV header + rows (sweep) to @p os. Workloads are built
- * once per distinct (app, cores, swpf, scale, seed) within the
- * experiment.
+ * once per distinct (app, cores, swpf, scale, seed, trace path)
+ * within the experiment.
  *
  * @return false iff the experiment was cancelled through
  *         opt.control before completing — nothing is written to

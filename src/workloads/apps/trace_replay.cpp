@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Trace replay "kernel": turns a recorded IMPTRACE file back into a
+ * Workload by feeding every decoded record through TraceBuilder —
+ * the same construction path every synthetic app uses, so the replay
+ * reproduces the recorded per-core access streams bit-exactly
+ * (barrier flags included) and the simulator cannot tell the two
+ * apart.
+ *
+ * Branch records are folded into the following access's instruction
+ * gap (a branch is one non-memory instruction); branches after a
+ * core's last access fold into its tail-instruction count.
+ */
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "workloads/trace_builder.hpp"
+#include "workloads/trace_io.hpp"
+#include "workloads/workload.hpp"
+
+namespace impsim {
+
+namespace {
+
+std::string
+baseName(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+} // namespace
+
+Workload
+makeTraceReplay(const WorkloadParams &params)
+{
+    IMPSIM_CHECK(!params.tracePath.empty(),
+                 "trace replay needs WorkloadParams::tracePath");
+    const std::string &path = params.tracePath;
+
+    TraceReader reader(openTraceSource(path));
+    const TraceSummary &sum = reader.summary();
+    if (sum.numCores != params.numCores)
+        throw TraceError(path, 0,
+                         "recorded for " + std::to_string(sum.numCores) +
+                             " cores, but this run wants " +
+                             std::to_string(params.numCores));
+
+    TraceBuilder tb(sum.numCores);
+    reader.readMemoryImage(tb.mem());
+
+    // Decode into per-core streams, folding branches into gaps and
+    // validating the stream-position-relative fields as we go. Sized
+    // by what is actually decoded, never by the header's claim.
+    std::vector<std::vector<MemAccess>> accs(sum.numCores);
+    std::vector<std::uint64_t> pendingGap(sum.numCores, 0);
+    std::vector<std::uint64_t> tails(sum.numCores, 0);
+    TraceRecord r;
+    while (reader.next(r)) {
+        std::uint64_t off = reader.lastRecordOffset();
+        std::vector<MemAccess> &stream = accs[r.core];
+        switch (r.kind) {
+          case TraceRecordKind::Branch:
+            pendingGap[r.core] += std::uint64_t{r.gap} + 1;
+            break;
+          case TraceRecordKind::Tail:
+            tails[r.core] += r.addr;
+            break;
+          default: {
+            if (r.dep > stream.size())
+                throw TraceError(
+                    path, off,
+                    "dep back-link " + std::to_string(r.dep) +
+                        " reaches before the start of core " +
+                        std::to_string(r.core) + "'s stream");
+            std::uint64_t gap = pendingGap[r.core] + r.gap;
+            if (gap > UINT32_MAX)
+                throw TraceError(path, off,
+                                 "instruction gap overflows 32 bits "
+                                 "after folding branch records");
+            pendingGap[r.core] = 0;
+            MemAccess a;
+            a.addr = r.addr;
+            a.pc = r.pc;
+            a.gap = static_cast<std::uint32_t>(gap);
+            a.dep = r.dep;
+            a.size = r.size;
+            a.type = r.type;
+            if (r.kind == TraceRecordKind::Store)
+                a.flags |= kFlagWrite;
+            if (r.kind == TraceRecordKind::SwPrefetch)
+                a.flags |= kFlagSwPrefetch;
+            if (r.flags & kTraceFlagBarrierBefore)
+                a.flags |= kFlagBarrierBefore;
+            stream.push_back(a);
+            break;
+          }
+        }
+    }
+    for (std::uint32_t c = 0; c < sum.numCores; ++c)
+        tails[c] += pendingGap[c]; // branches after the last access
+
+    // Barriers are global: crossing k is the k-th barrier-flagged
+    // access of *every* core. Unequal counts would deadlock the
+    // simulated barrier network.
+    std::uint64_t crossings = 0;
+    for (std::uint32_t c = 0; c < sum.numCores; ++c) {
+        std::uint64_t n = 0;
+        for (const MemAccess &a : accs[c])
+            n += a.hasBarrier() ? 1 : 0;
+        if (c == 0)
+            crossings = n;
+        else if (n != crossings)
+            throw TraceError(path, 0,
+                             "barrier count mismatch: core 0 crosses " +
+                                 std::to_string(crossings) +
+                                 " barriers, core " + std::to_string(c) +
+                                 " crosses " + std::to_string(n));
+    }
+
+    // Re-emit through TraceBuilder epoch by epoch: everything before
+    // each core's k-th flagged access belongs to epoch k-1, so one
+    // tb.barrier() between epochs reproduces the flags exactly.
+    std::vector<std::size_t> pos(sum.numCores, 0);
+    for (std::uint64_t epoch = 0; epoch <= crossings; ++epoch) {
+        if (epoch > 0)
+            tb.barrier();
+        for (std::uint32_t c = 0; c < sum.numCores; ++c) {
+            std::vector<MemAccess> &stream = accs[c];
+            bool first = true;
+            while (pos[c] < stream.size()) {
+                const MemAccess &a = stream[pos[c]];
+                if (a.hasBarrier() && !(first && epoch > 0))
+                    break; // starts the next epoch
+                first = false;
+                if (a.isSwPrefetch())
+                    tb.swPrefetch(c, a.pc, a.addr, a.gap);
+                else if (a.isWrite())
+                    tb.store(c, a.pc, a.addr, a.size, a.type, a.gap,
+                             a.dep);
+                else
+                    tb.load(c, a.pc, a.addr, a.size, a.type, a.gap,
+                            a.dep);
+                ++pos[c];
+            }
+        }
+    }
+    for (std::uint32_t c = 0; c < sum.numCores; ++c) {
+        if (tails[c] > 0)
+            tb.tail(c, tails[c]);
+    }
+
+    Workload w;
+    w.name = std::string(kTraceAppPrefix) + baseName(path);
+    w.traces = tb.take();
+    w.mem = tb.memPtr();
+    return w;
+}
+
+} // namespace impsim

@@ -28,8 +28,24 @@ appName(AppId app)
         return "symgs";
       case AppId::Streaming:
         return "streaming";
+      case AppId::Trace:
+        return "trace";
     }
     IMPSIM_PANIC("unknown app");
+}
+
+bool
+isTraceAppSpec(const std::string &spec)
+{
+    return spec.rfind(kTraceAppPrefix, 0) == 0;
+}
+
+std::string
+traceAppPath(const std::string &spec)
+{
+    return isTraceAppSpec(spec)
+               ? spec.substr(std::string(kTraceAppPrefix).size())
+               : std::string();
 }
 
 bool
@@ -64,6 +80,8 @@ makeWorkload(AppId app, const WorkloadParams &params)
         return makeSymgs(params);
       case AppId::Streaming:
         return makeStreaming(params);
+      case AppId::Trace:
+        return makeTraceReplay(params);
     }
     IMPSIM_PANIC("unknown app");
 }

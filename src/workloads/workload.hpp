@@ -25,7 +25,17 @@ enum class AppId {
     Spmv,
     Symgs,
     Streaming, ///< Dense no-indirection control (SPLASH-2 stand-in).
+    Trace,     ///< Replays a recorded IMPTRACE file (docs/traces.md).
 };
+
+/** App-spec prefix selecting trace replay: "trace:<path>". */
+inline constexpr const char *kTraceAppPrefix = "trace:";
+
+/** True if @p spec names a trace replay ("trace:<path>"). */
+bool isTraceAppSpec(const std::string &spec);
+
+/** The path part of a "trace:<path>" spec (may be empty). */
+std::string traceAppPath(const std::string &spec);
 
 /** The seven evaluated applications (Fig 1/2/9/...). */
 inline constexpr std::array<AppId, 7> kPaperApps{
@@ -57,6 +67,8 @@ struct WorkloadParams
     /** Input size multiplier (1.0 = default evaluation size). */
     double scale = 1.0;
     std::uint64_t seed = 42;
+    /** Trace file to replay; required by (and only by) AppId::Trace. */
+    std::string tracePath;
 };
 
 /** A generated workload: per-core traces over one memory image. */
@@ -97,6 +109,12 @@ Workload makeLsh(const WorkloadParams &params);
 Workload makeSpmv(const WorkloadParams &params);
 Workload makeSymgs(const WorkloadParams &params);
 Workload makeStreaming(const WorkloadParams &params);
+/**
+ * Replays params.tracePath through TraceBuilder, reproducing the
+ * recorded per-core access streams and memory image bit-exactly.
+ * @throws TraceError on any file, framing or semantic problem.
+ */
+Workload makeTraceReplay(const WorkloadParams &params);
 
 } // namespace impsim
 

@@ -1,0 +1,23 @@
+// Lint fixture: MUST trigger no-unbounded-trace-read and nothing
+// else (the rule fires because "trace" is in the file name). Never
+// compiled — scripts/impsim_lint.py --self-test asserts the
+// diagnostics.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+std::string
+slurpWholeTrace(const char *path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream all;
+    all << in.rdbuf();
+    return all.str();
+}
+
+long
+traceSizeBySeeking(std::ifstream &in)
+{
+    in.seekg(0, std::ios::end);
+    return static_cast<long>(in.tellg());
+}

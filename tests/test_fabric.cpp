@@ -33,6 +33,8 @@
 #include "server/job_server.hpp"
 #include "server/protocol.hpp"
 #include "sim/experiment_runner.hpp"
+#include "workloads/trace_io.hpp"
+#include "workloads/workload.hpp"
 
 // TSan aborts a multi-threaded process that forks by default; the
 // coordinator's threads are already up when the tests fork worker
@@ -512,6 +514,172 @@ TEST(Fabric, VersionMismatchedWorkerIsRejected)
     EXPECT_NE(diag.find("version"), std::string::npos) << diag;
 
     srv.stop();
+}
+
+TEST(Fabric, TraceReplaySweepShardsAndMatchesLocal)
+{
+    // Workers re-open the trace from their own filesystem (the lease
+    // carries config text, never trace bytes), so a trace-replay
+    // sweep must shard like any other and splice back byte-identical
+    // to the in-process run.
+    WorkloadParams params;
+    params.numCores = 4;
+    params.scale = 0.05;
+    params.seed = 42;
+    Workload direct = makeWorkload(AppId::Spmv, params);
+    const std::string trace = "/tmp/impsim_fab_trace_" +
+                              std::to_string(::getpid()) + ".imptrace";
+    recordTrace(trace, direct.traces, *direct.mem);
+
+    const std::string text = "[system]\n"
+                             "app   = \"trace:" +
+                             trace +
+                             "\"\n"
+                             "cores = 4\n"
+                             "[sweep]\n"
+                             "preset = [Base, IMP]\n";
+    const std::string expected = inProcessOutputText(text);
+
+    const std::string sock = tempSocketPath("trace");
+    JobServer srv(coordinatorConfig(sock, 1));
+    srv.start();
+    WorkerProc w = spawnWorker(sock, "trace");
+    ASSERT_TRUE(w.running());
+
+    RawClient client(sock);
+    const std::string id = queuedId(client.submit(text));
+    std::string payload;
+    ASSERT_TRUE(client.awaitResult(id, payload));
+    EXPECT_EQ(payload, expected)
+        << "a remotely replayed trace must match in-process bytes";
+
+    srv.stop();
+    EXPECT_EQ(w.reap(), 0);
+    std::remove(trace.c_str());
+
+    std::ifstream log(w.logPath);
+    std::string all((std::istreambuf_iterator<char>(log)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(all.find("lease"), std::string::npos)
+        << w.logPath << " shows no lease activity:\n"
+        << all;
+}
+
+TEST(Fabric, CorruptTraceBodyOnWorkerRaisesLeaseFail)
+{
+    // A trace whose header probes clean but whose body is corrupt
+    // passes SUBMIT-time binding everywhere, then fails replay on
+    // the worker. The worker must answer with LEASEFAIL (not die in
+    // the decoder), the coordinator must drop it, and — the local
+    // fallback hitting the same corruption — the job must end
+    // cancelled, never hung and never half-reported.
+    WorkloadParams params;
+    params.numCores = 4;
+    params.scale = 0.05;
+    params.seed = 42;
+    Workload direct = makeWorkload(AppId::Spmv, params);
+    const std::string trace = "/tmp/impsim_fab_badtrace_" +
+                              std::to_string(::getpid()) + ".imptrace";
+    recordTrace(trace, direct.traces, *direct.mem);
+    {
+        // Flip one byte well past the 40-byte header.
+        std::fstream f(trace,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekg(4096);
+        char b = 0;
+        f.read(&b, 1);
+        b = static_cast<char>(b ^ 0x5a);
+        f.seekp(4096);
+        f.write(&b, 1);
+    }
+
+    const std::string text = "[system]\n"
+                             "app   = \"trace:" +
+                             trace +
+                             "\"\n"
+                             "cores = 4\n"
+                             "[sweep]\n"
+                             "preset = [Base, IMP]\n";
+
+    const std::string sock = tempSocketPath("badtrace");
+    JobServer srv(coordinatorConfig(sock, 1));
+    srv.start();
+    WorkerProc w = spawnWorker(sock, "badtrace");
+    ASSERT_TRUE(w.running());
+
+    RawClient client(sock);
+    RawClient monitor(sock);
+    const std::string reply = client.submit(text);
+    const std::string id = queuedId(reply); // header probe passes
+    std::string payload;
+    EXPECT_FALSE(client.awaitResult(id, payload))
+        << "a corrupt trace body must cancel the job, not RESULT";
+    ASSERT_TRUE(monitor.awaitState(id, "cancelled"));
+
+    // The coordinator dropped the failing worker; its connection
+    // close reads as coordinator EOF, so it must exit cleanly.
+    EXPECT_EQ(w.reap(), 0);
+
+    // The coordinator itself must shrug it off: a healthy follow-up
+    // sweep (local fallback — the fleet is empty now) still matches.
+    const std::string good = sweepText(4);
+    const std::string id2 = queuedId(monitor.submit(good));
+    ASSERT_TRUE(monitor.awaitResult(id2, payload));
+    EXPECT_EQ(payload, inProcessOutputText(good));
+
+    srv.stop();
+    std::remove(trace.c_str());
+}
+
+TEST(Fabric, WorkersVerbReportsFleet)
+{
+    const std::string sock = tempSocketPath("fleet");
+    JobServer srv(coordinatorConfig(sock, 4));
+    srv.start();
+
+    RawClient client(sock);
+
+    // Empty fleet: an empty byte-counted payload, not an error.
+    ASSERT_TRUE(client.send("WORKERS\n"));
+    std::string line;
+    ASSERT_TRUE(client.readLine(line));
+    EXPECT_EQ(line, "FLEET 0");
+
+    WorkerProc w = spawnWorker(sock, "fleet");
+    ASSERT_TRUE(w.running());
+
+    ASSERT_TRUE(client.send("WORKERS\n"));
+    ASSERT_TRUE(client.readLine(line));
+    ASSERT_EQ(line.rfind("FLEET ", 0), 0u) << line;
+    std::string payload;
+    ASSERT_TRUE(client.readBytes(payload, std::stoul(line.substr(6))));
+    std::istringstream lines(payload);
+    std::vector<server::FleetEntry> fleet;
+    std::string fleetLine;
+    while (std::getline(lines, fleetLine)) {
+        server::FleetEntry e;
+        std::string error;
+        ASSERT_TRUE(server::parseFleetLine(fleetLine, e, error))
+            << fleetLine << ": " << error;
+        fleet.push_back(e);
+    }
+    ASSERT_EQ(fleet.size(), 1u) << payload;
+    EXPECT_EQ(fleet[0].slots, 1u); // spawnWorker omits --slots
+    EXPECT_EQ(fleet[0].activeLeases, 0u);
+
+    // And through the real client helper (what `impsim_cli --list`
+    // prints under its jobs table).
+    std::ostringstream listOut, listErr;
+    EXPECT_EQ(server::listJobs(sock, listOut, listErr), 0)
+        << listErr.str();
+    EXPECT_NE(listOut.str().find("workers:"), std::string::npos)
+        << listOut.str();
+    EXPECT_NE(listOut.str().find("slots=1 active=0"), std::string::npos)
+        << listOut.str();
+
+    srv.stop();
+    EXPECT_EQ(w.reap(), 0);
 }
 
 } // namespace impsim

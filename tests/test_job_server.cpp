@@ -764,6 +764,9 @@ TEST(JobServer, DisconnectMidSweepThenReconnectAndFetch)
         << listErr.str();
     EXPECT_NE(listOut.str().find(id + " done 8/8"), std::string::npos)
         << listOut.str();
+    // No fabric workers registered, so the fleet section says so.
+    EXPECT_NE(listOut.str().find("workers: none"), std::string::npos)
+        << listOut.str();
     srv.stop();
 }
 

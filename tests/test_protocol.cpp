@@ -403,3 +403,40 @@ TEST(WorkerFrames, RowFrameRoundTripsThroughReader)
     ASSERT_TRUE(reader.readLine(line));
     EXPECT_EQ(line, "LEASEDONE 7");
 }
+
+// ---- FLEET lines (the WORKERS reply payload) -------------------------
+
+TEST(FleetLines, FormatAndParseRoundTrip)
+{
+    FleetEntry e;
+    e.workerId = 42;
+    e.slots = 8;
+    e.activeLeases = 3;
+    const std::string line = formatFleetLine(e);
+    EXPECT_EQ(line, "42 8 3");
+
+    FleetEntry back;
+    std::string error;
+    ASSERT_TRUE(parseFleetLine(line, back, error)) << error;
+    EXPECT_EQ(back.workerId, 42u);
+    EXPECT_EQ(back.slots, 8u);
+    EXPECT_EQ(back.activeLeases, 3u);
+}
+
+TEST(FleetLines, MalformedLinesAreRejectedWithDiagnostics)
+{
+    FleetEntry e;
+    std::string error;
+    EXPECT_FALSE(parseFleetLine("", e, error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseFleetLine("1 2", e, error));
+    EXPECT_FALSE(parseFleetLine("1 2 3 4", e, error));
+    EXPECT_FALSE(parseFleetLine("x 2 3", e, error));
+    EXPECT_FALSE(parseFleetLine("1 x 3", e, error));
+    EXPECT_FALSE(parseFleetLine("1 2 x", e, error));
+    // Zero slots cannot be registered; a fleet line claiming it is
+    // corrupt, as is an absurd slot count.
+    EXPECT_FALSE(parseFleetLine("1 0 3", e, error));
+    EXPECT_FALSE(parseFleetLine("1 99999999 3", e, error));
+    EXPECT_FALSE(parseFleetLine("-1 2 3", e, error));
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * TLB panel (docs/tlb.md): what turning on the virtual-memory model
+ * costs IMP, at 64 cores, across page sizes. Columns are absolute IPC
+ * and IMP L1 coverage for translation-off, 4 KiB pages and 2 MiB
+ * pages; the paper's figures all assume free translation, so "off" is
+ * the reference the other columns discount.
+ */
+#include "harness.hpp"
+
+#include <cstdio>
+
+using namespace impsim;
+using namespace impsim::bench;
+
+namespace {
+
+/** @p page_bytes == 0 means translation off. */
+SystemConfig
+tlbCfg(std::uint64_t page_bytes)
+{
+    SystemConfig cfg = makePreset(ConfigPreset::Imp, 64);
+    if (page_bytes != 0) {
+        cfg.tlb.enable = true;
+        cfg.tlb.pageBytes = page_bytes;
+    }
+    return cfg;
+}
+
+const char *
+tagFor(std::uint64_t page_bytes)
+{
+    return page_bytes == 0        ? "tlb-off"
+           : page_bytes == 4096   ? "tlb-4k"
+                                  : "tlb-2m";
+}
+
+const std::uint64_t kVariants[] = {0, 4096, std::uint64_t{2} << 20};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<SweepPoint> grid;
+    for (AppId app : paperApps()) {
+        for (std::uint64_t pb : kVariants)
+            grid.push_back(SweepPoint{tagFor(pb), app, tlbCfg(pb)});
+    }
+    prewarm(grid);
+
+    for (const SweepPoint &p : grid) {
+        registerRun(std::string("fig_tlb/") + appName(p.app) + "/" +
+                        p.tag,
+                    [p]() -> const SimStats & {
+                        return runCustom(p.tag, p.app, p.cfg);
+                    });
+    }
+    runBenchmarks(argc, argv);
+
+    banner("TLB panel: IMP under virtual memory (64 cores; IPC and "
+           "L1 coverage, translation off vs 4 KiB vs 2 MiB pages)",
+           "huge pages recover most of the 4 KiB translation cost; "
+           "coverage moves little because dropped page-crossers are "
+           "a thin tail of IMP's issue stream");
+    header({"ipc", "ipc-4k", "ipc-2m", "cov", "cov-4k", "cov-2m"});
+    for (AppId app : paperApps()) {
+        const SimStats &off = runCustom(tagFor(0), app, tlbCfg(0));
+        const SimStats &p4k =
+            runCustom(tagFor(4096), app, tlbCfg(4096));
+        const SimStats &p2m = runCustom(tagFor(std::uint64_t{2} << 20),
+                                        app,
+                                        tlbCfg(std::uint64_t{2} << 20));
+        row(appName(app),
+            {off.ipc(), p4k.ipc(), p2m.ipc(), off.l1.coverage(),
+             p4k.l1.coverage(), p2m.l1.coverage()});
+    }
+    return 0;
+}

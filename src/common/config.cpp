@@ -60,6 +60,20 @@ SystemConfig::l2SliceBytes() const
     return static_cast<std::uint32_t>(pow2_sets * line_ways);
 }
 
+std::uint32_t
+TlbConfig::pageBits() const
+{
+    return floorLog2(pageBytes);
+}
+
+std::uint32_t
+TlbConfig::walkLevels() const
+{
+    // 512-entry nodes resolve 9 VPN bits each; cover kAddrBits.
+    std::uint32_t vpn_bits = kAddrBits - pageBits();
+    return (vpn_bits + 8) / 9;
+}
+
 void
 SystemConfig::validate() const
 {
@@ -82,6 +96,21 @@ SystemConfig::validate() const
         IMPSIM_FATAL("NoC parameters must be positive");
     if (dramBytesPerCycle <= 0.0)
         IMPSIM_FATAL("DRAM bandwidth must be positive");
+    if (tlb.enable) {
+        if (tlb.pageBytes != 4096 && tlb.pageBytes != (2u << 20))
+            IMPSIM_FATAL("tlb.page_bytes must be 4096 or 2097152");
+        if (tlb.l1Entries == 0 || tlb.l1Ways == 0 ||
+            tlb.l1Entries % tlb.l1Ways != 0)
+            IMPSIM_FATAL("L1 TLB entries must be a multiple of ways");
+        if (tlb.l2Entries == 0 || tlb.l2Ways == 0 ||
+            tlb.l2Entries % tlb.l2Ways != 0)
+            IMPSIM_FATAL("L2 TLB entries must be a multiple of ways");
+        if (!isPow2(tlb.l1Entries / tlb.l1Ways) ||
+            !isPow2(tlb.l2Entries / tlb.l2Ways))
+            IMPSIM_FATAL("TLB set counts must be powers of two");
+        if (tlb.l2LatencyCycles == 0)
+            IMPSIM_FATAL("L2 TLB latency must be positive");
+    }
 }
 
 } // namespace impsim

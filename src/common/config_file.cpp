@@ -513,6 +513,11 @@ schema()
              {"degree", "max_stride_bytes", "l2_degree",
               "l2_max_stride_bytes"}},
             {"ghb", {"history_entries", "index_entries", "degree"}},
+            {"tlb",
+             {"enable", "l1_entries", "l1_ways", "l2_entries", "l2_ways",
+              "l2_latency", "page_bytes", "prefetch_cross",
+              "imp_prefetch_cross", "stream_prefetch_cross",
+              "ghb_prefetch_cross"}},
             {"prefetch", {"l1", "l2"}},
         };
     return s;
@@ -529,6 +534,7 @@ sweepAliases()
         {"ipd", {"imp", "ipd_entries"}},
         {"l1", {"prefetch", "l1"}},
         {"l2", {"prefetch", "l2"}},
+        {"page", {"tlb", "page_bytes"}},
         {"preset", {"system", "preset"}},
         {"pt", {"imp", "pt_entries"}},
         {"scale", {"system", "scale"}},
@@ -647,6 +653,23 @@ asString(const Setting &s)
         failAt(s, describeKey(s) + " needs a string, got " +
                       s.value.kindName() + " '" + s.value.toString() + "'");
     return s.value.text;
+}
+
+TlbPfCross
+asCrossPolicy(const Setting &s)
+{
+    std::string name = asString(s);
+    if (name == "default")
+        return TlbPfCross::Default;
+    if (name == "drop")
+        return TlbPfCross::Drop;
+    if (name == "stall")
+        return TlbPfCross::Stall;
+    if (name == "translate")
+        return TlbPfCross::Translate;
+    failAt(s, describeKey(s) + " must be one of default, drop, stall, "
+                  "translate; got '" + name + "'");
+    return TlbPfCross::Default; // Unreachable.
 }
 
 AppId
@@ -892,6 +915,35 @@ applySetting(const Setting &s, Bound &b, TraceProbeCache &traces)
             cfg.ghb.indexEntries = asU32(s, 1);
         else if (key == "degree")
             cfg.ghb.degree = asU32(s, 1);
+        return;
+    }
+    if (sec == "tlb") {
+        TlbConfig &tlb = cfg.tlb;
+        if (key == "enable")
+            tlb.enable = asBool(s);
+        else if (key == "l1_entries")
+            tlb.l1Entries = asU32(s, 1);
+        else if (key == "l1_ways")
+            tlb.l1Ways = asU32(s, 1);
+        else if (key == "l2_entries")
+            tlb.l2Entries = asU32(s, 1);
+        else if (key == "l2_ways")
+            tlb.l2Ways = asU32(s, 1);
+        else if (key == "l2_latency")
+            tlb.l2LatencyCycles = asU32(s, 1);
+        else if (key == "page_bytes") {
+            tlb.pageBytes = asU64(s);
+            if (tlb.pageBytes != 4096 && tlb.pageBytes != 2097152)
+                failAt(s, "[tlb] page_bytes must be 4096 or 2097152 "
+                          "(4 KiB or 2 MiB pages)");
+        } else if (key == "prefetch_cross")
+            tlb.prefetchCross = asCrossPolicy(s);
+        else if (key == "imp_prefetch_cross")
+            tlb.impCross = asCrossPolicy(s);
+        else if (key == "stream_prefetch_cross")
+            tlb.streamCross = asCrossPolicy(s);
+        else if (key == "ghb_prefetch_cross")
+            tlb.ghbCross = asCrossPolicy(s);
         return;
     }
     if (sec == "prefetch") {

@@ -72,6 +72,50 @@ CacheStats::accuracy() const
 }
 
 void
+TlbStats::merge(const TlbStats &o)
+{
+    enabled = enabled || o.enabled;
+    l1Hits += o.l1Hits;
+    l1Misses += o.l1Misses;
+    l2Hits += o.l2Hits;
+    l2Misses += o.l2Misses;
+    walks += o.walks;
+    walkJoins += o.walkJoins;
+    walkAccesses += o.walkAccesses;
+    walkCycles += o.walkCycles;
+    stallCycles += o.stallCycles;
+    pfSamePage += o.pfSamePage;
+    pfCrossDropped += o.pfCrossDropped;
+    pfCrossStalled += o.pfCrossStalled;
+    pfCrossTranslated += o.pfCrossTranslated;
+    pfTranslateDropped += o.pfTranslateDropped;
+}
+
+double
+TlbStats::l1Mpki(std::uint64_t instructions) const
+{
+    return instructions == 0 ? 0.0
+                             : 1000.0 * static_cast<double>(l1Misses) /
+                                   static_cast<double>(instructions);
+}
+
+double
+TlbStats::l2Mpki(std::uint64_t instructions) const
+{
+    return instructions == 0 ? 0.0
+                             : 1000.0 * static_cast<double>(l2Misses) /
+                                   static_cast<double>(instructions);
+}
+
+double
+TlbStats::avgWalkCycles() const
+{
+    return walks == 0 ? 0.0
+                      : static_cast<double>(walkCycles) /
+                            static_cast<double>(walks);
+}
+
+void
 NocStats::merge(const NocStats &o)
 {
     messages += o.messages;

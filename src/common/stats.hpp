@@ -82,6 +82,41 @@ struct alignas(64) CacheStats
     double accuracy() const;
 };
 
+/**
+ * TLB + page-walk counters (docs/tlb.md). `enabled` records whether
+ * the model ran at all, so reports can omit the section and CSV
+ * schemas stay unchanged for TLB-off runs.
+ */
+struct TlbStats
+{
+    bool enabled = false;
+    // -- demand translation --
+    std::uint64_t l1Hits = 0;       ///< Per-core DTLB hits (free).
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;       ///< Shared L2 TLB hits.
+    std::uint64_t l2Misses = 0;
+    std::uint64_t walks = 0;        ///< Page walks launched.
+    std::uint64_t walkJoins = 0;    ///< Misses merged onto a walk in flight.
+    std::uint64_t walkAccesses = 0; ///< PTE reads issued into the caches.
+    std::uint64_t walkCycles = 0;   ///< Sum of walk start->done latency.
+    std::uint64_t stallCycles = 0;  ///< Demand cycles spent waiting.
+    // -- page-crossing prefetch outcomes --
+    std::uint64_t pfSamePage = 0;       ///< Prefetch page already in DTLB.
+    std::uint64_t pfCrossDropped = 0;   ///< Policy drop (incl. Default).
+    std::uint64_t pfCrossStalled = 0;   ///< Stall policy: issued late.
+    std::uint64_t pfCrossTranslated = 0; ///< Translate policy: L2-TLB hit.
+    std::uint64_t pfTranslateDropped = 0; ///< Translate: busy port / L2 miss.
+
+    void merge(const TlbStats &o);
+
+    std::uint64_t lookups() const { return l1Hits + l1Misses; }
+    /** Misses per `per` instructions (callers pass committed count). */
+    double l1Mpki(std::uint64_t instructions) const;
+    double l2Mpki(std::uint64_t instructions) const;
+    /** Mean cycles from walk launch to last PTE fill. */
+    double avgWalkCycles() const;
+};
+
 /** NoC counters. */
 struct NocStats
 {
@@ -119,6 +154,7 @@ struct SimStats
     CacheStats l2;            ///< Aggregated over L2 slices.
     NocStats noc;
     DramStats dram;
+    TlbStats tlb;             ///< enabled=false when the model is off.
     std::vector<CoreStats> perCore;
 
     /** Aggregate instructions / cycle over the whole machine. */

@@ -9,6 +9,13 @@
 
 namespace impsim {
 
+/** Keeps cold-path capture machinery out of hot callers' frames. */
+#if defined(__GNUC__) || defined(__clang__)
+#define IMPSIM_NOINLINE __attribute__((noinline))
+#else
+#define IMPSIM_NOINLINE
+#endif
+
 /** Virtual address. The simulated machine has a 48-bit address space. */
 using Addr = std::uint64_t;
 

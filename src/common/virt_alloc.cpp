@@ -9,6 +9,13 @@
 
 namespace impsim {
 
+VirtAlloc::VirtAlloc(Addr start, std::uint64_t page_bytes)
+    : next_(start), pageBytes_(page_bytes)
+{
+    IMPSIM_CHECK(isPow2(page_bytes) && page_bytes >= kLineSize,
+                 "page size must be a power of two >= one line");
+}
+
 Addr
 VirtAlloc::alloc(const std::string &name, std::uint64_t size,
                  std::uint64_t align)
@@ -18,10 +25,21 @@ VirtAlloc::alloc(const std::string &name, std::uint64_t size,
     Addr base = roundUp(next_, align);
     // Leave a page gap so adjacent arrays never share a page; this
     // mirrors real allocators and keeps IMP patterns distinct.
-    next_ = roundUp(base + size + 4096, 4096);
+    next_ = roundUp(base + size + pageBytes_, pageBytes_);
     IMPSIM_CHECK(next_ < (Addr{1} << kAddrBits), "address space exhausted");
     regions_.push_back(VirtRegion{name, base, size});
     return base;
+}
+
+std::uint64_t
+VirtAlloc::pagesSpanned(const VirtRegion &r, std::uint64_t page_bytes)
+{
+    IMPSIM_CHECK(isPow2(page_bytes), "page size must be a power of two");
+    if (r.size == 0)
+        return 0;
+    Addr first = r.base / page_bytes;
+    Addr last = (r.base + r.size - 1) / page_bytes;
+    return last - first + 1;
 }
 
 const VirtRegion *

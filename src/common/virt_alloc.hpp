@@ -36,10 +36,15 @@ struct VirtRegion
 class VirtAlloc
 {
   public:
-    /** @param start first address handed out (default: 256 MB mark). */
-    explicit VirtAlloc(Addr start = Addr{1} << 28)
-        : next_(start)
-    {}
+    /**
+     * @param start first address handed out (default: 256 MB mark).
+     * @param page_bytes inter-region gap/rounding granule (power of
+     *        two). The default 4096 is load-bearing: workload layouts
+     *        — and therefore every golden CSV — are phrased in 4 KiB
+     *        pages regardless of the TLB model's tlb.page_bytes knob.
+     */
+    explicit VirtAlloc(Addr start = Addr{1} << 28,
+                       std::uint64_t page_bytes = 4096);
 
     /**
      * Allocates @p size bytes aligned to @p align (power of two).
@@ -54,8 +59,16 @@ class VirtAlloc
     /** Region containing @p a, or nullptr. */
     const VirtRegion *find(Addr a) const;
 
+    /** Gap/rounding granule this allocator was built with. */
+    std::uint64_t pageBytes() const { return pageBytes_; }
+
+    /** Number of @p page_bytes pages region @p r touches. */
+    static std::uint64_t pagesSpanned(const VirtRegion &r,
+                                      std::uint64_t page_bytes);
+
   private:
     Addr next_;
+    std::uint64_t pageBytes_;
     std::vector<VirtRegion> regions_;
 };
 

@@ -13,11 +13,13 @@ IMPSIM_REGISTER_PREFETCHER(ghb, "ghb",
                               const PrefetcherContext &ctx)
                                -> std::unique_ptr<Prefetcher> {
                                return std::make_unique<GhbPrefetcher>(
-                                   host, ctx.cfg.ghb);
+                                   host, ctx.cfg.ghb,
+                                   ctx.cfg.tlb.ghbCross);
                            });
 
-GhbPrefetcher::GhbPrefetcher(PrefetchHost &host, const GhbConfig &cfg)
-    : host_(host), cfg_(cfg)
+GhbPrefetcher::GhbPrefetcher(PrefetchHost &host, const GhbConfig &cfg,
+                             TlbPfCross cross)
+    : host_(host), cfg_(cfg), cross_(cross)
 {
     history_.resize(cfg_.historyEntries);
     // The index never outgrows its bound, so size it once up front
@@ -58,6 +60,7 @@ GhbPrefetcher::onMiss(const AccessInfo &info)
                 PrefetchRequest req;
                 req.addr = s.line;
                 req.bytes = kLineSize;
+                req.cross = cross_;
                 host_.issuePrefetch(req);
             }
         }

@@ -26,7 +26,8 @@ namespace impsim {
 class GhbPrefetcher final : public Prefetcher
 {
   public:
-    GhbPrefetcher(PrefetchHost &host, const GhbConfig &cfg);
+    GhbPrefetcher(PrefetchHost &host, const GhbConfig &cfg,
+                  TlbPfCross cross = TlbPfCross::Default);
 
     void onAccess(const AccessInfo &info) override;
     void onMiss(const AccessInfo &info) override;
@@ -43,6 +44,7 @@ class GhbPrefetcher final : public Prefetcher
 
     PrefetchHost &host_;
     GhbConfig cfg_;
+    TlbPfCross cross_;
     std::vector<Slot> history_;
     std::int64_t head_ = 0; ///< Total pushes (mod size gives slot).
     /** line -> most recent history position (absolute). */

@@ -24,16 +24,16 @@ IMPSIM_REGISTER_PREFETCHER(imp, "imp",
                                          : ctx.cfg.stream,
                                    ctx.cfg.gp,
                                    ctx.cfg.partial != PartialMode::Off,
-                                   at_l2);
+                                   at_l2, ctx.cfg.tlb.impCross);
                            });
 
 ImpPrefetcher::ImpPrefetcher(PrefetchHost &host, const ImpConfig &cfg,
                              const StreamConfig &stream_cfg,
                              const GpConfig &gp_cfg, bool partial,
-                             bool line_granular)
+                             bool line_granular, TlbPfCross cross)
     : host_(host), cfg_(cfg), streamCfg_(stream_cfg), partial_(partial),
-      lineGranular_(line_granular), pt_(cfg, stream_cfg), ipd_(cfg),
-      gp_(gp_cfg, cfg.ptEntries)
+      lineGranular_(line_granular), cross_(cross), pt_(cfg, stream_cfg),
+      ipd_(cfg), gp_(gp_cfg, cfg.ptEntries)
 {}
 
 std::uint32_t
@@ -69,7 +69,7 @@ ImpPrefetcher::onAccess(const AccessInfo &info)
 
     PtEntry &e = pt_.at(obs.entry);
     issueStreamPrefetches(host_, e, obs.entry, info.addr,
-                          streamCfg_.prefetchDegree);
+                          streamCfg_.prefetchDegree, cross_);
     if (!info.write && obs.streamHit)
         handleIndexAccess(obs.entry, info);
 }
@@ -267,6 +267,7 @@ ImpPrefetcher::maybeIssueIndirect(std::int16_t id, Addr index_access_addr)
     req.addr = idx_line;
     req.bytes = kLineSize;
     req.patternId = static_cast<std::uint16_t>(id);
+    req.cross = cross_;
     if (host_.issuePrefetch(req))
         ++stats_.indexLinePrefetches;
     if (pendingIndex_.size() < kPendingCap)
@@ -298,6 +299,7 @@ ImpPrefetcher::issueIndirectFor(std::int16_t id, std::uint64_t value)
     req.exclusive = e.writeCtr >= 2;
     req.indirect = true;
     req.patternId = static_cast<std::uint16_t>(id);
+    req.cross = cross_;
 
     bool accepted = host_.issuePrefetch(req);
     if (accepted) {

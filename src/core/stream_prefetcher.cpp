@@ -16,12 +16,13 @@ IMPSIM_REGISTER_PREFETCHER(stream, "stream",
                                    host, ctx.cfg.imp,
                                    ctx.level == AttachLevel::L2
                                        ? ctx.cfg.l2Stream
-                                       : ctx.cfg.stream);
+                                       : ctx.cfg.stream,
+                                   ctx.cfg.tlb.streamCross);
                            });
 
 void
 issueStreamPrefetches(PrefetchHost &host, PtEntry &e, std::int16_t entry_id,
-                      Addr addr, std::uint32_t degree)
+                      Addr addr, std::uint32_t degree, TlbPfCross cross)
 {
     if (e.stride == 0)
         return;
@@ -45,6 +46,7 @@ issueStreamPrefetches(PrefetchHost &host, PtEntry &e, std::int16_t entry_id,
             req.bytes = kLineSize;
             req.indirect = false;
             req.patternId = static_cast<std::uint16_t>(entry_id);
+            req.cross = cross;
             host.issuePrefetch(req);
         }
         frontier += forward ? 1 : -1;
@@ -54,8 +56,10 @@ issueStreamPrefetches(PrefetchHost &host, PtEntry &e, std::int16_t entry_id,
 
 StreamPrefetcher::StreamPrefetcher(PrefetchHost &host,
                                    const ImpConfig &imp_cfg,
-                                   const StreamConfig &stream_cfg)
-    : host_(host), streamCfg_(stream_cfg), table_(imp_cfg, stream_cfg)
+                                   const StreamConfig &stream_cfg,
+                                   TlbPfCross cross)
+    : host_(host), streamCfg_(stream_cfg), cross_(cross),
+      table_(imp_cfg, stream_cfg)
 {}
 
 void
@@ -67,7 +71,7 @@ StreamPrefetcher::onAccess(const AccessInfo &info)
     PtEntry &e = table_.at(obs.entry);
     if (obs.confirmed) {
         issueStreamPrefetches(host_, e, obs.entry, info.addr,
-                              streamCfg_.prefetchDegree);
+                              streamCfg_.prefetchDegree, cross_);
     }
 }
 

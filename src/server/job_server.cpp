@@ -1087,7 +1087,9 @@ JobServer::executeDistributed(const std::shared_ptr<ServerJob> &job,
     if (total == 1 && !job->csv) {
         payload = std::move(dist->rows[0]);
     } else {
-        payload = csvHeader();
+        // Experiment-aware header: the TLB column group must match
+        // the widened rows TLB-enabled runs produce (report.hpp).
+        payload = csvHeader(job->exp);
         for (const std::string &row : dist->rows)
             payload += row;
     }

@@ -120,9 +120,10 @@ runExperiment(const Experiment &exp, std::ostream &os,
             return false;
     }
 
-    writeCsvHeader(os);
+    bool with_tlb = experimentUsesTlb(exp);
+    writeCsvHeader(os, with_tlb);
     for (const SweepResult &r : results)
-        writeCsvRow(os, r.name, r.stats);
+        writeCsvRow(os, r.name, r.stats, with_tlb);
     return true;
 }
 
@@ -172,11 +173,15 @@ runExperimentRuns(const Experiment &exp,
     }
     if (ctl && ctl->cancelled())
         return false;
+    // Row shape is a whole-experiment property, not a per-run one:
+    // a worker leasing TLB-off runs out of a mixed sweep must still
+    // emit the widened rows the coordinator's header promises.
+    bool with_tlb = experimentUsesTlb(exp);
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (!results[i].ran)
             return false;
         std::ostringstream os;
-        writeCsvRow(os, results[i].name, results[i].stats);
+        writeCsvRow(os, results[i].name, results[i].stats, with_tlb);
         rows[i] = os.str();
     }
     return true;
@@ -188,6 +193,24 @@ csvHeader()
     std::ostringstream os;
     writeCsvHeader(os);
     return os.str();
+}
+
+std::string
+csvHeader(const Experiment &exp)
+{
+    std::ostringstream os;
+    writeCsvHeader(os, experimentUsesTlb(exp));
+    return os.str();
+}
+
+bool
+experimentUsesTlb(const Experiment &exp)
+{
+    for (const ExperimentRun &r : exp.runs) {
+        if (r.cfg.tlb.enable)
+            return true;
+    }
+    return false;
 }
 
 } // namespace impsim

@@ -73,6 +73,16 @@ bool runExperimentRuns(const Experiment &exp,
 /** The CSV header line runExperiment() writes ahead of sweep rows. */
 std::string csvHeader();
 
+/**
+ * The header for @p exp specifically: the TLB column group is present
+ * iff some run has the TLB model enabled (experimentUsesTlb). Fabric
+ * coordinators must use this overload so spliced worker rows line up.
+ */
+std::string csvHeader(const Experiment &exp);
+
+/** True iff any run of @p exp has cfg.tlb.enable set. */
+bool experimentUsesTlb(const Experiment &exp);
+
 } // namespace impsim
 
 #endif // IMPSIM_SIM_EXPERIMENT_RUNNER_HPP

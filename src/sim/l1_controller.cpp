@@ -22,9 +22,9 @@ constexpr std::uint32_t kMaxPrefetchFills = 32;
 L1Controller::L1Controller(CoreId core, const SystemConfig &cfg,
                            EventQueue &eq, MeshNoc &noc,
                            const FuncMem &mem,
-                           std::vector<L2Controller *> l2s)
+                           std::vector<L2Controller *> l2s, Mmu *mmu)
     : core_(core), cfg_(cfg), eq_(eq), noc_(noc), mem_(mem),
-      l2s_(std::move(l2s)),
+      l2s_(std::move(l2s)), mmu_(mmu),
       cache_(cfg.l1SizeBytes, cfg.l1Ways,
              cfg.partial != PartialMode::Off ? cfg.gp.l1SectorBytes
                                              : kLineSize)
@@ -142,7 +142,26 @@ L1Controller::demandAccess(const MemAccess &access, DemandDoneFn done)
     // replayed demands pass through demandAccessImpl again but are
     // still one architectural access.
     stats_.accessesByType[static_cast<int>(access.type)] += 1;
+    if (mmu_ != nullptr && !mmu_->dtlbLookup(core_, access.addr)) {
+        demandAccessTlbMiss(access, std::move(done));
+        return;
+    }
     demandAccessImpl(access, std::move(done));
+}
+
+IMPSIM_NOINLINE void
+L1Controller::demandAccessTlbMiss(const MemAccess &access,
+                                  DemandDoneFn done)
+{
+    // DTLB miss: the access (and its prefetcher notification) waits
+    // for the translation, then runs at the ready tick. Kept out of
+    // line so the continuation capture stays off demandAccess's
+    // frame — TLB-off runs take that path tens of millions of times.
+    mmu_->translateMiss(
+        core_, access.addr,
+        TlbDoneFn([this, access, done = std::move(done)](Tick) mutable {
+            demandAccessImpl(access, std::move(done));
+        }));
 }
 
 void
@@ -325,7 +344,34 @@ L1Controller::issuePrefetch(const PrefetchRequest &req)
 {
     if (cfg_.magicMemory)
         return false;
+    if (mmu_ != nullptr)
+        return issuePrefetchGated(req);
+    return issuePrefetchNow(req);
+}
 
+IMPSIM_NOINLINE bool
+L1Controller::issuePrefetchGated(const PrefetchRequest &req)
+{
+    // Page-crossing gate (docs/tlb.md): a prefetch whose page is
+    // absent from this core's DTLB is dropped, stalled for a full
+    // translation, or granted an opportunistic L2-TLB port,
+    // per-engine. A deferred request re-enters the normal issue
+    // path at translation-ready and is dropped silently there if
+    // the line arrived some other way in the meantime.
+    TlbPfCross policy = cfg_.tlb.resolveCross(req.cross);
+    Mmu::PfGate gate = mmu_->prefetchGate(
+        core_, req.addr, policy,
+        TlbDoneFn([this, req](Tick) { issuePrefetchNow(req); }));
+    if (gate == Mmu::PfGate::Dropped)
+        return false;
+    if (gate == Mmu::PfGate::Deferred)
+        return true;
+    return issuePrefetchNow(req);
+}
+
+bool
+L1Controller::issuePrefetchNow(const PrefetchRequest &req)
+{
     Addr line_addr = lineAlign(req.addr);
     std::uint32_t mask = maskFor(req.addr, req.bytes);
 
@@ -478,6 +524,58 @@ L1Controller::evictFrame(CacheLine &frame)
         l2s_[home]->noteL1Evict(line_addr, core_);
     }
     cache_.invalidate(frame);
+}
+
+void
+L1Controller::walkAccess(Addr addr, TlbDoneFn done)
+{
+    // A page walker's PTE read: real traffic through the normal
+    // L1 -> home L2 -> DRAM path, but architecturally invisible — it
+    // never trains prefetchers and never touches the demand hit/miss
+    // counters (the MMU keeps its own walkAccesses count).
+    Addr line_addr = lineAlign(addr);
+    std::uint32_t need = cache_.allSectors();
+
+    CacheLine *line = cache_.find(line_addr);
+    if (line != nullptr && (line->validMask & need) == need) {
+        cache_.touch(*line);
+        Tick when = eq_.now() + cfg_.l1LatencyCycles;
+        eq_.schedule(when,
+                     [done = std::move(done), when]() mutable {
+                         done(when);
+                     });
+        return;
+    }
+
+    if (auto it = pending_.find(line_addr); it != pending_.end()) {
+        PendingFill &pf = it->second;
+        if (!pf.invalidated && (pf.mask & need) == need) {
+            // Ride the in-flight fill. A walk waiter must not set
+            // demandMerged (it would skew late-coverage accounting),
+            // and finishDemand on a read-shaped access is just done().
+            MemAccess pte;
+            pte.addr = addr;
+            pte.size = 8;
+            pf.waiters.push_back(Waiter{pte, std::move(done)});
+            return;
+        }
+        // Unusable fill (partial sectors or invalidated): retry once
+        // it drains, like a demand retry.
+        Tick retry = pf.completion + 1;
+        eq_.schedule(retry, [this, addr, done = std::move(done)]() mutable {
+            walkAccess(addr, std::move(done));
+        });
+        return;
+    }
+
+    std::uint32_t fetch =
+        line != nullptr ? (need & ~line->validMask) : need;
+    MemAccess pte;
+    pte.addr = addr;
+    pte.size = 8;
+    PendingFill *pf = launchFill(line_addr, fetch, false, false, false,
+                                 kNoPattern);
+    pf->waiters.push_back(Waiter{pte, std::move(done)});
 }
 
 std::uint32_t

@@ -23,6 +23,7 @@
 #include "common/func_mem.hpp"
 #include "common/stats.hpp"
 #include "core/prefetcher.hpp"
+#include "core/tlb.hpp"
 #include "cpu/mem_port.hpp"
 #include "cpu/trace.hpp"
 #include "noc/mesh.hpp"
@@ -37,12 +38,15 @@ class StreamPrefetcher;
 /** The per-core L1 data cache controller. */
 class L1Controller final : public MemPort,
                            public PrefetchHost,
-                           public L1Backdoor
+                           public L1Backdoor,
+                           public TlbWalkPort
 {
   public:
+    /** @param mmu translation model, or nullptr for free translation
+     *        (the TLB model off, magic or perfect memory). */
     L1Controller(CoreId core, const SystemConfig &cfg, EventQueue &eq,
                  MeshNoc &noc, const FuncMem &mem,
-                 std::vector<L2Controller *> l2s);
+                 std::vector<L2Controller *> l2s, Mmu *mmu = nullptr);
 
     /** Attaches (or replaces) the prefetcher snooping this cache. */
     void attachPrefetcher(std::unique_ptr<Prefetcher> pf);
@@ -65,6 +69,9 @@ class L1Controller final : public MemPort,
     // ---- L1Backdoor ----
     std::uint32_t backInvalidate(Addr line_addr) override;
     std::uint32_t downgrade(Addr line_addr) override;
+
+    // ---- TlbWalkPort ----
+    void walkAccess(Addr addr, TlbDoneFn done) override;
 
   private:
     struct Waiter
@@ -116,6 +123,13 @@ class L1Controller final : public MemPort,
                             bool indirect, std::uint16_t pattern_id,
                             const MemAccess *origin = nullptr);
 
+    /** The TLB page-crossing gate (cold: only when the MMU is on). */
+    bool issuePrefetchGated(const PrefetchRequest &req);
+    /** issuePrefetch body, after the TLB page-crossing gate. */
+    bool issuePrefetchNow(const PrefetchRequest &req);
+    /** DTLB-miss continuation (cold: only when the MMU is on). */
+    void demandAccessTlbMiss(const MemAccess &access, DemandDoneFn done);
+
     void completeFill(Addr line_addr);
     void perfectAccess(const MemAccess &access, DemandDoneFn done);
     void evictFrame(CacheLine &frame);
@@ -140,6 +154,7 @@ class L1Controller final : public MemPort,
     MeshNoc &noc_;
     const FuncMem &mem_;
     std::vector<L2Controller *> l2s_;
+    Mmu *mmu_; ///< Null = translation is free.
     SectorCache cache_;
     std::unique_ptr<Prefetcher> prefetcher_;
     PfKind pfKind_ = PfKind::None;

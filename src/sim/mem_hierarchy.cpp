@@ -24,10 +24,16 @@ MemHierarchy::MemHierarchy(const SystemConfig &cfg, EventQueue &eq,
     for (auto &l2 : l2s_)
         l2->connectPeers(l2_ptrs);
 
+    // Translation is modeled only when asked for and meaningful:
+    // magic memory never touches the hierarchy and perfect memory
+    // idealises latency by construction, so both skip the MMU.
+    if (cfg.tlb.enable && !cfg.magicMemory && !cfg.perfectMemory)
+        mmu_ = std::make_unique<Mmu>(cfg, eq);
+
     l1s_.reserve(cfg.numCores);
     for (CoreId c = 0; c < cfg.numCores; ++c) {
-        l1s_.push_back(std::make_unique<L1Controller>(c, cfg, eq, noc_,
-                                                      mem, l2_ptrs));
+        l1s_.push_back(std::make_unique<L1Controller>(
+            c, cfg, eq, noc_, mem, l2_ptrs, mmu_.get()));
     }
 
     std::vector<L1Backdoor *> backdoors;
@@ -36,6 +42,14 @@ MemHierarchy::MemHierarchy(const SystemConfig &cfg, EventQueue &eq,
         backdoors.push_back(l1.get());
     for (auto &l2 : l2s_)
         l2->connectL1s(backdoors);
+
+    if (mmu_ != nullptr) {
+        std::vector<TlbWalkPort *> walk_ports;
+        walk_ports.reserve(l1s_.size());
+        for (auto &l1 : l1s_)
+            walk_ports.push_back(l1.get());
+        mmu_->connectWalkPorts(std::move(walk_ports));
+    }
 }
 
 CacheStats
@@ -54,6 +68,12 @@ MemHierarchy::l2Stats() const
     for (const auto &l2 : l2s_)
         s.merge(l2->stats());
     return s;
+}
+
+TlbStats
+MemHierarchy::tlbStats() const
+{
+    return mmu_ != nullptr ? mmu_->stats() : TlbStats{};
 }
 
 } // namespace impsim

@@ -11,6 +11,7 @@
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
 #include "common/func_mem.hpp"
+#include "core/tlb.hpp"
 #include "dram/dram.hpp"
 #include "noc/mesh.hpp"
 #include "sim/l1_controller.hpp"
@@ -40,10 +41,16 @@ class MemHierarchy
     /** Aggregated L2 statistics. */
     CacheStats l2Stats() const;
 
+    /** The translation model, or nullptr when it is off. */
+    Mmu *mmu() { return mmu_.get(); }
+    /** TLB statistics (enabled=false when the model is off). */
+    TlbStats tlbStats() const;
+
   private:
     MeshNoc noc_;
     McMap mcMap_;
     std::unique_ptr<DramModel> dram_;
+    std::unique_ptr<Mmu> mmu_; ///< Null unless cfg.tlb.enable.
     std::vector<std::unique_ptr<L2Controller>> l2s_;
     std::vector<std::unique_ptr<L1Controller>> l1s_;
 };

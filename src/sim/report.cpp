@@ -80,20 +80,48 @@ writeReport(std::ostream &os, const std::string &label, const SimStats &s)
     os << "row hits / misses     " << s.dram.rowHits << " / "
        << s.dram.rowMisses << "\n";
     os << "queue cycles          " << s.dram.queueCycles << "\n";
+
+    if (s.tlb.enabled) {
+        os << "-- TLB --\n";
+        os << "dtlb hits / misses    " << s.tlb.l1Hits << " / "
+           << s.tlb.l1Misses << "  (MPKI "
+           << s.tlb.l1Mpki(s.core.instructions) << ")\n";
+        os << "l2 tlb hits / misses  " << s.tlb.l2Hits << " / "
+           << s.tlb.l2Misses << "  (MPKI "
+           << s.tlb.l2Mpki(s.core.instructions) << ")\n";
+        os << "walks / joins         " << s.tlb.walks << " / "
+           << s.tlb.walkJoins << "\n";
+        os << "walk PTE reads        " << s.tlb.walkAccesses << "\n";
+        os << "avg walk latency      " << s.tlb.avgWalkCycles()
+           << " cycles\n";
+        os << "demand stall cycles   " << s.tlb.stallCycles << "\n";
+        os << "pf same-page          " << s.tlb.pfSamePage << "\n";
+        os << "pf cross drop/stall/translate "
+           << s.tlb.pfCrossDropped << " / " << s.tlb.pfCrossStalled
+           << " / " << s.tlb.pfCrossTranslated << " (translate-dropped "
+           << s.tlb.pfTranslateDropped << ")\n";
+    }
 }
 
 void
-writeCsvHeader(std::ostream &os)
+writeCsvHeader(std::ostream &os, bool with_tlb)
 {
     os << "label,cycles,instructions,ipc,avg_load_latency,"
           "l1_hits,l1_misses,l1_miss_indirect,l1_miss_stream,"
           "l1_miss_other,pref_issued,pref_indirect,coverage,accuracy,"
           "l2_pref_issued,l2_pref_useful,l2_coverage,"
-          "noc_bytes,noc_queue_cycles,dram_bytes,dram_queue_cycles\n";
+          "noc_bytes,noc_queue_cycles,dram_bytes,dram_queue_cycles";
+    if (with_tlb) {
+        os << ",tlb_l1_mpki,tlb_l2_mpki,tlb_walks,tlb_walk_cycles,"
+              "tlb_stall_cycles,pf_cross_dropped,pf_cross_stalled,"
+              "pf_cross_translated";
+    }
+    os << "\n";
 }
 
 void
-writeCsvRow(std::ostream &os, const std::string &label, const SimStats &s)
+writeCsvRow(std::ostream &os, const std::string &label, const SimStats &s,
+            bool with_tlb)
 {
     os << label << ',' << s.cycles << ',' << s.core.instructions << ','
        << s.ipc() << ',' << s.avgLoadLatency() << ',' << s.l1.hits
@@ -107,7 +135,17 @@ writeCsvRow(std::ostream &os, const std::string &label, const SimStats &s)
        << s.l2.prefIssued << ',' << s.l2.prefUsefulFirstTouch << ','
        << s.l2.coverage() << ','
        << s.noc.bytes << ',' << s.noc.queueCycles << ','
-       << s.dram.bytes() << ',' << s.dram.queueCycles << "\n";
+       << s.dram.bytes() << ',' << s.dram.queueCycles;
+    if (with_tlb) {
+        // A TLB-off run inside a mixed sweep emits zeros here, so
+        // every row has the same arity as the widened header.
+        os << ',' << s.tlb.l1Mpki(s.core.instructions) << ','
+           << s.tlb.l2Mpki(s.core.instructions) << ',' << s.tlb.walks
+           << ',' << s.tlb.walkCycles << ',' << s.tlb.stallCycles << ','
+           << s.tlb.pfCrossDropped << ',' << s.tlb.pfCrossStalled << ','
+           << s.tlb.pfCrossTranslated;
+    }
+    os << "\n";
 }
 
 } // namespace impsim

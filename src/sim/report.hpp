@@ -20,12 +20,17 @@ namespace impsim {
 void writeReport(std::ostream &os, const std::string &label,
                  const SimStats &s);
 
-/** Writes the CSV header matching writeCsvRow. */
-void writeCsvHeader(std::ostream &os);
+/**
+ * Writes the CSV header matching writeCsvRow. @p with_tlb appends the
+ * TLB column group; pass true iff any run in the experiment has the
+ * TLB model enabled, so TLB-off outputs stay byte-identical to
+ * pre-TLB builds.
+ */
+void writeCsvHeader(std::ostream &os, bool with_tlb = false);
 
-/** Writes one CSV row for a run. */
+/** Writes one CSV row for a run (@p with_tlb as for the header). */
 void writeCsvRow(std::ostream &os, const std::string &label,
-                 const SimStats &s);
+                 const SimStats &s, bool with_tlb = false);
 
 } // namespace impsim
 

@@ -99,6 +99,7 @@ System::run(Tick limit)
     s.l2 = hier_->l2Stats();
     s.noc = hier_->noc().stats();
     s.dram = hier_->dram().stats();
+    s.tlb = hier_->tlbStats();
     return s;
 }
 
